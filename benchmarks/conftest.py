@@ -1,0 +1,47 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper artifact (table / figure /
+example), times the full reproduction with pytest-benchmark, prints the
+regenerated rows, and writes them under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote paper-vs-measured values.
+
+Repetition counts default to a bench-friendly profile; set
+``REPRO_BENCH_REPS`` to raise them toward the paper's 1,000 (the
+experiment CLI is the tool for the full protocol).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.report import ExperimentReport
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default Monte-Carlo repetitions per configuration in benchmarks.
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "30"))
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """The benchmark evaluation protocol (paper protocol, fewer reps)."""
+    return ExperimentSettings(repetitions=BENCH_REPS)
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Persist and display a regenerated artifact."""
+
+    def _emit(report: ExperimentReport) -> ExperimentReport:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{report.experiment_id}.txt"
+        text = report.render()
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+        return report
+
+    return _emit

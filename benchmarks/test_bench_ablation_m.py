@@ -1,0 +1,26 @@
+"""Benchmark: TWCS second-stage size ablation."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_m import run_m_ablation
+
+
+def _cost(cell: str) -> float:
+    return float(str(cell).split("±")[0])
+
+
+def test_bench_ablation_m(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_m_ablation(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    costs = {row["m"]: _cost(row["cost_hours"]) for row in report.rows}
+    triples = {row["m"]: _cost(row["triples"]) for row in report.rows}
+    # Statistical-efficiency side: larger stage-2 caps annotate more
+    # correlated triples, so the triple count grows with m.
+    assert triples[12] > triples[1]
+    # Cost side: the recommended small-m band is never beaten by the
+    # extremes by a material margin.
+    band_best = min(costs[2], costs[3], costs[5])
+    assert band_best <= costs[12] * 1.05
+    assert band_best <= costs[1] * 1.05

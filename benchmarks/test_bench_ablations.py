@@ -1,0 +1,35 @@
+"""Benchmarks: ablation studies (HPD solver, batch granularity)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_batch_size_ablation, run_hpd_solver_ablation
+
+
+def test_bench_ablation_hpd_solver(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_hpd_solver_ablation(bench_settings, n=80),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(report)
+    rows = {row["solver"]: row for row in report.rows}
+    # Agreement with the paper's SLSQP to numerical tolerance.
+    assert float(str(rows["newton"]["max_dev_vs_slsqp"])) < 1e-6
+    assert float(str(rows["scalar"]["max_dev_vs_slsqp"])) < 1e-6
+    # The default solver must actually be faster than SLSQP.
+    assert float(rows["newton"]["usec_per_solve"]) < float(
+        rows["slsqp"]["usec_per_solve"]
+    )
+
+
+def test_bench_ablation_batch_size(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_batch_size_ablation(bench_settings),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(report)
+    # Coarser batches must not *reduce* the annotation effort: the
+    # stop rule is checked less often, so overshoot only accumulates.
+    triples = [float(str(row["triples"]).split("±")[0]) for row in report.rows]
+    assert triples[-1] >= triples[0] * 0.98

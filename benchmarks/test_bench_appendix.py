@@ -1,0 +1,30 @@
+"""Benchmark: the online-appendix sampling-strategy family."""
+
+from __future__ import annotations
+
+from repro.experiments.appendix_sampling import run_appendix_sampling
+
+
+def _mean(cell: str) -> float:
+    return float(str(cell).split("±")[0])
+
+
+def test_bench_appendix_sampling(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_appendix_sampling(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["sampling"]: row for row in report.rows}
+    # Consistency with the main text: cluster designs cut the cost on
+    # every real profile (entity-identification savings).  A 5% slack
+    # absorbs Monte-Carlo ties at benchmark repetition counts; at the
+    # paper's 1,000 reps the inequality is strict (EXPERIMENTS.md).
+    for dataset in ("YAGO", "NELL", "DBPEDIA"):
+        assert _mean(rows["TWCS"][f"{dataset} cost"]) < 1.05 * _mean(
+            rows["SRS"][f"{dataset} cost"]
+        ), dataset
+    # Stratification never does materially worse than SRS.
+    for dataset in ("YAGO", "NELL", "DBPEDIA", "FACTBENCH"):
+        assert _mean(rows["STRAT"][f"{dataset} triples"]) <= 1.2 * _mean(
+            rows["SRS"][f"{dataset} triples"]
+        ), dataset

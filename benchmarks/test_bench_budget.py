@@ -1,0 +1,24 @@
+"""Benchmark: budget-feasibility analysis (paper Sec. 6.5)."""
+
+from __future__ import annotations
+
+from repro.experiments.budget_analysis import run_budget_analysis
+
+
+def test_bench_budget(benchmark, bench_settings, emit_report):
+    settings = bench_settings.with_repetitions(max(100, bench_settings.repetitions * 3))
+    report = benchmark.pedantic(
+        lambda: run_budget_analysis(settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    # aHPD's completion probability dominates Wilson's at every budget.
+    for row in report.rows:
+        ahpd = float(str(row["aHPD"]).rstrip("%"))
+        wilson = float(str(row["Wilson"]).rstrip("%"))
+        assert ahpd >= wilson - 1e-9
+    # And the dominance is strict somewhere in the budget range.
+    gaps = [
+        float(str(row["aHPD"]).rstrip("%")) - float(str(row["Wilson"]).rstrip("%"))
+        for row in report.rows
+    ]
+    assert max(gaps) > 10.0

@@ -1,0 +1,25 @@
+"""Benchmark: the coverage audit (paper Sec. 3.3 extension)."""
+
+from __future__ import annotations
+
+from repro.experiments.coverage_audit import run_coverage_audit
+
+
+def _pct(cell: str) -> float:
+    return float(str(cell).rstrip("%"))
+
+
+def test_bench_coverage(benchmark, bench_settings, emit_report):
+    settings = bench_settings.with_repetitions(
+        max(1_000, bench_settings.repetitions * 10)
+    )
+    report = benchmark.pedantic(
+        lambda: run_coverage_audit(settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["method"]: row for row in report.rows}
+    # Wald collapses near the boundary; Wilson does not.
+    assert _pct(rows["Wald"]["mu=0.99"]) < 85.0
+    assert _pct(rows["Wilson"]["mu=0.99"]) > 90.0
+    # Clopper-Pearson is conservative in the centre.
+    assert _pct(rows["Clopper-Pearson"]["mu=0.5"]) >= 95.0

@@ -1,0 +1,19 @@
+"""Benchmark: the evolving-KG audit (paper Sec. 8 future work)."""
+
+from __future__ import annotations
+
+from repro.experiments.dynamic_audit import run_dynamic_audit
+
+
+def test_bench_dynamic(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_dynamic_audit(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    stable = [row for row in report.rows if row["regime"] == "stable"]
+    # Stable regime: carried priors save annotations on re-audits.
+    for row in stable[1:]:
+        assert row["triples (carried)"] <= row["triples (independent)"]
+    # Drift regime: the estimate still tracks the drifted truth.
+    drift_final = [row for row in report.rows if row["regime"] == "drift"][-1]
+    assert abs(float(drift_final["estimate"]) - float(drift_final["true_mu"])) < 0.08

@@ -1,0 +1,36 @@
+"""Benchmarks: regenerate the paper's running Examples 1 and 2."""
+
+from __future__ import annotations
+
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+
+
+def test_bench_example1(benchmark, bench_settings, emit_report):
+    # Example 1 needs enough repetitions for a stable rate estimate.
+    settings = bench_settings.with_repetitions(
+        max(200, bench_settings.repetitions)
+    )
+    report = benchmark.pedantic(
+        lambda: run_example1(settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["quantity"]: row["value"] for row in report.rows}
+    rate = float(str(rows["zero-width interval rate"]).rstrip("%"))
+    # Paper: 7% over 1,000 iterations; binomial prediction 5.9%.
+    assert 2.0 < rate < 13.0
+    assert rows["estimate when zero-width"] == "1.00"
+
+
+def test_bench_example2(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_example2(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    triples = {
+        row["configuration"]: float(str(row["triples"]).split("±")[0])
+        for row in report.rows
+    }
+    # Informative priors must cut the annotation effort substantially
+    # (paper: 63 vs 222 triples).
+    assert triples["aHPD informative"] < 0.6 * triples["aHPD uninformative"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (ET vs HPD across skewness)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_figure2(bench_settings), rounds=3, iterations=1
+    )
+    emit_report(report)
+    # Paper claims: HPD never wider; ET wastes <75% (moderate) / <20%
+    # (high skew) of the excluded HPD mass.
+    widths_et = report.column("et_width")
+    widths_hpd = report.column("hpd_width")
+    assert all(h <= e + 1e-9 for h, e in zip(widths_hpd, widths_et))
+    ratios = [float(str(r).rstrip("%")) for r in report.column("waste_ratio")]
+    assert ratios[1] < 75.0
+    assert ratios[2] < 25.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 3 (expected HPD width by prior)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import compute_figure3, run_figure3
+
+
+def test_bench_figure3(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_figure3(bench_settings, n=30, grid_points=199),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(report)
+    # Paper: Jeffreys never the shortest; Kerman wins at the extremes,
+    # Uniform in the centre.
+    winners = report.column("optimal")
+    assert "Jeffreys" not in set(winners)
+    assert winners[0] == "Kerman"
+    assert "Uniform" in set(winners)
+
+
+def test_bench_figure3_series_resolution(benchmark):
+    # Time the full-resolution sweep used for plotting-quality data.
+    series = benchmark.pedantic(
+        lambda: compute_figure3(n=30, alpha=0.05, grid_points=399),
+        rounds=1,
+        iterations=1,
+    )
+    regions = series.optimal_regions()
+    assert regions["Jeffreys"] == 0.0
+    assert regions["Kerman"] > 0.3  # both extreme regions
+    assert regions["Uniform"] > 0.2  # the central region

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 4 (aHPD vs Wilson across precision).
+
+Checks the robustness claims: aHPD is never materially worse than
+Wilson at any precision level, the savings are largest on YAGO at
+alpha = 0.01 (the paper's -47% / -39% peaks), and FACTBENCH shows
+neither benefit nor penalty.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure4 import run_figure4
+
+
+def _pct(cell: str) -> float:
+    return float(str(cell).rstrip("%"))
+
+
+def test_bench_figure4(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_figure4(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {
+        (row["sampling"], row["dataset"], row["alpha"]): row for row in report.rows
+    }
+    # aHPD never materially worse than Wilson (Monte-Carlo tolerance).
+    for key, row in rows.items():
+        assert _pct(row["reduction"]) <= 8.0, key
+    # The YAGO high-precision cell shows the largest savings under SRS.
+    yago_001 = _pct(rows[("SRS", "YAGO", "0.01")]["reduction"])
+    assert yago_001 < -25.0
+    # FACTBENCH is a wash at every level.
+    for alpha in ("0.1", "0.05", "0.01"):
+        assert abs(_pct(rows[("SRS", "FACTBENCH", alpha)]["reduction"])) <= 5.0

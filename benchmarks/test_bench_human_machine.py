@@ -1,0 +1,27 @@
+"""Benchmark: human-machine collaborative evaluation (paper Sec. 7)."""
+
+from __future__ import annotations
+
+from repro.experiments.human_machine import run_human_machine
+
+
+def _mean(cell: str) -> float:
+    return float(str(cell).split("±")[0])
+
+
+def test_bench_human_machine(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_human_machine(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["configuration"]: row for row in report.rows}
+    assisted = rows["aHPD + inference"]
+    manual = rows["aHPD manual-only"]
+    # Inference must cut manual effort on the rule-dense KG...
+    assert _mean(assisted["manual triples"]) < _mean(manual["manual triples"])
+    assert _mean(assisted["cost_hours"]) < _mean(manual["cost_hours"])
+    # ...with a substantial share of labels coming for free.
+    share = float(str(assisted["inferred share"]).rstrip("%"))
+    assert share > 10.0
+    # And the estimator stays honest (note records the bias).
+    assert any("unbiased" in note for note in report.notes)

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the hot primitives.
+
+These time the inner-loop operations that dominate the Monte-Carlo
+experiments: HPD solves, aHPD rounds, the Wilson closed form, PPS
+cluster draws on the 100M-triple KG, and a full evaluation run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.base import Evidence
+from repro.evaluation.framework import KGAccuracyEvaluator
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.intervals.hpd import hpd_bounds
+from repro.intervals.posterior import BetaPosterior
+from repro.intervals.priors import JEFFREYS
+from repro.intervals.wilson import WilsonInterval
+from repro.kg.datasets import load_dataset, load_syn100m
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+
+EVIDENCE = Evidence.from_counts(27, 30)
+POSTERIOR = BetaPosterior.from_counts(JEFFREYS, 27, 30)
+
+
+def test_bench_hpd_newton(benchmark):
+    bounds = benchmark(lambda: hpd_bounds(POSTERIOR, 0.05, solver="newton"))
+    assert bounds[0] < bounds[1]
+
+
+def test_bench_hpd_slsqp(benchmark):
+    bounds = benchmark(lambda: hpd_bounds(POSTERIOR, 0.05, solver="slsqp"))
+    assert bounds[0] < bounds[1]
+
+
+def test_bench_ahpd_round(benchmark):
+    method = AdaptiveHPD()
+    interval = benchmark(lambda: method.compute(EVIDENCE, 0.05))
+    assert interval.width > 0
+
+
+def test_bench_wilson(benchmark):
+    method = WilsonInterval()
+    interval = benchmark(lambda: method.compute(EVIDENCE, 0.05))
+    assert interval.width > 0
+
+
+def test_bench_syn100m_cluster_draw(benchmark):
+    kg = load_syn100m(accuracy=0.9, seed=0)
+    twcs = TwoStageWeightedClusterSampling(m=5)
+    rng = np.random.default_rng(0)
+
+    def draw():
+        state = twcs.new_state()
+        batch = twcs.draw(kg, state, units=50, rng=rng)
+        return batch.num_triples
+
+    total = benchmark(draw)
+    assert total >= 50
+
+
+def test_bench_full_evaluation_run(benchmark):
+    kg = load_dataset("NELL", seed=42)
+    evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), AdaptiveHPD())
+    counter = iter(range(10_000))
+    result = benchmark(lambda: evaluator.run(rng=next(counter)))
+    assert result.converged

@@ -1,0 +1,24 @@
+"""Benchmark: sequential-coverage analysis (what survives the stop rule)."""
+
+from __future__ import annotations
+
+from repro.experiments.sequential_coverage import run_sequential_coverage
+
+
+def _pct(cell: str) -> float:
+    return float(str(cell).rstrip("%"))
+
+
+def test_bench_sequential_coverage(benchmark, bench_settings, emit_report):
+    settings = bench_settings.with_repetitions(max(150, bench_settings.repetitions * 5))
+    report = benchmark.pedantic(
+        lambda: run_sequential_coverage(settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["method"]: row for row in report.rows}
+    # Wald's boundary collapse is worst sequentially.
+    assert _pct(rows["Wald"]["mu=0.99"]) < _pct(rows["Wilson"]["mu=0.99"])
+    # Wilson and aHPD keep usable sequential coverage in every regime.
+    for method in ("Wilson", "aHPD"):
+        for mu in ("mu=0.91", "mu=0.85", "mu=0.54"):
+            assert _pct(rows[method][mu]) > 75.0, (method, mu)

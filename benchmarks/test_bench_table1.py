@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+Times the profiled dataset generation plus the lazy SYN 100M
+instantiation, and prints the statistics table for comparison with the
+paper's Table 1 (they must match exactly).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_table1(bench_settings, include_syn100m=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(report)
+    datasets = report.column("dataset")
+    assert datasets == ["YAGO", "NELL", "DBPEDIA", "FACTBENCH", "SYN 100M"]
+    facts = report.column("num_facts")
+    assert facts == [1_386, 1_860, 9_344, 2_800, 101_415_011]

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 2 (prior selection under SRS).
+
+The paper's findings checked against the regenerated rows:
+
+* HPD converges with no more triples than ET under every prior on the
+  skewed datasets;
+* aHPD matches the best fixed-prior HPD per dataset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+
+
+def _mean(cell: str) -> float:
+    return float(str(cell).split("±")[0])
+
+
+def test_bench_table2(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_table2(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {row["interval"]: row for row in report.rows}
+    for dataset in ("YAGO", "NELL", "DBPEDIA"):
+        for prior in ("Kerman", "Jeffreys", "Uniform"):
+            et = _mean(rows[f"ET[{prior}]"][dataset])
+            hpd = _mean(rows[f"HPD[{prior}]"][dataset])
+            assert hpd <= et * 1.05, (dataset, prior)
+        # aHPD tracks the best HPD (tolerance: Monte-Carlo noise).
+        best_hpd = min(
+            _mean(rows[f"HPD[{prior}]"][dataset])
+            for prior in ("Kerman", "Jeffreys", "Uniform")
+        )
+        ahpd = _mean(rows["aHPD[{K, J, U}]"][dataset])
+        assert ahpd <= best_hpd * 1.15, dataset

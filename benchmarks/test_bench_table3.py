@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 3 (aHPD vs Wald / Wilson efficiency).
+
+Shape checks mirror the paper's headline claims: aHPD needs no more
+triples than Wilson on every skewed dataset under both sampling
+strategies, and TWCS is cheaper than SRS in cost terms.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import table3_studies
+from repro.experiments.report import ExperimentReport
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3(benchmark, bench_settings, emit_report):
+    report: ExperimentReport = benchmark.pedantic(
+        lambda: run_table3(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    assert len(report.rows) == 6  # 2 strategies x 3 methods
+
+
+def test_table3_orderings(bench_settings):
+    studies = table3_studies(
+        bench_settings.with_repetitions(max(20, bench_settings.repetitions // 2)),
+        strategies=("SRS", "TWCS"),
+    )
+    for strategy in ("SRS", "TWCS"):
+        for dataset in ("YAGO", "NELL", "DBPEDIA"):
+            ahpd = studies[(dataset, strategy, "aHPD")].triples.mean()
+            wilson = studies[(dataset, strategy, "Wilson")].triples.mean()
+            assert ahpd <= wilson * 1.10, (dataset, strategy)
+    # TWCS's entity-identification savings: cheaper than SRS for aHPD.
+    for dataset in ("NELL", "DBPEDIA"):
+        srs_cost = studies[(dataset, "SRS", "aHPD")].cost_hours.mean()
+        twcs_cost = studies[(dataset, "TWCS", "aHPD")].cost_hours.mean()
+        assert twcs_cost < srs_cost, dataset

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 4 (SYN 100M scalability)."""
+
+from __future__ import annotations
+
+from repro.experiments.table4 import run_table4, table4_studies
+
+
+def _mean(cell: str) -> float:
+    return float(str(cell).split("±")[0].rstrip("†‡"))
+
+
+def test_bench_table4(benchmark, bench_settings, emit_report):
+    report = benchmark.pedantic(
+        lambda: run_table4(bench_settings), rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = {(row["sampling"], row["interval"]): row for row in report.rows}
+    # Scalability claim: same order of magnitude as the small datasets.
+    for strategy in ("SRS", "TWCS"):
+        assert _mean(rows[(strategy, "aHPD")]["mu=0.9 triples"]) < 400
+        # Symmetric accuracies (0.9 / 0.1) cost roughly the same.
+        hi = _mean(rows[(strategy, "aHPD")]["mu=0.9 triples"])
+        lo = _mean(rows[(strategy, "aHPD")]["mu=0.1 triples"])
+        assert 0.5 < hi / lo < 2.0
+
+
+def test_table4_symmetric_case_ties_wilson(bench_settings):
+    # At mu = 0.5 aHPD and Wilson converge with comparable effort.
+    studies = table4_studies(
+        bench_settings.with_repetitions(max(10, bench_settings.repetitions // 3)),
+        accuracies=(0.5,),
+        strategies=("SRS",),
+    )
+    ahpd = studies[(0.5, "SRS", "aHPD")].triples.mean()
+    wilson = studies[(0.5, "SRS", "Wilson")].triples.mean()
+    assert abs(ahpd - wilson) / wilson < 0.10

@@ -1,0 +1,61 @@
+"""Audit a 100-million-triple knowledge graph on a laptop.
+
+The paper's scalability claim (Table 4): convergence depends on the
+accuracy distribution, not the KG size.  This example audits the lazy
+SYN 100M synthetic KG (101,415,011 triples, 5M entity clusters) with
+TWCS + aHPD and compares the effort against auditing the 1,860-triple
+NELL sample — the costs come out in the same ballpark.
+
+Run with::
+
+    python examples/audit_large_kg.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    AdaptiveHPD,
+    KGAccuracyEvaluator,
+    TwoStageWeightedClusterSampling,
+    load_nell,
+    load_syn100m,
+)
+
+
+def audit(kg, label: str, m: int) -> None:
+    evaluator = KGAccuracyEvaluator(
+        kg=kg,
+        strategy=TwoStageWeightedClusterSampling(m=m),
+        method=AdaptiveHPD(),
+    )
+    start = time.perf_counter()
+    result = evaluator.run(rng=11)
+    elapsed = time.perf_counter() - start
+    print(f"\n{label}")
+    print(f"  KG size            : {kg.num_triples:,} triples")
+    print(f"  estimated accuracy : {result.mu_hat:.3f} (true {kg.accuracy:.3f})")
+    print(f"  interval           : {result.interval}")
+    print(f"  annotated triples  : {result.n_triples}")
+    print(f"  sampled clusters   : {result.n_units}")
+    print(f"  annotation cost    : {result.cost_hours:.2f} hours")
+    print(f"  wall-clock         : {elapsed:.2f} s")
+
+
+def main() -> None:
+    print("Building the lazy SYN 100M KG (labels generated on demand)...")
+    syn = load_syn100m(accuracy=0.9, seed=0)
+    audit(syn, "SYN 100M (mu = 0.9), TWCS m=5", m=5)
+
+    nell = load_nell(seed=42)
+    audit(nell, "NELL sample (mu = 0.91), TWCS m=3", m=3)
+
+    print(
+        "\nSame accuracy regime, same order of annotation effort — "
+        "a 54,000x larger KG costs roughly the same audit (Table 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Auditing an evolving knowledge graph (paper Sec. 8, future work).
+
+A KG receives content batches over time.  Each re-audit reuses the
+previous audit's posterior as an informative prior — the Bayesian
+framing makes "what we learned last quarter" a first-class input.  The
+example shows both regimes the paper discusses: stable accuracy (big
+savings) and an accuracy drift after a massive low-quality update (the
+carried prior is deceptive, but the competing uninformative priors keep
+the audit correct).
+
+Run with::
+
+    python examples/dynamic_kg_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import DynamicAuditor, TwoStageWeightedClusterSampling
+from repro.kg.generators import generate_profiled_kg
+
+
+def build_stream(update_accuracies):
+    """A base KG plus cumulative update batches."""
+    snapshots = []
+    kg = generate_profiled_kg(
+        "base", num_facts=6_000, num_clusters=2_000, accuracy=0.85, seed=0
+    )
+    snapshots.append(kg)
+    for i, accuracy in enumerate(update_accuracies):
+        batch = generate_profiled_kg(
+            f"update{i}", num_facts=3_000, num_clusters=1_000,
+            accuracy=accuracy, seed=100 + i,
+        )
+        kg = kg.merge(batch)
+        snapshots.append(kg)
+    return snapshots
+
+
+def run_regime(title: str, update_accuracies) -> None:
+    print(f"\n=== {title} ===")
+    snapshots = build_stream(update_accuracies)
+    carried = DynamicAuditor(
+        strategy=TwoStageWeightedClusterSampling(m=3), carryover=1.0
+    )
+    independent = DynamicAuditor(
+        strategy=TwoStageWeightedClusterSampling(m=3), carryover=0.0
+    )
+    records_c = carried.audit_stream(snapshots, seed=0)
+    records_i = independent.audit_stream(snapshots, seed=0)
+    print(f"{'round':>5} {'true mu':>8} {'estimate':>9} {'carried':>9} {'fresh':>7}")
+    for rec_c, rec_i, kg in zip(records_c, records_i, snapshots):
+        print(
+            f"{rec_c.round_index:>5} {kg.accuracy:>8.3f} "
+            f"{rec_c.result.mu_hat:>9.3f} "
+            f"{rec_c.result.n_triples:>9} {rec_i.result.n_triples:>7}"
+        )
+    saved = sum(r.result.n_triples for r in records_i[1:]) - sum(
+        r.result.n_triples for r in records_c[1:]
+    )
+    print(f"re-audit annotations saved by carrying the posterior: {saved}")
+
+
+def main() -> None:
+    run_regime("Stable content (updates at the same accuracy)", (0.85, 0.85, 0.85))
+    run_regime("Accuracy drift (a massive low-quality update)", (0.85, 0.45))
+    print(
+        "\nIn the drift regime the carried prior is deceptive; because it "
+        "merely competes inside aHPD, the estimate still tracks the truth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Using prior knowledge to cut annotation costs (paper Example 2).
+
+An analyst auditing a DBPEDIA-like KG already knows the accuracy of two
+similar KGs (0.80 and 0.90).  Encoding that knowledge as informative
+Beta priors and feeding them to aHPD slashes the annotation effort —
+while a *deceptive* prior (from a KG that is nothing like the target)
+is caught by letting it compete against the uninformative trio.
+
+Run with::
+
+    python examples/informative_priors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveHPD,
+    BetaPrior,
+    KGAccuracyEvaluator,
+    TwoStageWeightedClusterSampling,
+    UNINFORMATIVE_PRIORS,
+    load_dbpedia,
+    run_study,
+)
+
+
+def study(kg, method, label: str, repetitions: int = 50):
+    evaluator = KGAccuracyEvaluator(
+        kg=kg, strategy=TwoStageWeightedClusterSampling(m=3), method=method
+    )
+    result = run_study(evaluator, repetitions=repetitions, seed=0, label=label)
+    print(
+        f"  {label:32s} triples={result.triples_summary.format(0):>9s}  "
+        f"cost={result.cost_summary.format(2)}h  "
+        f"bias={result.estimate_bias(kg.accuracy):+.3f}"
+    )
+    return result
+
+
+def main() -> None:
+    kg = load_dbpedia(seed=42)
+    print(f"Auditing {kg!r} under TWCS (m=3), 50 repetitions each.\n")
+
+    # The paper's Example 2 priors: two similar KGs with accuracies
+    # 0.80 and 0.90, each trusted as much as 100 annotations.
+    similar_a = BetaPrior.from_accuracy(0.80, 100, name="Similar KG (0.80)")
+    similar_b = BetaPrior.from_accuracy(0.90, 100, name="Similar KG (0.90)")
+
+    print("1. Informative priors from similar KGs (paper Example 2):")
+    informative = study(
+        kg, AdaptiveHPD(priors=(similar_a, similar_b)), "aHPD informative"
+    )
+    uninformative = study(kg, AdaptiveHPD(), "aHPD uninformative")
+    saving = 1 - informative.cost_hours.mean() / uninformative.cost_hours.mean()
+    print(f"  -> informative priors save {saving:.0%} of the annotation cost\n")
+
+    # A deceptive prior: belief that the KG is nearly perfect (0.99)
+    # with heavy confidence.  Racing it against the uninformative trio
+    # keeps the audit honest (the estimate stays unbiased) at a modest
+    # efficiency price.
+    deceptive = BetaPrior.from_accuracy(0.99, 300, name="Deceptive (0.99)")
+    print("2. A deceptive prior, raced against the uninformative trio:")
+    guarded = study(
+        kg,
+        AdaptiveHPD(priors=UNINFORMATIVE_PRIORS + (deceptive,)),
+        "aHPD trio + deceptive",
+    )
+    drift = abs(float(np.mean(guarded.estimates)) - kg.accuracy)
+    print(f"  -> estimate drift vs truth: {drift:.3f} (stays honest)")
+
+
+if __name__ == "__main__":
+    main()

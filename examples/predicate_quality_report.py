@@ -1,0 +1,70 @@
+"""Per-predicate quality report: find out *which* relations are broken.
+
+A single accuracy number tells you whether a KG is usable; a
+per-predicate audit tells you where to spend curation effort.  This
+example builds a KG whose relations have very different error rates,
+audits every predicate under a shared annotation budget, and prints a
+curation-priority report.
+
+Run with::
+
+    python examples/predicate_quality_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KnowledgeGraph, Triple, audit_by_predicate
+from repro.kg.queries import TripleIndex
+
+
+def build_mixed_kg(seed: int = 0) -> KnowledgeGraph:
+    """A KG with four relations of very different quality."""
+    rng = np.random.default_rng(seed)
+    spec = (
+        # (predicate, facts, accuracy) — a curated core, two decent
+        # relations, and one broken extractor output.
+        ("bornIn", 1_500, 0.97),
+        ("worksFor", 1_000, 0.90),
+        ("hasAward", 700, 0.82),
+        ("relatedTo", 900, 0.45),
+    )
+    triples: list[Triple] = []
+    labels: list[bool] = []
+    for predicate, count, accuracy in spec:
+        for i in range(count):
+            triples.append(Triple(f"e:{i % (count // 3)}", predicate, f"v:{predicate}:{i}"))
+            labels.append(bool(rng.random() < accuracy))
+    return KnowledgeGraph(triples, labels)
+
+
+def main() -> None:
+    kg = build_mixed_kg()
+    print(f"Auditing {kg!r} per predicate (alpha=0.05, MoE <= 0.05)\n")
+    result = audit_by_predicate(kg, rng=3)
+
+    index = TripleIndex(kg)
+    print(f"{'predicate':<12} {'share':>6} {'annotated':>9} {'estimate':>9} "
+          f"{'interval':<18} {'true':>6}")
+    ranked = sorted(result.partitions, key=lambda p: p.mu_hat)
+    for audit in ranked:
+        truth = index.predicate_profile(audit.partition).accuracy
+        cell = f"[{audit.interval.lower:.3f}, {audit.interval.upper:.3f}]"
+        print(
+            f"{audit.partition:<12} {audit.weight:>6.1%} {audit.n_annotated:>9} "
+            f"{audit.mu_hat:>9.3f} {cell:<18} {truth:>6.3f}"
+        )
+
+    print(f"\nglobal accuracy  : {result.global_mu_hat:.3f} "
+          f"(interval {result.global_interval})")
+    print(f"annotation cost  : {result.cost_hours:.2f} hours")
+    worst = result.worst_partition
+    print(
+        f"\ncuration priority: '{worst.partition}' — estimated "
+        f"{worst.mu_hat:.0%} accurate, {worst.weight:.0%} of the KG."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: audit the accuracy of a knowledge graph.
+
+Loads the NELL dataset profile, runs the paper's iterative evaluation
+with aHPD + SRS, and prints the estimate, the credible interval, and
+what the audit would have cost in human annotation time.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveHPD,
+    KGAccuracyEvaluator,
+    SimpleRandomSampling,
+    load_nell,
+)
+
+
+def main() -> None:
+    # 1. A knowledge graph with ground-truth labels.  `load_nell`
+    #    regenerates the paper's NELL sample profile (1,860 facts,
+    #    817 entity clusters, accuracy 0.91).
+    kg = load_nell(seed=42)
+    print(f"Auditing {kg!r}")
+
+    # 2. The evaluator wires together a sampling strategy, an interval
+    #    method, an annotator (defaults to the gold-label oracle), and
+    #    the stop rule (alpha = 0.05, MoE threshold = 0.05).
+    evaluator = KGAccuracyEvaluator(
+        kg=kg,
+        strategy=SimpleRandomSampling(),
+        method=AdaptiveHPD(),  # Kerman + Jeffreys + Uniform priors
+    )
+
+    # 3. One audit run.  The loop samples, annotates, re-estimates, and
+    #    stops as soon as the credible interval is narrow enough.
+    result = evaluator.run(rng=7, keep_trace=True)
+
+    print(f"\nestimated accuracy : {result.mu_hat:.3f}")
+    print(f"true accuracy      : {kg.accuracy:.3f}")
+    print(f"95% credible interval: {result.interval}")
+    print(f"annotated triples  : {result.n_triples}")
+    print(f"distinct entities  : {result.n_entities}")
+    print(f"annotation cost    : {result.cost_hours:.2f} hours")
+
+    # 4. The trace shows the interval tightening as annotations accrue.
+    print("\niteration trace (every 10th):")
+    for record in result.trace[::10]:
+        print(
+            f"  n={record.n_annotated:4d}  mu_hat={record.mu_hat:.3f}  "
+            f"interval=[{record.lower:.3f}, {record.upper:.3f}]  "
+            f"MoE={record.moe:.3f}"
+        )
+    final = result.trace[-1]
+    print(
+        f"  n={final.n_annotated:4d}  mu_hat={final.mu_hat:.3f}  "
+        f"interval=[{final.lower:.3f}, {final.upper:.3f}]  "
+        f"MoE={final.moe:.3f}  <- converged"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,203 @@
+"""repro — Credible Intervals for Knowledge Graph Accuracy Estimation.
+
+A production-quality reproduction of Marchesin & Silvello (SIGMOD 2025):
+cost-minimal KG accuracy auditing with Bayesian credible intervals.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     load_nell, SimpleRandomSampling, AdaptiveHPD, KGAccuracyEvaluator,
+... )
+>>> kg = load_nell(seed=42)
+>>> evaluator = KGAccuracyEvaluator(
+...     kg, SimpleRandomSampling(), AdaptiveHPD(),
+... )
+>>> result = evaluator.run(rng=42)
+>>> bool(result.converged)
+True
+
+See ``examples/`` for end-to-end scenarios and ``repro.experiments`` for
+the reproduction of every table and figure in the paper.
+"""
+
+from .annotation import (
+    DEFAULT_COST_MODEL,
+    AnnotationLedger,
+    AnnotationCost,
+    Annotator,
+    AnnotatorPool,
+    CostModel,
+    NoisyAnnotator,
+    OracleAnnotator,
+)
+from .estimators import (
+    Evidence,
+    kish_design_effect,
+    srs_evidence,
+    srs_evidence_from_labels,
+    twcs_evidence,
+    twcs_point_estimate,
+)
+from .evaluation import (
+    DynamicAuditor,
+    SampleSizePlanner,
+    audit_by_predicate,
+    sequential_coverage,
+    EvaluationConfig,
+    EvaluationResult,
+    KGAccuracyEvaluator,
+    StudyResult,
+    compare_costs,
+    empirical_coverage,
+    reduction_ratio,
+    run_study,
+)
+from .exceptions import (
+    ConvergenceError,
+    IntervalError,
+    KGError,
+    OptimizationError,
+    PriorError,
+    ReproError,
+    SamplingError,
+    ValidationError,
+)
+from .inference import (
+    InferenceAssistedEvaluator,
+    InferenceEngine,
+    generate_inferable_kg,
+)
+from .intervals import (
+    JEFFREYS,
+    ArcsineInterval,
+    LogitInterval,
+    KERMAN,
+    UNIFORM,
+    UNINFORMATIVE_PRIORS,
+    AdaptiveHPD,
+    AgrestiCoullInterval,
+    BetaPosterior,
+    BetaPrior,
+    ClopperPearsonInterval,
+    ETCredibleInterval,
+    HPDCredibleInterval,
+    Interval,
+    IntervalMethod,
+    WaldInterval,
+    WilsonInterval,
+    hpd_bounds,
+)
+from .kg import (
+    KnowledgeGraph,
+    TripleIndex,
+    build_evolving_kg,
+    SyntheticKG,
+    Triple,
+    TripleStore,
+    describe_kg,
+    generate_profiled_kg,
+    load_dataset,
+    load_dbpedia,
+    load_factbench,
+    load_kg,
+    load_nell,
+    load_syn100m,
+    load_yago,
+    save_kg,
+)
+from .sampling import (
+    SamplingStrategy,
+    StratifiedPredicateSampling,
+    SimpleRandomSampling,
+    TwoStageWeightedClusterSampling,
+    WeightedClusterSampling,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # KG substrate
+    "TripleStore",
+    "KnowledgeGraph",
+    "SyntheticKG",
+    "Triple",
+    "load_dataset",
+    "load_yago",
+    "load_nell",
+    "load_dbpedia",
+    "load_factbench",
+    "load_syn100m",
+    "generate_profiled_kg",
+    "describe_kg",
+    "save_kg",
+    "load_kg",
+    "TripleIndex",
+    "build_evolving_kg",
+    # Annotation
+    "Annotator",
+    "OracleAnnotator",
+    "NoisyAnnotator",
+    "AnnotatorPool",
+    "CostModel",
+    "AnnotationCost",
+    "DEFAULT_COST_MODEL",
+    "AnnotationLedger",
+    # Sampling and estimation
+    "SamplingStrategy",
+    "SimpleRandomSampling",
+    "TwoStageWeightedClusterSampling",
+    "WeightedClusterSampling",
+    "StratifiedPredicateSampling",
+    "Evidence",
+    "srs_evidence",
+    "srs_evidence_from_labels",
+    "twcs_evidence",
+    "twcs_point_estimate",
+    "kish_design_effect",
+    # Intervals
+    "Interval",
+    "IntervalMethod",
+    "WaldInterval",
+    "WilsonInterval",
+    "AgrestiCoullInterval",
+    "ClopperPearsonInterval",
+    "ArcsineInterval",
+    "LogitInterval",
+    "BetaPrior",
+    "BetaPosterior",
+    "KERMAN",
+    "JEFFREYS",
+    "UNIFORM",
+    "UNINFORMATIVE_PRIORS",
+    "ETCredibleInterval",
+    "HPDCredibleInterval",
+    "AdaptiveHPD",
+    "hpd_bounds",
+    # Evaluation
+    "EvaluationConfig",
+    "EvaluationResult",
+    "KGAccuracyEvaluator",
+    "run_study",
+    "StudyResult",
+    "compare_costs",
+    "empirical_coverage",
+    "reduction_ratio",
+    "DynamicAuditor",
+    "SampleSizePlanner",
+    "sequential_coverage",
+    "audit_by_predicate",
+    "InferenceEngine",
+    "InferenceAssistedEvaluator",
+    "generate_inferable_kg",
+    # Errors
+    "ReproError",
+    "ValidationError",
+    "KGError",
+    "SamplingError",
+    "IntervalError",
+    "PriorError",
+    "OptimizationError",
+    "ConvergenceError",
+]

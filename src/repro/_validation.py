@@ -1,0 +1,145 @@
+"""Shared argument-validation helpers.
+
+These helpers centralise the range and type checks used across the
+library so that every public function reports errors with the same
+vocabulary.  All of them raise :class:`repro.exceptions.ValidationError`
+on failure and return the (possibly coerced) value on success.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_unit_interval",
+    "check_alpha",
+    "check_counts",
+    "check_fraction_pair",
+    "check_not_empty",
+]
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate that *value* is a probability in the closed ``[0, 1]``."""
+    value = _check_finite_float(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_unit_interval(
+    value: float,
+    name: str = "value",
+    *,
+    open_left: bool = False,
+    open_right: bool = False,
+) -> float:
+    """Validate membership of the unit interval with optional open ends."""
+    value = _check_finite_float(value, name)
+    low_ok = value > 0.0 if open_left else value >= 0.0
+    high_ok = value < 1.0 if open_right else value <= 1.0
+    if not (low_ok and high_ok):
+        left = "(" if open_left else "["
+        right = ")" if open_right else "]"
+        raise ValidationError(
+            f"{name} must be in {left}0, 1{right}, got {value!r}"
+        )
+    return value
+
+
+def check_alpha(alpha: float, name: str = "alpha") -> float:
+    """Validate a significance level, which must lie strictly in (0, 1)."""
+    return check_in_unit_interval(name=name, value=alpha, open_left=True, open_right=True)
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite, strictly positive float."""
+    value = _check_finite_float(value, name)
+    if value <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that *value* is a finite, non-negative float."""
+    value = _check_finite_float(value, name)
+    if value < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str = "value") -> int:
+    """Validate that *value* is an integer greater than zero."""
+    value = _check_int(value, name)
+    if value <= 0:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str = "value") -> int:
+    """Validate that *value* is an integer greater than or equal to zero."""
+    value = _check_int(value, name)
+    if value < 0:
+        raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_counts(successes: Any, trials: Any) -> tuple[int, int]:
+    """Validate a (successes, trials) pair with ``0 <= successes <= trials``."""
+    successes = check_non_negative_int(successes, "successes")
+    trials = check_positive_int(trials, "trials")
+    if successes > trials:
+        raise ValidationError(
+            f"successes ({successes}) cannot exceed trials ({trials})"
+        )
+    return successes, trials
+
+
+def check_fraction_pair(lower: float, upper: float) -> tuple[float, float]:
+    """Validate an ordered pair of probabilities ``0 <= lower <= upper <= 1``."""
+    lower = check_probability(lower, "lower")
+    upper = check_probability(upper, "upper")
+    if lower > upper:
+        raise ValidationError(
+            f"lower ({lower}) cannot exceed upper ({upper})"
+        )
+    return lower, upper
+
+
+def check_not_empty(items: Sequence | Iterable, name: str = "items") -> Any:
+    """Validate that a sized or materialisable collection is non-empty."""
+    if not isinstance(items, Sequence):
+        items = list(items)
+    if len(items) == 0:
+        raise ValidationError(f"{name} must not be empty")
+    return items
+
+
+def _check_finite_float(value: Any, name: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _check_int(value: Any, name: str) -> int:
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got a bool")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+    if as_int != value:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    return as_int

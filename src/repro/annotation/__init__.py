@@ -1,0 +1,20 @@
+"""Annotation substrate: label sources, crowds, and the cost model."""
+
+from .annotator import Annotator, NoisyAnnotator, OracleAnnotator
+from .cost import DEFAULT_COST_MODEL, AnnotationCost, CostModel
+from .ledger import AnnotationLedger, LedgerEntry
+from .pool import AnnotatorPool, default_crowd, estimate_worker_quality
+
+__all__ = [
+    "Annotator",
+    "OracleAnnotator",
+    "NoisyAnnotator",
+    "AnnotatorPool",
+    "estimate_worker_quality",
+    "default_crowd",
+    "CostModel",
+    "AnnotationCost",
+    "DEFAULT_COST_MODEL",
+    "AnnotationLedger",
+    "LedgerEntry",
+]

@@ -1,0 +1,182 @@
+"""Annotation ledger: a durable record of human judgements.
+
+Real audits are interruptible: annotation happens over days, possibly
+across tools, and every judgement is money spent.  The ledger records
+each judgement exactly once (re-annotation attempts are idempotent),
+attributes entity-identification cost to the first fact of each entity,
+and serialises to TSV so an audit can be suspended and resumed.
+
+The evaluation framework accepts an optional ledger and records every
+annotated batch into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import AnnotationError, ValidationError
+from .cost import DEFAULT_COST_MODEL, AnnotationCost, CostModel
+
+__all__ = ["LedgerEntry", "AnnotationLedger"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded judgement."""
+
+    triple_index: int
+    entity_id: int
+    label: bool
+    #: Whether this judgement paid the entity-identification cost
+    #: (first fact seen for its entity).
+    new_entity: bool
+
+
+class AnnotationLedger:
+    """Append-only record of annotation judgements.
+
+    Parameters
+    ----------
+    cost_model:
+        Pricing used for incremental cost attribution.
+    """
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.cost_model = cost_model
+        self._entries: list[LedgerEntry] = []
+        self._by_triple: dict[int, int] = {}
+        self._entities: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, triple_index: int, entity_id: int, label: bool) -> bool:
+        """Record one judgement; returns False if already recorded.
+
+        A conflicting re-record (same triple, different label) raises —
+        silent label drift would corrupt a resumed audit.
+        """
+        triple_index = int(triple_index)
+        existing = self._by_triple.get(triple_index)
+        if existing is not None:
+            if self._entries[existing].label != bool(label):
+                raise AnnotationError(
+                    f"conflicting labels recorded for triple {triple_index}"
+                )
+            return False
+        new_entity = int(entity_id) not in self._entities
+        entry = LedgerEntry(
+            triple_index=triple_index,
+            entity_id=int(entity_id),
+            label=bool(label),
+            new_entity=new_entity,
+        )
+        self._by_triple[triple_index] = len(self._entries)
+        self._entries.append(entry)
+        self._entities.add(int(entity_id))
+        return True
+
+    def record_batch(
+        self,
+        triple_indices: Sequence[int] | np.ndarray,
+        entity_ids: Sequence[int] | np.ndarray,
+        labels: Sequence[bool] | np.ndarray,
+    ) -> int:
+        """Record a batch; returns how many entries were new."""
+        triple_indices = np.asarray(triple_indices)
+        entity_ids = np.asarray(entity_ids)
+        labels = np.asarray(labels, dtype=bool)
+        if not (triple_indices.shape == entity_ids.shape == labels.shape):
+            raise ValidationError("batch arrays must share a shape")
+        added = 0
+        for t, e, lab in zip(triple_indices, entity_ids, labels):
+            added += self.record(int(t), int(e), bool(lab))
+        return added
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def num_triples(self) -> int:
+        """Distinct annotated triples ``|T_S|``."""
+        return len(self._entries)
+
+    @property
+    def num_entities(self) -> int:
+        """Distinct identified entities ``|E_S|``."""
+        return len(self._entities)
+
+    @property
+    def num_correct(self) -> int:
+        """Judgements marked correct."""
+        return sum(entry.label for entry in self._entries)
+
+    @property
+    def cost(self) -> AnnotationCost:
+        """Total priced effort under the ledger's cost model."""
+        return self.cost_model.price(self.num_entities, self.num_triples)
+
+    def has_triple(self, triple_index: int) -> bool:
+        """Whether a triple is already annotated."""
+        return int(triple_index) in self._by_triple
+
+    def label_of(self, triple_index: int) -> bool:
+        """The recorded judgement for a triple."""
+        position = self._by_triple.get(int(triple_index))
+        if position is None:
+            raise AnnotationError(f"triple {triple_index} is not in the ledger")
+        return self._entries[position].label
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_tsv(self, path: PathLike) -> Path:
+        """Write the ledger to a TSV file (suspend)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write("# triple_index\tentity_id\tlabel\n")
+            for entry in self._entries:
+                handle.write(
+                    f"{entry.triple_index}\t{entry.entity_id}\t{int(entry.label)}\n"
+                )
+        return path
+
+    @classmethod
+    def from_tsv(
+        cls, path: PathLike, cost_model: CostModel = DEFAULT_COST_MODEL
+    ) -> "AnnotationLedger":
+        """Load a ledger written by :meth:`to_tsv` (resume)."""
+        path = Path(path)
+        ledger = cls(cost_model=cost_model)
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 3 or parts[2] not in ("0", "1"):
+                    raise ValidationError(f"{path}:{line_no}: malformed ledger line")
+                ledger.record(int(parts[0]), int(parts[1]), parts[2] == "1")
+        return ledger
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotationLedger(triples={self.num_triples}, "
+            f"entities={self.num_entities}, cost={self.cost.hours:.2f}h)"
+        )

@@ -1,0 +1,191 @@
+"""User-facing command line: audit, inspect, generate, and plan.
+
+Subcommands::
+
+    python -m repro stats <kg.tsv>                 describe a labelled KG
+    python -m repro generate --dataset NELL -o f.tsv   write a profiled KG
+    python -m repro audit <kg.tsv> [options]       run one accuracy audit
+    python -m repro plan --mu 0.9 [options]        predict the budget
+
+The audit subcommand reads the labelled-TSV format of
+:mod:`repro.kg.io`, treats the recorded labels as the (oracle)
+annotator, and reports the estimate, interval, and modelled cost; an
+optional ledger file records every judgement for suspend/resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .annotation.ledger import AnnotationLedger
+from .evaluation.framework import EvaluationConfig, KGAccuracyEvaluator
+from .evaluation.planner import SampleSizePlanner
+from .exceptions import ReproError
+from .intervals.ahpd import AdaptiveHPD
+from .intervals.wald import WaldInterval
+from .intervals.wilson import WilsonInterval
+from .kg.datasets import PROFILES, load_dataset
+from .kg.io import load_kg, save_kg
+from .kg.stats import describe_kg
+from .sampling.srs import SimpleRandomSampling
+from .sampling.stratified import StratifiedPredicateSampling
+from .sampling.twcs import TwoStageWeightedClusterSampling
+from .sampling.wcs import WeightedClusterSampling
+
+__all__ = ["main"]
+
+_METHODS = {
+    "ahpd": lambda: AdaptiveHPD(),
+    "wilson": lambda: WilsonInterval(),
+    "wald": lambda: WaldInterval(),
+}
+
+
+def _make_strategy(name: str, m: int):
+    name = name.lower()
+    if name == "srs":
+        return SimpleRandomSampling()
+    if name == "twcs":
+        return TwoStageWeightedClusterSampling(m=m)
+    if name == "wcs":
+        return WeightedClusterSampling()
+    if name == "strat":
+        return StratifiedPredicateSampling()
+    raise ReproError(f"unknown strategy {name!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Knowledge-graph accuracy auditing with credible intervals.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="describe a labelled KG file")
+    stats.add_argument("kg", help="labelled-TSV knowledge graph file")
+
+    gen = sub.add_parser("generate", help="write a profiled dataset to TSV")
+    gen.add_argument(
+        "--dataset", required=True, choices=sorted(PROFILES), help="profile name"
+    )
+    gen.add_argument("--out", "-o", required=True, help="output TSV path")
+    gen.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser("audit", help="audit the accuracy of a KG file")
+    audit.add_argument("kg", help="labelled-TSV knowledge graph file")
+    audit.add_argument(
+        "--strategy",
+        default="twcs",
+        choices=("srs", "twcs", "wcs", "strat"),
+        help="sampling strategy (default: twcs, the paper's recommendation)",
+    )
+    audit.add_argument("--m", type=int, default=3, help="TWCS stage-2 cap")
+    audit.add_argument(
+        "--method",
+        default="ahpd",
+        choices=sorted(_METHODS),
+        help="interval method (default: ahpd)",
+    )
+    audit.add_argument("--alpha", type=float, default=0.05)
+    audit.add_argument("--epsilon", type=float, default=0.05)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument(
+        "--ledger", help="TSV file recording every judgement (suspend/resume)"
+    )
+
+    plan = sub.add_parser("plan", help="predict the annotation budget")
+    plan.add_argument("--mu", type=float, required=True, help="expected accuracy")
+    plan.add_argument("--alpha", type=float, default=0.05)
+    plan.add_argument("--epsilon", type=float, default=0.05)
+    plan.add_argument(
+        "--entities-per-triple",
+        type=float,
+        default=1.0,
+        help="distinct-entity fraction of the sample (1.0 ~ SRS, 1/m ~ TWCS)",
+    )
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kg = load_kg(args.kg)
+    stats = describe_kg(kg, name=args.kg)
+    print(f"facts            : {stats.num_facts}")
+    print(f"entity clusters  : {stats.num_clusters}")
+    print(f"avg cluster size : {stats.avg_cluster_size:.2f}")
+    print(f"max cluster size : {stats.max_cluster_size}")
+    print(f"gold accuracy    : {stats.accuracy:.4f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kg = load_dataset(args.dataset, seed=args.seed)
+    written = save_kg(kg, args.out)
+    print(f"wrote {written} labelled facts to {args.out}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    kg = load_kg(args.kg)
+    ledger = AnnotationLedger() if args.ledger else None
+    evaluator = KGAccuracyEvaluator(
+        kg=kg,
+        strategy=_make_strategy(args.strategy, args.m),
+        method=_METHODS[args.method](),
+        config=EvaluationConfig(alpha=args.alpha, epsilon=args.epsilon),
+        ledger=ledger,
+    )
+    result = evaluator.run(rng=args.seed)
+    print(f"estimated accuracy : {result.mu_hat:.4f}")
+    print(f"interval           : {result.interval}")
+    print(f"margin of error    : {result.moe:.4f} (threshold {args.epsilon})")
+    print(f"annotated triples  : {result.n_triples}")
+    print(f"distinct entities  : {result.n_entities}")
+    print(f"annotation cost    : {result.cost_hours:.2f} hours")
+    if ledger is not None:
+        path = ledger.to_tsv(args.ledger)
+        print(f"judgement ledger   : {path} ({len(ledger)} entries)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    planner = SampleSizePlanner(
+        config=EvaluationConfig(alpha=args.alpha, epsilon=args.epsilon),
+        entities_per_triple=args.entities_per_triple,
+    )
+    plans = planner.compare(
+        {"Wald": WaldInterval(), "Wilson": WilsonInterval(), "aHPD": AdaptiveHPD()},
+        mu=args.mu,
+    )
+    print(f"predicted budget for mu ~ {args.mu}, alpha={args.alpha}, eps={args.epsilon}:")
+    for name in ("Wald", "Wilson", "aHPD"):
+        plan = plans[name]
+        print(
+            f"  {name:<8} {plan.n_triples:>6} triples  "
+            f"~{plan.cost_hours:6.2f} annotation hours"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "audit": _cmd_audit,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

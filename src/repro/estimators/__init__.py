@@ -1,0 +1,16 @@
+"""Unbiased point estimators for KG accuracy (paper Sec. 2.4)."""
+
+from .base import Evidence
+from .bootstrap import bootstrap_cluster_variance
+from .cluster import kish_design_effect, twcs_evidence, twcs_point_estimate
+from .proportion import srs_evidence, srs_evidence_from_labels
+
+__all__ = [
+    "Evidence",
+    "srs_evidence",
+    "srs_evidence_from_labels",
+    "twcs_evidence",
+    "twcs_point_estimate",
+    "kish_design_effect",
+    "bootstrap_cluster_variance",
+]

@@ -1,0 +1,38 @@
+"""The SRS sample-proportion estimator (paper Eq. 2).
+
+Under simple random sampling the estimator of the KG accuracy is the
+sample proportion ``mu_hat = tau_S / n_S`` with estimation variance
+``mu_hat (1 - mu_hat) / n_S``.  The estimator is unbiased under SRS
+(Cochran [10]); the test suite checks this empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_counts
+from ..exceptions import ValidationError
+from .base import Evidence
+
+__all__ = ["srs_evidence", "srs_evidence_from_labels"]
+
+
+def srs_evidence(successes: int, trials: int) -> Evidence:
+    """Evidence from SRS annotation counts ``(tau_S, n_S)``."""
+    successes, trials = check_counts(successes, trials)
+    return Evidence.from_counts(successes, trials)
+
+
+def srs_evidence_from_labels(labels: Sequence[bool] | np.ndarray) -> Evidence:
+    """Evidence from a vector of SRS annotation outcomes."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("labels must be a non-empty one-dimensional array")
+    if arr.dtype != bool:
+        unique = np.unique(arr)
+        if not np.all(np.isin(unique, (0, 1))):
+            raise ValidationError("labels must be boolean or 0/1 values")
+        arr = arr.astype(bool)
+    return srs_evidence(int(arr.sum()), int(arr.size))

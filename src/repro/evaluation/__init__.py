@@ -1,0 +1,49 @@
+"""Evaluation framework: the iterative loop, studies, and audits."""
+
+from .coverage import CoverageResult, coverage_profile, empirical_coverage
+from .dynamic import DynamicAuditor, DynamicAuditRecord
+from .framework import (
+    EvaluationConfig,
+    EvaluationResult,
+    IterationRecord,
+    KGAccuracyEvaluator,
+)
+from .partitioned import PartitionAudit, PartitionedAuditResult, audit_by_predicate
+from .planner import AuditPlan, SampleSizePlanner
+from .sequential import SequentialCoverageResult, sequential_coverage
+from .metrics import cost_reduction, reduction_ratio, triples_reduction
+from .runner import StudyResult, run_study
+from .significance import (
+    MethodComparison,
+    compare_costs,
+    compare_triples,
+    significance_markers,
+)
+
+__all__ = [
+    "EvaluationConfig",
+    "EvaluationResult",
+    "IterationRecord",
+    "KGAccuracyEvaluator",
+    "StudyResult",
+    "run_study",
+    "MethodComparison",
+    "compare_costs",
+    "compare_triples",
+    "significance_markers",
+    "CoverageResult",
+    "empirical_coverage",
+    "coverage_profile",
+    "reduction_ratio",
+    "SampleSizePlanner",
+    "AuditPlan",
+    "sequential_coverage",
+    "SequentialCoverageResult",
+    "audit_by_predicate",
+    "PartitionAudit",
+    "PartitionedAuditResult",
+    "cost_reduction",
+    "triples_reduction",
+    "DynamicAuditor",
+    "DynamicAuditRecord",
+]

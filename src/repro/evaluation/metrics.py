@@ -1,0 +1,34 @@
+"""Cross-method metrics used in the paper's analysis."""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+from .runner import StudyResult
+
+__all__ = ["reduction_ratio", "cost_reduction", "triples_reduction"]
+
+
+def reduction_ratio(baseline: float, candidate: float) -> float:
+    """Relative reduction of *candidate* versus *baseline*.
+
+    The paper's Figure 4 annotation: ``(candidate - baseline) /
+    baseline``, so a value of ``-0.47`` reads "47% cheaper than the
+    baseline".  Raises if the baseline is non-positive.
+    """
+    if baseline <= 0:
+        raise ValidationError(f"baseline must be > 0, got {baseline}")
+    return (candidate - baseline) / baseline
+
+
+def cost_reduction(baseline: StudyResult, candidate: StudyResult) -> float:
+    """Mean annotation-cost reduction of *candidate* vs *baseline*."""
+    return reduction_ratio(
+        float(baseline.cost_hours.mean()), float(candidate.cost_hours.mean())
+    )
+
+
+def triples_reduction(baseline: StudyResult, candidate: StudyResult) -> float:
+    """Mean annotated-triples reduction of *candidate* vs *baseline*."""
+    return reduction_ratio(
+        float(baseline.triples.mean()), float(candidate.triples.mean())
+    )

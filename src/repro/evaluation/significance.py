@@ -1,0 +1,89 @@
+"""Significance testing between evaluation methods.
+
+The paper marks a method's cell with dagger/double-dagger symbols when
+its annotation cost differs significantly from a baseline's under a
+standard independent t-test at ``p < 0.01`` (Tables 2-4).  This module
+reproduces that comparison protocol on :class:`StudyResult` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stats.ttest import TTestResult, independent_ttest
+from .runner import StudyResult
+
+__all__ = ["MethodComparison", "compare_costs", "compare_triples", "significance_markers"]
+
+#: The significance level used throughout the paper's tables.
+PAPER_SIGNIFICANCE_LEVEL = 0.01
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """A two-method cost comparison with its test outcome."""
+
+    label_a: str
+    label_b: str
+    mean_a: float
+    mean_b: float
+    ttest: TTestResult
+
+    @property
+    def significant(self) -> bool:
+        """Significant at the paper's ``p < 0.01`` level."""
+        return self.ttest.significant(PAPER_SIGNIFICANCE_LEVEL)
+
+    @property
+    def better(self) -> str:
+        """Label of the method with the lower mean cost."""
+        return self.label_a if self.mean_a <= self.mean_b else self.label_b
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"{self.label_a} ({self.mean_a:.3f}) vs {self.label_b} "
+            f"({self.mean_b:.3f}): p={self.ttest.pvalue:.2e} ({verdict})"
+        )
+
+
+def compare_costs(study_a: StudyResult, study_b: StudyResult) -> MethodComparison:
+    """Compare annotation cost (hours) between two studies."""
+    return MethodComparison(
+        label_a=study_a.label,
+        label_b=study_b.label,
+        mean_a=float(study_a.cost_hours.mean()),
+        mean_b=float(study_b.cost_hours.mean()),
+        ttest=independent_ttest(study_a.cost_hours, study_b.cost_hours),
+    )
+
+
+def compare_triples(study_a: StudyResult, study_b: StudyResult) -> MethodComparison:
+    """Compare annotated-triple counts between two studies."""
+    return MethodComparison(
+        label_a=study_a.label,
+        label_b=study_b.label,
+        mean_a=float(study_a.triples.mean()),
+        mean_b=float(study_b.triples.mean()),
+        ttest=independent_ttest(
+            study_a.triples.astype(float), study_b.triples.astype(float)
+        ),
+    )
+
+
+def significance_markers(
+    candidate: StudyResult,
+    versus_wald: StudyResult | None = None,
+    versus_wilson: StudyResult | None = None,
+) -> str:
+    """The paper's dagger notation for a candidate method's cell.
+
+    ``†`` marks a significant cost difference versus Wald, ``‡`` versus
+    Wilson (independent t-tests, ``p < 0.01``).
+    """
+    markers = ""
+    if versus_wald is not None and compare_costs(candidate, versus_wald).significant:
+        markers += "†"
+    if versus_wilson is not None and compare_costs(candidate, versus_wilson).significant:
+        markers += "‡"
+    return markers

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The subclasses
+are organised by subsystem so that tests and downstream code can make
+fine-grained assertions about failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "KGError",
+    "EmptyGraphError",
+    "UnknownEntityError",
+    "UnknownTripleError",
+    "AnnotationError",
+    "MissingLabelError",
+    "SamplingError",
+    "InsufficientSampleError",
+    "EstimationError",
+    "IntervalError",
+    "PriorError",
+    "OptimizationError",
+    "EvaluationError",
+    "ConvergenceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, type, or shape)."""
+
+
+class KGError(ReproError):
+    """Base class for knowledge-graph data-model errors."""
+
+
+class EmptyGraphError(KGError):
+    """An operation required a non-empty knowledge graph."""
+
+
+class UnknownEntityError(KGError, KeyError):
+    """A referenced entity does not exist in the graph."""
+
+
+class UnknownTripleError(KGError, KeyError):
+    """A referenced triple does not exist in the graph."""
+
+
+class AnnotationError(ReproError):
+    """Base class for annotation-subsystem errors."""
+
+
+class MissingLabelError(AnnotationError, KeyError):
+    """A ground-truth correctness label was requested but not available."""
+
+
+class SamplingError(ReproError):
+    """Base class for sampling-strategy errors."""
+
+
+class InsufficientSampleError(SamplingError):
+    """A sample was too small for the requested computation."""
+
+
+class EstimationError(ReproError):
+    """Base class for point-estimation errors."""
+
+
+class IntervalError(ReproError):
+    """Base class for interval-estimation errors."""
+
+
+class PriorError(IntervalError):
+    """An invalid Beta prior was supplied."""
+
+
+class OptimizationError(IntervalError):
+    """A numerical optimizer failed to produce a valid interval."""
+
+
+class EvaluationError(ReproError):
+    """Base class for evaluation-framework errors."""
+
+
+class ConvergenceError(EvaluationError):
+    """The iterative evaluation failed to converge within its budget."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or reproduction step failed."""

@@ -1,0 +1,78 @@
+"""Reproduction layer: one module per paper table / figure / example.
+
+Every ``run_*`` function returns an
+:class:`~repro.experiments.report.ExperimentReport` that renders as an
+aligned text table.  The CLI (``python -m repro.experiments``) runs any
+subset by experiment id; see DESIGN.md for the per-experiment index.
+"""
+
+from .ablation_m import run_m_ablation
+from .appendix_sampling import run_appendix_sampling
+from .budget_analysis import run_budget_analysis
+from .ablations import run_batch_size_ablation, run_hpd_solver_ablation
+from .config import DEFAULT_SETTINGS, FAST_SETTINGS, TWCS_M, ExperimentSettings
+from .coverage_audit import run_coverage_audit
+from .dynamic_audit import run_dynamic_audit
+from .example1 import run_example1
+from .example2 import run_example2
+from .figure2 import run_figure2
+from .human_machine import run_human_machine
+from .figure3 import compute_figure3, expected_hpd_width, run_figure3
+from .figure4 import run_figure4
+from .report import ExperimentReport, render_table
+from .sequential_coverage import run_sequential_coverage
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "FAST_SETTINGS",
+    "TWCS_M",
+    "ExperimentReport",
+    "render_table",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure2",
+    "run_figure3",
+    "compute_figure3",
+    "expected_hpd_width",
+    "run_figure4",
+    "run_example1",
+    "run_example2",
+    "run_coverage_audit",
+    "run_dynamic_audit",
+    "run_hpd_solver_ablation",
+    "run_batch_size_ablation",
+    "run_appendix_sampling",
+    "run_sequential_coverage",
+    "run_m_ablation",
+    "run_budget_analysis",
+    "run_human_machine",
+]
+
+#: Registry used by the CLI: experiment id -> runner.
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "example1": run_example1,
+    "example2": run_example2,
+    "coverage": run_coverage_audit,
+    "dynamic": run_dynamic_audit,
+    "ablation-hpd": run_hpd_solver_ablation,
+    "ablation-batch": run_batch_size_ablation,
+    "appendix-sampling": run_appendix_sampling,
+    "sequential-coverage": run_sequential_coverage,
+    "ablation-m": run_m_ablation,
+    "budget": run_budget_analysis,
+    "human-machine": run_human_machine,
+}

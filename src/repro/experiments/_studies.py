@@ -1,0 +1,58 @@
+"""Internal helpers shared by the study-based experiment modules."""
+
+from __future__ import annotations
+
+from ..evaluation.framework import KGAccuracyEvaluator
+from ..evaluation.runner import StudyResult, run_study
+from ..exceptions import ValidationError
+from ..intervals.base import IntervalMethod
+from ..kg.base import TripleStore
+from ..sampling.base import SamplingStrategy
+from ..sampling.srs import SimpleRandomSampling
+from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..stats.rng import derive_seed
+from .config import TWCS_M, ExperimentSettings
+
+__all__ = ["build_strategy", "run_configuration"]
+
+
+def build_strategy(kind: str, dataset: str) -> SamplingStrategy:
+    """Instantiate a sampling strategy by name with the paper's m."""
+    kind = kind.upper()
+    if kind == "SRS":
+        return SimpleRandomSampling()
+    if kind == "TWCS":
+        m = TWCS_M.get(dataset.upper())
+        if m is None:
+            raise ValidationError(f"no TWCS second-stage size configured for {dataset!r}")
+        return TwoStageWeightedClusterSampling(m=m)
+    raise ValidationError(f"unknown sampling strategy {kind!r}")
+
+
+def run_configuration(
+    kg: TripleStore,
+    strategy: SamplingStrategy,
+    method: IntervalMethod,
+    settings: ExperimentSettings,
+    alpha: float | None = None,
+    label: str = "",
+    seed_stream: int = 0,
+) -> StudyResult:
+    """Run one (dataset, strategy, method) Monte-Carlo study.
+
+    Per-configuration seeds are derived from the settings seed and a
+    caller-provided stream index so that adding configurations never
+    perturbs existing ones.
+    """
+    evaluator = KGAccuracyEvaluator(
+        kg=kg,
+        strategy=strategy,
+        method=method,
+        config=settings.evaluation_config(alpha=alpha),
+    )
+    return run_study(
+        evaluator,
+        repetitions=settings.repetitions,
+        seed=derive_seed(settings.seed, seed_stream),
+        label=label or f"{strategy.name}/{method.name}",
+    )

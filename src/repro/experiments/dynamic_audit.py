@@ -1,0 +1,105 @@
+"""Evolving-KG audit experiment (paper Sec. 8, future work).
+
+Scenario: a DBPEDIA-like KG is audited once, then receives content
+batches over time and is re-audited after each batch.  The Bayesian
+framing lets each audit's posterior seed the next audit's prior.  Two
+regimes are measured:
+
+* **stable** — new content has the same accuracy as the base KG; the
+  carried prior is reliable and re-audits converge dramatically faster;
+* **drift** — a massive update halves the accuracy; the carried prior
+  is deceptive.  Because aHPD races the carried prior *against* the
+  uninformative trio, the audit still converges correctly (the paper's
+  noted limitation, mitigated by the competing-priors design).
+"""
+
+from __future__ import annotations
+
+from ..evaluation.dynamic import DynamicAuditor
+from ..kg.evolution import UpdateBatchSpec, build_evolving_kg
+from ..kg.graph import KnowledgeGraph
+from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..stats.rng import derive_seed
+from .config import DEFAULT_SETTINGS, ExperimentSettings
+from .report import ExperimentReport
+
+__all__ = ["run_dynamic_audit", "build_snapshot_stream"]
+
+
+def build_snapshot_stream(
+    base_accuracy: float,
+    update_accuracies: tuple[float, ...],
+    seed: int,
+    base_facts: int = 6_000,
+    update_facts: int = 3_000,
+) -> list[KnowledgeGraph]:
+    """A growing KG: a base snapshot plus cumulative update batches."""
+    updates = [
+        UpdateBatchSpec(num_facts=update_facts, accuracy=accuracy)
+        for accuracy in update_accuracies
+    ]
+    return build_evolving_kg(
+        base_facts=base_facts,
+        base_accuracy=base_accuracy,
+        updates=updates,
+        seed=seed,
+    )
+
+
+def run_dynamic_audit(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    """Compare carried-prior audits against independent re-audits."""
+    report = ExperimentReport(
+        experiment_id="dynamic",
+        title=(
+            "Evolving-KG audits with posterior carry-over "
+            f"(TWCS m=3, alpha={settings.alpha})"
+        ),
+        headers=(
+            "regime",
+            "round",
+            "true_mu",
+            "estimate",
+            "triples (carried)",
+            "triples (independent)",
+        ),
+    )
+    scenarios = (
+        ("stable", 0.85, (0.85, 0.85)),
+        ("drift", 0.85, (0.85, 0.45)),
+    )
+    strategy = TwoStageWeightedClusterSampling(m=3)
+    for regime, base_mu, updates in scenarios:
+        snapshots = build_snapshot_stream(
+            base_mu, updates, seed=derive_seed(settings.seed, 7_000)
+        )
+        carried_auditor = DynamicAuditor(
+            strategy=strategy,
+            config=settings.evaluation_config(),
+            carryover=1.0,
+            solver=settings.solver,
+        )
+        independent_auditor = DynamicAuditor(
+            strategy=strategy,
+            config=settings.evaluation_config(),
+            carryover=0.0,
+            solver=settings.solver,
+        )
+        carried = carried_auditor.audit_stream(snapshots, seed=settings.seed)
+        independent = independent_auditor.audit_stream(snapshots, seed=settings.seed)
+        for rec_c, rec_i, kg in zip(carried, independent, snapshots):
+            report.add_row(
+                regime=regime,
+                round=rec_c.round_index,
+                true_mu=round(kg.accuracy, 3),
+                estimate=round(rec_c.result.mu_hat, 3),
+                **{
+                    "triples (carried)": rec_c.result.n_triples,
+                    "triples (independent)": rec_i.result.n_triples,
+                },
+            )
+    report.notes.append(
+        "Carried priors compete inside aHPD alongside the uninformative "
+        "trio, so a deceptive prior (drift regime) slows but cannot "
+        "corrupt the audit."
+    )
+    return report

@@ -1,0 +1,64 @@
+"""Example 2 reproduction: informative priors on DBPEDIA.
+
+An analyst auditing DBPEDIA (mu = 0.85) under TWCS already knows two
+similar KGs with accuracies 0.80 and 0.90 and encodes them as
+informative priors Beta(80, 20) and Beta(90, 10).  The paper reports
+63 ± 36 triples / 0.72 ± 0.41 hours with those priors, versus 222 ± 83
+triples / 2.55 ± 0.95 hours with the uninformative trio.
+"""
+
+from __future__ import annotations
+
+from ..intervals.ahpd import AdaptiveHPD
+from ..intervals.priors import BetaPrior
+from ..kg.datasets import load_dataset
+from .config import DEFAULT_SETTINGS, ExperimentSettings
+from ._studies import build_strategy, run_configuration
+from .report import ExperimentReport
+
+__all__ = ["run_example2", "EXAMPLE2_INFORMATIVE_PRIORS"]
+
+#: The analyst's two similar-KG priors from the paper's Example 2.
+EXAMPLE2_INFORMATIVE_PRIORS: tuple[BetaPrior, ...] = (
+    BetaPrior(80.0, 20.0, name="Similar KG (0.80)"),
+    BetaPrior(90.0, 10.0, name="Similar KG (0.90)"),
+)
+
+
+def run_example2(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    """Compare informative-prior aHPD with uninformative aHPD on DBPEDIA."""
+    kg = load_dataset("DBPEDIA", seed=settings.dataset_seed)
+    configurations = (
+        ("aHPD informative", AdaptiveHPD(
+            priors=EXAMPLE2_INFORMATIVE_PRIORS, solver=settings.solver
+        )),
+        ("aHPD uninformative", AdaptiveHPD(solver=settings.solver)),
+    )
+    report = ExperimentReport(
+        experiment_id="example2",
+        title=(
+            "Informative vs uninformative aHPD on DBPEDIA under TWCS "
+            f"(m=3, alpha={settings.alpha}, {settings.repetitions} reps)"
+        ),
+        headers=("configuration", "triples", "cost_hours"),
+    )
+    for label, method in configurations:
+        # Paired seeds: both configurations audit the same sample paths.
+        study = run_configuration(
+            kg,
+            build_strategy("TWCS", "DBPEDIA"),
+            method,
+            settings,
+            label=label,
+            seed_stream=5_000,
+        )
+        report.add_row(
+            configuration=label,
+            triples=study.triples_summary.format(0),
+            cost_hours=study.cost_summary.format(2),
+        )
+    report.notes.append(
+        "Paper reports 63±36 triples / 0.72±0.41h (informative) vs "
+        "222±83 / 2.55±0.95h (uninformative)."
+    )
+    return report

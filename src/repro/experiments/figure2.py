@@ -1,0 +1,138 @@
+"""Figure 2 reproduction: ET vs HPD across posterior skewness.
+
+The paper's Figure 2 contrasts ET and HPD credible intervals on three
+posteriors of increasing skewness.  Quantitatively it reports that the
+probability mass ET "wastes" — the mass of any region covered by ET but
+outside the HPD region, relative to the mass of the HPD region ET
+excludes *of equal width* — is below 75% in the moderately skewed case
+and below 20% in the highly skewed case.
+
+We reproduce the three scenarios with realistic annotation posteriors
+(n = 30 under the Jeffreys prior at increasing accuracy) and compute:
+
+* both intervals and their widths (HPD must never be wider);
+* the equal-width mass ratio described above, maximised over all
+  admissible regions (the most favourable region for ET), so the
+  paper's "always less than" claims are checked against the worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_alpha
+from ..intervals.et import et_bounds
+from ..intervals.hpd import hpd_bounds
+from ..intervals.posterior import BetaPosterior
+from ..intervals.priors import JEFFREYS
+from .config import DEFAULT_SETTINGS, ExperimentSettings
+from .report import ExperimentReport
+
+__all__ = ["run_figure2", "SkewScenario", "FIGURE2_SCENARIOS", "et_waste_ratio"]
+
+
+@dataclass(frozen=True)
+class SkewScenario:
+    """One panel of Figure 2: an annotation outcome and its posterior."""
+
+    label: str
+    tau: float
+    n: float
+
+    def posterior(self) -> BetaPosterior:
+        """Jeffreys posterior of the annotation outcome."""
+        return BetaPosterior.from_counts(JEFFREYS, self.tau, self.n)
+
+
+#: Panels (a)-(c): symmetric, moderately skewed, highly skewed —
+#: annotation outcomes of 30 triples at accuracies 0.5 / 0.9 / ~0.97.
+FIGURE2_SCENARIOS: tuple[SkewScenario, ...] = (
+    SkewScenario("symmetric", tau=15.0, n=30.0),
+    SkewScenario("moderately skewed", tau=27.0, n=30.0),
+    SkewScenario("highly skewed", tau=29.0, n=30.0),
+)
+
+
+def et_waste_ratio(posterior: BetaPosterior, alpha: float, solver: str = "newton") -> float:
+    """Worst-case mass ratio of ET's non-HPD coverage vs excluded HPD.
+
+    Let ``w`` be the width of the HPD region that the ET interval
+    excludes.  Among all width-``w`` regions covered by ET but outside
+    the HPD interval, take the one with maximal posterior mass and
+    return ``mass(best non-HPD region) / mass(excluded HPD region)``.
+    A ratio of 1.0 means ET wastes nothing (symmetric case); small
+    ratios mean ET trades high-density HPD mass for low-density tail
+    mass.
+    """
+    alpha = check_alpha(alpha)
+    l_et, u_et = et_bounds(posterior, alpha)
+    l_hpd, u_hpd = hpd_bounds(posterior, alpha, solver=solver)
+    if abs(l_hpd - l_et) < 1e-12 and abs(u_hpd - u_et) < 1e-12:
+        return 1.0
+    if l_hpd > l_et:
+        # Left-skewed posterior: ET excludes (u_et, u_hpd] of the HPD
+        # region and covers the non-HPD region [l_et, l_hpd).
+        excluded_lo, excluded_hi = u_et, u_hpd
+        covered_lo, covered_hi = l_et, l_hpd
+    else:
+        excluded_lo, excluded_hi = l_hpd, l_et
+        covered_lo, covered_hi = u_hpd, u_et
+    width = excluded_hi - excluded_lo
+    excluded_mass = posterior.interval_mass(excluded_lo, excluded_hi)
+    if excluded_mass <= 0.0:
+        return 1.0
+    # The highest-mass width-`width` subregion of the covered non-HPD
+    # band hugs the HPD boundary (density increases toward the mode).
+    if l_hpd > l_et:
+        best_lo = max(covered_lo, covered_hi - width)
+        best_hi = covered_hi
+    else:
+        best_lo = covered_lo
+        best_hi = min(covered_hi, covered_lo + width)
+    covered_mass = posterior.interval_mass(best_lo, best_hi)
+    return covered_mass / excluded_mass
+
+
+def run_figure2(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> ExperimentReport:
+    """Regenerate the quantitative content of Figure 2."""
+    alpha = settings.alpha
+    report = ExperimentReport(
+        experiment_id="figure2",
+        title=f"ET vs HPD credible intervals across skewness (alpha={alpha})",
+        headers=(
+            "scenario",
+            "posterior",
+            "skewness",
+            "et_interval",
+            "hpd_interval",
+            "et_width",
+            "hpd_width",
+            "width_gain",
+            "waste_ratio",
+        ),
+    )
+    for scenario in FIGURE2_SCENARIOS:
+        posterior = scenario.posterior()
+        l_et, u_et = et_bounds(posterior, alpha)
+        l_hpd, u_hpd = hpd_bounds(posterior, alpha, solver=settings.solver)
+        et_width = u_et - l_et
+        hpd_width = u_hpd - l_hpd
+        report.add_row(
+            scenario=scenario.label,
+            posterior=f"Beta({posterior.a:g},{posterior.b:g})",
+            skewness=round(posterior.skewness, 3),
+            et_interval=f"[{l_et:.4f}, {u_et:.4f}]",
+            hpd_interval=f"[{l_hpd:.4f}, {u_hpd:.4f}]",
+            et_width=round(et_width, 4),
+            hpd_width=round(hpd_width, 4),
+            width_gain=f"{(et_width - hpd_width) / et_width:.1%}",
+            waste_ratio=f"{et_waste_ratio(posterior, alpha, settings.solver):.1%}",
+        )
+    report.notes.append(
+        "waste_ratio: mass of the best equal-width non-HPD region covered by ET "
+        "relative to the HPD mass ET excludes; the paper reports <75% "
+        "(moderate) and <20% (high skew)."
+    )
+    return report

@@ -1,0 +1,137 @@
+"""Figure 3 reproduction: expected HPD width by prior.
+
+For ``n = 30`` and ``alpha = 0.05``, the paper plots the expected width
+of the HPD credible interval under the Kerman, Jeffreys, and Uniform
+priors across the accuracy space, annotating the regions where each
+prior is optimal: Kerman wins at the extremes, Uniform in the centre,
+and Jeffreys nowhere.
+
+For a true accuracy ``mu`` the expected width is the binomial mixture
+
+.. math::
+
+    E[w] = \\sum_{\\tau=0}^{n} \\binom{n}{\\tau} \\mu^\\tau (1-\\mu)^{n-\\tau}
+           \\; w(\\mathrm{HPD}(a + \\tau,\\ b + n - \\tau))
+
+which we evaluate exactly (the per-outcome widths are computed once per
+prior and reused across the whole accuracy sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_alpha, check_positive_int
+from ..intervals.hpd import hpd_bounds
+from ..intervals.posterior import BetaPosterior
+from ..intervals.priors import UNINFORMATIVE_PRIORS, BetaPrior
+from ..stats.binomial import binomial_pmf_matrix
+from .config import DEFAULT_SETTINGS, ExperimentSettings
+from .report import ExperimentReport
+
+__all__ = ["expected_hpd_width", "run_figure3", "Figure3Series"]
+
+
+def hpd_width_by_outcome(
+    prior: BetaPrior, n: int, alpha: float, solver: str = "newton"
+) -> np.ndarray:
+    """HPD width for every annotation outcome ``tau in 0..n``."""
+    widths = np.empty(n + 1, dtype=float)
+    for tau in range(n + 1):
+        posterior = BetaPosterior.from_counts(prior, float(tau), float(n))
+        lower, upper = hpd_bounds(posterior, alpha, solver=solver)
+        widths[tau] = upper - lower
+    return widths
+
+
+def expected_hpd_width(
+    prior: BetaPrior,
+    n: int,
+    alpha: float,
+    mus: Sequence[float] | np.ndarray,
+    solver: str = "newton",
+) -> np.ndarray:
+    """Expected ``1 - alpha`` HPD width under *prior* across *mus*."""
+    alpha = check_alpha(alpha)
+    n = check_positive_int(n, "n")
+    mus_arr = np.asarray(mus, dtype=float)
+    widths = hpd_width_by_outcome(prior, n, alpha, solver=solver)
+    pmf = binomial_pmf_matrix(n, mus_arr)
+    return pmf @ widths
+
+
+@dataclass(frozen=True)
+class Figure3Series:
+    """The regenerated Figure 3 data: one expected-width curve per prior."""
+
+    mus: np.ndarray
+    widths_by_prior: dict[str, np.ndarray]
+    n: int
+    alpha: float
+
+    def optimal_prior(self) -> list[str]:
+        """Which prior yields the smallest expected width at each mu."""
+        names = list(self.widths_by_prior)
+        matrix = np.stack([self.widths_by_prior[name] for name in names])
+        return [names[i] for i in matrix.argmin(axis=0)]
+
+    def optimal_regions(self) -> dict[str, float]:
+        """Fraction of the accuracy space where each prior is optimal."""
+        winners = self.optimal_prior()
+        return {
+            name: winners.count(name) / len(winners)
+            for name in self.widths_by_prior
+        }
+
+
+def compute_figure3(
+    n: int = 30,
+    alpha: float = 0.05,
+    grid_points: int = 199,
+    priors: Sequence[BetaPrior] = UNINFORMATIVE_PRIORS,
+    solver: str = "newton",
+) -> Figure3Series:
+    """Compute the Figure 3 series on a uniform accuracy grid."""
+    mus = np.linspace(0.005, 0.995, grid_points)
+    widths = {
+        prior.name: expected_hpd_width(prior, n, alpha, mus, solver=solver)
+        for prior in priors
+    }
+    return Figure3Series(mus=mus, widths_by_prior=widths, n=n, alpha=alpha)
+
+
+def run_figure3(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    n: int = 30,
+    grid_points: int = 199,
+) -> ExperimentReport:
+    """Regenerate Figure 3 as a sampled table plus region summary."""
+    series = compute_figure3(
+        n=n, alpha=settings.alpha, grid_points=grid_points, solver=settings.solver
+    )
+    prior_names = list(series.widths_by_prior)
+    report = ExperimentReport(
+        experiment_id="figure3",
+        title=f"Expected HPD width by prior (n={n}, alpha={settings.alpha})",
+        headers=("mu", *prior_names, "optimal"),
+    )
+    winners = series.optimal_prior()
+    # Sample the grid at readable steps for the table rendering.
+    stride = max(1, grid_points // 20)
+    for i in range(0, grid_points, stride):
+        cells: dict[str, object] = {"mu": round(float(series.mus[i]), 3)}
+        for name in prior_names:
+            cells[name] = round(float(series.widths_by_prior[name][i]), 5)
+        cells["optimal"] = winners[i]
+        report.add_row(**cells)
+    regions = series.optimal_regions()
+    for name, fraction in regions.items():
+        report.notes.append(f"{name} prior optimal on {fraction:.1%} of the accuracy space")
+    report.notes.append(
+        "Paper: Kerman optimal in the extreme regions, Uniform in the centre, "
+        "Jeffreys never the shortest."
+    )
+    return report

@@ -1,0 +1,102 @@
+"""Human-machine collaboration experiment (paper Sec. 7 integration).
+
+Measures the manual-cost reduction from plugging aHPD into an
+inference-assisted evaluation (Qi et al. [46]'s mechanism): on a KG
+with inferable structure, sampled facts whose labels the rule engine
+already knows cost nothing, and every manual verification propagates.
+Compared against the same audit without inference, with paired seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..evaluation.framework import KGAccuracyEvaluator
+from ..inference.engine import InferenceEngine
+from ..inference.evaluation import InferenceAssistedEvaluator
+from ..inference.generators import default_rules, generate_inferable_kg
+from ..intervals.ahpd import AdaptiveHPD
+from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..stats.describe import summarize
+from ..stats.rng import derive_seed
+from .config import DEFAULT_SETTINGS, ExperimentSettings
+from .report import ExperimentReport
+
+__all__ = ["run_human_machine"]
+
+
+def run_human_machine(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    accuracy: float = 0.80,
+) -> ExperimentReport:
+    """Manual effort with and without inference assistance."""
+    # A rule-dense KG: half the functional groups carry competing
+    # candidates, so cluster draws regularly hit inferable siblings.
+    kg = generate_inferable_kg(
+        distractor_rate=0.5, accuracy=accuracy, seed=settings.dataset_seed
+    )
+    strategy = TwoStageWeightedClusterSampling(m=3)
+    method = AdaptiveHPD(solver=settings.solver)
+    config = settings.evaluation_config()
+
+    assisted = InferenceAssistedEvaluator(
+        kg=kg,
+        strategy=strategy,
+        method=method,
+        engine_factory=lambda: InferenceEngine(kg, default_rules()),
+        config=config,
+    )
+    manual_only = KGAccuracyEvaluator(
+        kg=kg, strategy=strategy, method=method, config=config
+    )
+
+    a_manual = np.empty(settings.repetitions, dtype=float)
+    a_cost = np.empty(settings.repetitions, dtype=float)
+    a_share = np.empty(settings.repetitions, dtype=float)
+    a_est = np.empty(settings.repetitions, dtype=float)
+    m_triples = np.empty(settings.repetitions, dtype=float)
+    m_cost = np.empty(settings.repetitions, dtype=float)
+    for i in range(settings.repetitions):
+        seed = derive_seed(settings.seed, 13_000, i)
+        result = assisted.run(rng=seed)
+        a_manual[i] = result.n_manual
+        a_cost[i] = result.cost_hours
+        a_share[i] = result.inference_share
+        a_est[i] = result.mu_hat
+        baseline = manual_only.run(rng=seed)  # paired sample path
+        m_triples[i] = baseline.n_triples
+        m_cost[i] = baseline.cost_hours
+
+    report = ExperimentReport(
+        experiment_id="human-machine",
+        title=(
+            "Inference-assisted vs manual-only aHPD audits "
+            f"(TWCS m=3, mu={accuracy}, alpha={settings.alpha}, "
+            f"{settings.repetitions} reps)"
+        ),
+        headers=("configuration", "manual triples", "cost_hours", "inferred share"),
+    )
+    report.add_row(
+        configuration="aHPD + inference",
+        **{
+            "manual triples": summarize(a_manual).format(0),
+            "cost_hours": summarize(a_cost).format(2),
+            "inferred share": f"{float(a_share.mean()):.0%}",
+        },
+    )
+    report.add_row(
+        configuration="aHPD manual-only",
+        **{
+            "manual triples": summarize(m_triples).format(0),
+            "cost_hours": summarize(m_cost).format(2),
+            "inferred share": "0%",
+        },
+    )
+    bias = float(a_est.mean()) - kg.accuracy
+    saving = 1.0 - float(a_cost.mean()) / float(m_cost.mean())
+    report.notes.append(
+        f"inference saves {saving:.0%} of the manual cost; "
+        f"estimate bias {bias:+.3f} (rules are sound, so the estimator "
+        "stays unbiased)."
+    )
+    return report

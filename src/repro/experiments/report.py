@@ -1,0 +1,116 @@
+"""Plain-text table rendering for regenerated paper artifacts.
+
+Every experiment module produces an :class:`ExperimentReport` — a named
+collection of rows — that renders as an aligned text table, mirroring
+the layout of the paper's tables so measured and published values can be
+compared side by side.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from ..exceptions import ValidationError
+
+__all__ = ["ExperimentReport", "render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render *rows* under *headers* as an aligned text table."""
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(widths[j]) for j, h in enumerate(headers)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated paper artifact.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier matching DESIGN.md's per-experiment index (e.g.
+        ``"table3"``).
+    title:
+        Human-readable description.
+    headers:
+        Column names.
+    rows:
+        One mapping per table row, keyed by header name.
+    notes:
+        Free-form annotations (significance outcomes, paper references).
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[Mapping[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **cells: object) -> None:
+        """Append a row; every header must be present in *cells*."""
+        missing = [h for h in self.headers if h not in cells]
+        if missing:
+            raise ValidationError(f"row is missing cells for: {missing}")
+        self.rows.append(dict(cells))
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, in row order."""
+        if header not in self.headers:
+            raise ValidationError(f"unknown column {header!r}")
+        return [row[header] for row in self.rows]
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the rows as CSV (headers first); returns the path.
+
+        Lets downstream plotting tools regenerate the paper's figures
+        from the measured series.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow([row[h] for h in self.headers])
+        return path
+
+    def render(self) -> str:
+        """The full text rendering: title, table, notes."""
+        body = render_table(
+            self.headers, [[row[h] for h in self.headers] for row in self.rows]
+        )
+        parts = [f"== {self.experiment_id}: {self.title} ==", "", body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

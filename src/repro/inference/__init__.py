@@ -1,0 +1,29 @@
+"""Human-machine collaborative inference (paper Sec. 7, Qi et al. [46]).
+
+Rule-based label propagation that lets verified judgements label
+further facts at zero manual cost, and an evaluation loop that plugs
+the mechanism into the paper's framework — demonstrating the
+integration the paper proposes for aHPD.
+"""
+
+from .engine import InferenceEngine
+from .evaluation import AssistedEvaluationResult, InferenceAssistedEvaluator
+from .generators import default_rules, generate_inferable_kg
+from .rules import (
+    FunctionalPredicateRule,
+    Inference,
+    InferenceRule,
+    InversePredicateRule,
+)
+
+__all__ = [
+    "InferenceRule",
+    "FunctionalPredicateRule",
+    "InversePredicateRule",
+    "Inference",
+    "InferenceEngine",
+    "generate_inferable_kg",
+    "default_rules",
+    "InferenceAssistedEvaluator",
+    "AssistedEvaluationResult",
+]

@@ -1,0 +1,148 @@
+"""The inference engine: fixpoint label propagation.
+
+Maintains the pool of known labels (manually verified plus inferred)
+and propagates every new verification through the rule set to a
+fixpoint — an inverse-rule transfer can trigger a functional-rule
+cascade and vice versa.  All inference is free: the evaluation layer
+charges annotation cost only for manual verifications.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..exceptions import ValidationError
+from ..kg.graph import KnowledgeGraph
+from .rules import Inference, InferenceRule
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """Propagates verified judgements through logical rules.
+
+    Parameters
+    ----------
+    kg:
+        The graph under audit (rules index it once at construction).
+    rules:
+        The rule set; order is irrelevant (propagation runs to
+        fixpoint).
+    """
+
+    def __init__(self, kg: KnowledgeGraph, rules: Sequence[InferenceRule]):
+        if not isinstance(kg, KnowledgeGraph):
+            raise ValidationError("inference needs a materialised KnowledgeGraph")
+        self.kg = kg
+        self.rules = tuple(rules)
+        for rule in self.rules:
+            rule.prepare(kg)
+        self._known: dict[int, bool] = {}
+        self._inferred: dict[int, Inference] = {}
+        self._manual: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def known(self) -> Mapping[int, bool]:
+        """All labels known so far (manual + inferred)."""
+        return self._known
+
+    @property
+    def num_manual(self) -> int:
+        """Manually verified facts."""
+        return len(self._manual)
+
+    @property
+    def num_inferred(self) -> int:
+        """Facts labelled by inference (zero annotation cost)."""
+        return len(self._inferred)
+
+    def label_of(self, triple_index: int) -> bool | None:
+        """The known label of a triple, or ``None`` if unknown."""
+        return self._known.get(int(triple_index))
+
+    def provenance(self, triple_index: int) -> Inference | None:
+        """How an inferred label was derived (``None`` for manual)."""
+        return self._inferred.get(int(triple_index))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add_verification(self, triple_index: int, label: bool) -> list[Inference]:
+        """Record a manual judgement and propagate to fixpoint.
+
+        Returns the (possibly empty) list of new inferences.  A
+        verification that contradicts an existing known label raises —
+        that means either an annotation error or an unsound rule, and
+        silently keeping both would corrupt the estimate.
+        """
+        triple_index = int(triple_index)
+        label = bool(label)
+        existing = self._known.get(triple_index)
+        if existing is not None and existing != label:
+            raise ValidationError(
+                f"verification of triple {triple_index} ({label}) contradicts "
+                f"the known label ({existing})"
+            )
+        self._manual.add(triple_index)
+        self._inferred.pop(triple_index, None)
+        if existing is None:
+            self._known[triple_index] = label
+        return self._propagate([(triple_index, label)])
+
+    def _propagate(self, frontier: list[tuple[int, bool]]) -> list[Inference]:
+        produced: list[Inference] = []
+        while frontier:
+            index, label = frontier.pop()
+            for rule in self.rules:
+                for inference in rule.infer(index, label, self._known):
+                    target = inference.triple_index
+                    if target in self._known:
+                        if self._known[target] != inference.label:
+                            raise ValidationError(
+                                f"rule {inference.rule} contradicts the known "
+                                f"label of triple {target}"
+                            )
+                        continue
+                    self._known[target] = inference.label
+                    self._inferred[target] = inference
+                    produced.append(inference)
+                    frontier.append((target, inference.label))
+        return produced
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def check_soundness(self) -> int:
+        """Verify every inferred label against the KG's gold labels.
+
+        Returns the number of inferred labels checked; raises if any
+        disagrees with ground truth (an unsound rule for this KG).
+        Intended for oracle/simulation settings.
+        """
+        import numpy as np
+
+        if not self._inferred:
+            return 0
+        indices = np.asarray(sorted(self._inferred), dtype=np.int64)
+        truth = self.kg.labels(indices)
+        for index, actual in zip(indices, truth):
+            inferred = self._known[int(index)]
+            if inferred != bool(actual):
+                inference = self._inferred[int(index)]
+                raise ValidationError(
+                    f"unsound inference: rule {inference.rule} labelled triple "
+                    f"{int(index)} as {inferred} but gold is {bool(actual)}"
+                )
+        return int(indices.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceEngine(manual={self.num_manual}, "
+            f"inferred={self.num_inferred}, rules={len(self.rules)})"
+        )

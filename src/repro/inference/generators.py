@@ -1,0 +1,124 @@
+"""Generation of KGs with inferable structure.
+
+The inference rules only pay off on KGs whose facts are logically
+connected.  :func:`generate_inferable_kg` builds one with three
+components whose gold labels satisfy the rules *by construction*:
+
+* **functional groups** — subjects with one correct object for a
+  functional predicate plus, with some probability, competing incorrect
+  candidates (the typical output of noisy extraction);
+* **inverse pairs** — symmetric relation instances stated in both
+  directions with one shared truth value;
+* **filler facts** — unconstrained facts used to hit the requested
+  global accuracy exactly without touching constrained labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..exceptions import ValidationError
+from ..kg.graph import KnowledgeGraph
+from ..kg.triple import Triple
+from ..stats.rng import RandomSource, spawn_rng
+from .rules import FunctionalPredicateRule, InferenceRule, InversePredicateRule
+
+__all__ = ["generate_inferable_kg", "default_rules"]
+
+FUNCTIONAL_PREDICATE = "bornIn"
+INVERSE_PREDICATE = "marriedTo"
+FILLER_PREDICATE = "mentions"
+
+
+def default_rules() -> list[InferenceRule]:
+    """The rule set matching :func:`generate_inferable_kg`'s schema."""
+    return [
+        FunctionalPredicateRule(FUNCTIONAL_PREDICATE),
+        InversePredicateRule(INVERSE_PREDICATE, INVERSE_PREDICATE),
+    ]
+
+
+def generate_inferable_kg(
+    num_functional_groups: int = 600,
+    distractor_rate: float = 0.15,
+    num_inverse_pairs: int = 300,
+    inverse_truth_rate: float = 0.9,
+    num_filler: int = 1_600,
+    accuracy: float = 0.85,
+    seed: RandomSource = None,
+) -> KnowledgeGraph:
+    """A KG whose gold labels satisfy the default rule set.
+
+    Parameters
+    ----------
+    num_functional_groups:
+        Subjects carrying the functional predicate; every group has one
+        correct object, and each of up to two extra candidate slots is
+        filled (incorrectly) with probability *distractor_rate*.
+    num_inverse_pairs:
+        Symmetric-relation instances stated in both directions; each
+        pair is jointly correct with probability *inverse_truth_rate*.
+    num_filler:
+        Unconstrained facts; their labels absorb the difference between
+        the constrained components' accuracy and the requested global
+        *accuracy* (must leave enough slack, or a
+        :class:`~repro.exceptions.ValidationError` is raised).
+    accuracy:
+        Exact global proportion of correct facts.
+    """
+    check_positive_int(num_functional_groups, "num_functional_groups")
+    check_probability(distractor_rate, "distractor_rate")
+    check_positive_int(num_inverse_pairs, "num_inverse_pairs")
+    check_probability(inverse_truth_rate, "inverse_truth_rate")
+    check_positive_int(num_filler, "num_filler")
+    check_probability(accuracy, "accuracy")
+    rng = spawn_rng(seed)
+
+    triples: list[Triple] = []
+    labels: list[bool] = []
+
+    # Functional groups: one correct candidate + 0-2 distractors.
+    distractor_counts = rng.binomial(2, distractor_rate, size=num_functional_groups)
+    for g in range(num_functional_groups):
+        subject = f"person:{g:05d}"
+        triples.append(Triple(subject, FUNCTIONAL_PREDICATE, f"city:{g:05d}x0"))
+        labels.append(True)
+        for slot in range(int(distractor_counts[g])):
+            triples.append(
+                Triple(subject, FUNCTIONAL_PREDICATE, f"city:{g:05d}x{slot + 1}")
+            )
+            labels.append(False)
+
+    # Inverse pairs: both directions share one truth value.
+    pair_truth = rng.random(num_inverse_pairs) < inverse_truth_rate
+    for p in range(num_inverse_pairs):
+        left = f"spouse:{p:05d}a"
+        right = f"spouse:{p:05d}b"
+        truth = bool(pair_truth[p])
+        triples.append(Triple(left, INVERSE_PREDICATE, right))
+        labels.append(truth)
+        triples.append(Triple(right, INVERSE_PREDICATE, left))
+        labels.append(truth)
+
+    # Fillers absorb the accuracy target exactly.
+    constrained_total = len(triples)
+    constrained_correct = int(np.sum(labels))
+    total = constrained_total + num_filler
+    target_correct = int(round(accuracy * total))
+    filler_correct = target_correct - constrained_correct
+    if not 0 <= filler_correct <= num_filler:
+        raise ValidationError(
+            f"accuracy {accuracy} is unreachable: needs {filler_correct} correct "
+            f"fillers out of {num_filler}; adjust the component sizes"
+        )
+    filler_labels = np.zeros(num_filler, dtype=bool)
+    filler_labels[:filler_correct] = True
+    rng.shuffle(filler_labels)
+    for f in range(num_filler):
+        triples.append(
+            Triple(f"doc:{f % 300:05d}", FILLER_PREDICATE, f"thing:{f:05d}")
+        )
+        labels.append(bool(filler_labels[f]))
+
+    return KnowledgeGraph(triples, labels)

@@ -1,0 +1,159 @@
+"""Inference rules over verified judgements.
+
+The human-machine collaborative evaluation of Qi et al. [46] — which
+the paper names as the framework aHPD "can be integrated into to
+enhance efficiency" (Sec. 7) — combines manual annotation with
+automatic inference: once some facts are verified, logical constraints
+label further facts for free.  This module provides the two rule
+families that drive most such inference in practice:
+
+* **Functional predicates** (`FunctionalPredicateRule`): a subject can
+  have at most one correct object for a functional relation (a person
+  has one birthplace).  A verified-*correct* fact therefore labels all
+  sibling facts (same subject, same predicate, different object)
+  *incorrect*.
+* **Inverse predicates** (`InversePredicateRule`): `(s, p, o)` is
+  correct iff `(o, q, s)` is (marriedTo/marriedTo,
+  hasCapital/isCapitalOf).  A verified label transfers to the inverse
+  fact, in either direction, with the same polarity.
+
+Rules are *sound* with respect to a KG whose gold labels satisfy the
+constraints; the engine (:mod:`repro.inference.engine`) checks
+soundness in oracle settings and the generator
+(:func:`repro.inference.generators.generate_inferable_kg`) produces
+KGs where the constraints hold by construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..exceptions import ValidationError
+from ..kg.graph import KnowledgeGraph
+
+__all__ = ["InferenceRule", "FunctionalPredicateRule", "InversePredicateRule", "Inference"]
+
+
+@dataclass(frozen=True)
+class Inference:
+    """One inferred judgement with provenance."""
+
+    triple_index: int
+    label: bool
+    rule: str
+    source_index: int
+
+
+class InferenceRule(ABC):
+    """Derives labels for unverified triples from verified ones."""
+
+    #: Display name used in provenance records.
+    name: str = "rule"
+
+    @abstractmethod
+    def prepare(self, kg: KnowledgeGraph) -> None:
+        """Build whatever index the rule needs over *kg* (called once)."""
+
+    @abstractmethod
+    def infer(
+        self, triple_index: int, label: bool, known: Mapping[int, bool]
+    ) -> Iterator[Inference]:
+        """Yield inferences triggered by learning ``triple_index -> label``.
+
+        *known* maps already-labelled triple indices (verified or
+        previously inferred); implementations must not re-yield those.
+        """
+
+
+class FunctionalPredicateRule(InferenceRule):
+    """At most one correct object per (subject, functional predicate).
+
+    Parameters
+    ----------
+    predicate:
+        The functional relation this rule instance governs.
+    """
+
+    def __init__(self, predicate: str):
+        if not predicate:
+            raise ValidationError("predicate must be non-empty")
+        self.predicate = predicate
+        self.name = f"functional({predicate})"
+        self._siblings: dict[int, tuple[int, ...]] = {}
+
+    def prepare(self, kg: KnowledgeGraph) -> None:
+        groups: dict[str, list[int]] = {}
+        for index, triple in enumerate(kg.triples):
+            if triple.predicate == self.predicate:
+                groups.setdefault(triple.subject, []).append(index)
+        self._siblings = {}
+        for indices in groups.values():
+            if len(indices) < 2:
+                continue
+            group = tuple(indices)
+            for index in indices:
+                self._siblings[index] = group
+
+    def infer(
+        self, triple_index: int, label: bool, known: Mapping[int, bool]
+    ) -> Iterator[Inference]:
+        if not label:
+            # A verified-incorrect fact says nothing about its siblings.
+            return
+        for sibling in self._siblings.get(triple_index, ()):
+            if sibling != triple_index and sibling not in known:
+                yield Inference(
+                    triple_index=sibling,
+                    label=False,
+                    rule=self.name,
+                    source_index=triple_index,
+                )
+
+
+class InversePredicateRule(InferenceRule):
+    """Label transfer between a fact and its inverse fact.
+
+    Parameters
+    ----------
+    predicate / inverse:
+        The relation pair: ``(s, predicate, o)`` holds iff
+        ``(o, inverse, s)`` holds.  A symmetric relation passes the same
+        name twice.
+    """
+
+    def __init__(self, predicate: str, inverse: str):
+        if not predicate or not inverse:
+            raise ValidationError("predicate names must be non-empty")
+        self.predicate = predicate
+        self.inverse = inverse
+        self.name = f"inverse({predicate},{inverse})"
+        self._partner: dict[int, int] = {}
+
+    def prepare(self, kg: KnowledgeGraph) -> None:
+        forward: dict[tuple[str, str], int] = {}
+        backward: dict[tuple[str, str], int] = {}
+        for index, triple in enumerate(kg.triples):
+            if triple.predicate == self.predicate:
+                forward[(triple.subject, triple.object)] = index
+            if triple.predicate == self.inverse:
+                backward[(triple.subject, triple.object)] = index
+        self._partner = {}
+        for (subject, obj), index in forward.items():
+            partner = backward.get((obj, subject))
+            if partner is not None and partner != index:
+                self._partner[index] = partner
+                self._partner[partner] = index
+
+    def infer(
+        self, triple_index: int, label: bool, known: Mapping[int, bool]
+    ) -> Iterator[Inference]:
+        partner = self._partner.get(triple_index)
+        if partner is not None and partner not in known:
+            yield Inference(
+                triple_index=partner,
+                label=label,
+                rule=self.name,
+                source_index=triple_index,
+            )

@@ -1,0 +1,50 @@
+"""Interval estimation: frequentist CIs and Bayesian CrIs.
+
+The paper's cast:
+
+* :class:`WaldInterval` — efficient but unreliable baseline (Sec. 3.1);
+* :class:`WilsonInterval` — the frequentist state of the art (Sec. 3.2);
+* :class:`ETCredibleInterval` — equal-tailed credible interval (Sec. 4.2);
+* :class:`HPDCredibleInterval` — highest posterior density (Sec. 4.3);
+* :class:`AdaptiveHPD` — the paper's aHPD contribution (Sec. 4.5).
+
+Plus two extra CI baselines (Agresti-Coull, Clopper-Pearson) from the
+binomial-interval literature the paper builds on [8].
+"""
+
+from .agresti_coull import AgrestiCoullInterval
+from .ahpd import AdaptiveHPD
+from .base import Interval, IntervalMethod, critical_value
+from .clopper_pearson import ClopperPearsonInterval
+from .et import ETCredibleInterval, et_bounds
+from .transforms import ArcsineInterval, LogitInterval
+from .hpd import HPD_SOLVERS, HPDCredibleInterval, hpd_bounds
+from .posterior import BetaPosterior, PosteriorShape
+from .priors import JEFFREYS, KERMAN, UNIFORM, UNINFORMATIVE_PRIORS, BetaPrior
+from .wald import WaldInterval
+from .wilson import WilsonInterval
+
+__all__ = [
+    "Interval",
+    "IntervalMethod",
+    "critical_value",
+    "WaldInterval",
+    "WilsonInterval",
+    "AgrestiCoullInterval",
+    "ClopperPearsonInterval",
+    "ArcsineInterval",
+    "LogitInterval",
+    "BetaPrior",
+    "KERMAN",
+    "JEFFREYS",
+    "UNIFORM",
+    "UNINFORMATIVE_PRIORS",
+    "BetaPosterior",
+    "PosteriorShape",
+    "ETCredibleInterval",
+    "et_bounds",
+    "HPDCredibleInterval",
+    "hpd_bounds",
+    "HPD_SOLVERS",
+    "AdaptiveHPD",
+]

@@ -1,0 +1,39 @@
+"""The Agresti-Coull interval — an extra frequentist baseline.
+
+Not part of the paper's head-to-head, but a standard member of the
+binomial-CI family reviewed by Brown, Cai & DasGupta [8] (the paper's
+reference for CI construction methods).  It is the "add z^2/2 successes
+and z^2/2 failures, then Wald" recipe: a Wald interval computed at the
+Wilson centre.  Including it lets the coverage-audit experiment place
+Wald / Wilson / credible intervals in the broader CI landscape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_alpha
+from ..estimators.base import Evidence
+from .base import Interval, IntervalMethod, critical_value
+
+__all__ = ["AgrestiCoullInterval"]
+
+
+class AgrestiCoullInterval(IntervalMethod):
+    """Adjusted-Wald interval on the (effective) binomial sample."""
+
+    name = "Agresti-Coull"
+
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        alpha = check_alpha(alpha)
+        z = critical_value(alpha)
+        n_adj = evidence.n_effective + z * z
+        tau_adj = evidence.tau_effective + z * z / 2.0
+        centre = tau_adj / n_adj
+        half_width = z * math.sqrt(centre * (1.0 - centre) / n_adj)
+        return Interval(
+            lower=centre - half_width,
+            upper=centre + half_width,
+            alpha=alpha,
+            method=self.name,
+        )

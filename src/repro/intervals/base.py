@@ -1,0 +1,115 @@
+"""Interval value type and the method interface.
+
+All six interval families (Wald, Wilson, Agresti-Coull,
+Clopper-Pearson, ET, HPD — plus the adaptive aHPD selector) implement
+:class:`IntervalMethod`: given the design-aware
+:class:`~repro.estimators.base.Evidence` of an annotated sample and a
+significance level ``alpha``, produce a ``1 - alpha``
+:class:`Interval`.  The evaluation framework only ever talks to this
+interface, which is what lets credible and confidence intervals compete
+inside the same minimisation loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from scipy import special
+
+from .._validation import check_alpha
+from ..estimators.base import Evidence
+from ..exceptions import ValidationError
+
+__all__ = ["Interval", "IntervalMethod", "critical_value"]
+
+
+def critical_value(alpha: float) -> float:
+    """Two-sided standard-normal critical value ``z_{alpha/2}``."""
+    alpha = check_alpha(alpha)
+    return float(special.ndtri(1.0 - alpha / 2.0))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A ``1 - alpha`` interval estimate for the KG accuracy.
+
+    Attributes
+    ----------
+    lower / upper:
+        Interval bounds.  Frequentist intervals may overshoot ``[0, 1]``
+        (a documented Wald pathology the paper discusses); use
+        :meth:`clipped` for a presentation-safe version.
+    alpha:
+        The significance level the interval was built for.
+    method:
+        Human-readable method label (e.g. ``"HPD[Jeffreys]"``).
+    """
+
+    lower: float
+    upper: float
+    alpha: float
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        check_alpha(self.alpha)
+        if not self.lower <= self.upper:
+            raise ValidationError(
+                f"interval bounds out of order: ({self.lower}, {self.upper})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Interval width ``upper - lower``."""
+        return self.upper - self.lower
+
+    @property
+    def moe(self) -> float:
+        """Margin of Error — half the interval width (paper Sec. 2.2)."""
+        return self.width / 2.0
+
+    @property
+    def midpoint(self) -> float:
+        """Interval midpoint."""
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def confidence(self) -> float:
+        """The nominal level ``1 - alpha``."""
+        return 1.0 - self.alpha
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the closed interval."""
+        return self.lower <= value <= self.upper
+
+    def clipped(self) -> "Interval":
+        """The interval intersected with ``[0, 1]``.
+
+        Wald intervals can overshoot the probability domain; clipping is
+        presentation-only and never feeds back into the MoE stop rule,
+        which must see the raw width to reproduce the paper's behaviour.
+        """
+        return Interval(
+            lower=max(self.lower, 0.0),
+            upper=min(self.upper, 1.0),
+            alpha=self.alpha,
+            method=self.method,
+        )
+
+    def __str__(self) -> str:
+        label = f"{self.method} " if self.method else ""
+        return f"{label}[{self.lower:.4f}, {self.upper:.4f}] (1-alpha={self.confidence:.2f})"
+
+
+class IntervalMethod(ABC):
+    """Builds ``1 - alpha`` intervals from sample evidence."""
+
+    #: Method label used in reports and on produced intervals.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        """Build the ``1 - alpha`` interval for *evidence*."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,159 @@
+"""The Beta posterior over KG accuracy (paper Sec. 4.1).
+
+Conjugacy makes the update arithmetic: a prior ``Beta(a, b)`` and an
+annotation outcome of ``tau`` correct out of ``n`` yield the posterior
+``Beta(a + tau, b + n - tau)``.  Under complex sampling designs the
+*effective* counts (design-effect corrected) play the role of ``tau``
+and ``n`` (Algorithm 1, lines 11-14).
+
+:class:`BetaPosterior` also classifies its own shape, which is what the
+HPD solver dispatches on:
+
+* ``interior`` — unimodal with an interior mode (``a, b > 1``);
+* ``decreasing`` — highest density at 0 (``a <= 1 < b``; limiting case
+  Eq. 11);
+* ``increasing`` — highest density at 1 (``a > 1 >= b``; limiting case
+  Eq. 10);
+* ``flat`` — the uniform posterior (``a == b == 1``);
+* ``bathtub`` — U-shaped (``a, b < 1``; only reachable with no data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..estimators.base import Evidence
+from ..exceptions import ValidationError
+from ..stats.beta import (
+    beta_cdf,
+    beta_interval_mass,
+    beta_mean,
+    beta_mode,
+    beta_pdf,
+    beta_ppf,
+    beta_skewness,
+    beta_std,
+)
+from .priors import BetaPrior
+
+__all__ = ["PosteriorShape", "BetaPosterior"]
+
+
+class PosteriorShape(Enum):
+    """Qualitative shape of a Beta density (drives HPD dispatch)."""
+
+    INTERIOR = "interior"
+    DECREASING = "decreasing"
+    INCREASING = "increasing"
+    FLAT = "flat"
+    BATHTUB = "bathtub"
+
+
+@dataclass(frozen=True)
+class BetaPosterior:
+    """An updated ``Beta(a, b)`` belief over the KG accuracy.
+
+    Construct via :meth:`from_counts` or :meth:`from_evidence` rather
+    than directly, so the conjugate-update arithmetic stays in one
+    place.
+    """
+
+    a: float
+    b: float
+    prior: BetaPrior
+
+    def __post_init__(self) -> None:
+        if self.a <= 0.0 or self.b <= 0.0:
+            raise ValidationError(
+                f"posterior shapes must be positive, got Beta({self.a}, {self.b})"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, prior: BetaPrior, tau: float, n: float) -> "BetaPosterior":
+        """Posterior after observing *tau* correct out of *n* triples.
+
+        Counts may be fractional (effective counts under a complex
+        design).
+        """
+        if n < 0 or not 0.0 <= tau <= n + 1e-9:
+            raise ValidationError(
+                f"invalid annotation outcome: tau={tau}, n={n}"
+            )
+        tau = min(max(tau, 0.0), n)
+        return cls(a=prior.a + tau, b=prior.b + (n - tau), prior=prior)
+
+    @classmethod
+    def from_evidence(cls, prior: BetaPrior, evidence: Evidence) -> "BetaPosterior":
+        """Posterior from design-aware sample evidence."""
+        return cls.from_counts(prior, evidence.tau_effective, evidence.n_effective)
+
+    # ------------------------------------------------------------------
+    # Distribution functions
+    # ------------------------------------------------------------------
+
+    def pdf(self, x):
+        """Posterior density at *x* (vectorised)."""
+        return beta_pdf(x, self.a, self.b)
+
+    def cdf(self, x):
+        """Posterior CDF ``F(x | G_S)`` (vectorised)."""
+        return beta_cdf(x, self.a, self.b)
+
+    def ppf(self, q):
+        """Posterior quantile function (vectorised)."""
+        return beta_ppf(q, self.a, self.b)
+
+    def interval_mass(self, lower: float, upper: float) -> float:
+        """Posterior probability of ``[lower, upper]``."""
+        return beta_interval_mass(lower, upper, self.a, self.b)
+
+    # ------------------------------------------------------------------
+    # Moments and shape
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Posterior mean."""
+        return beta_mean(self.a, self.b)
+
+    @property
+    def std(self) -> float:
+        """Posterior standard deviation."""
+        return beta_std(self.a, self.b)
+
+    @property
+    def mode(self) -> float:
+        """Posterior mode (see :func:`repro.stats.beta.beta_mode`)."""
+        return beta_mode(self.a, self.b)
+
+    @property
+    def skewness(self) -> float:
+        """Posterior skewness; negative for accurate KGs (left tail)."""
+        return beta_skewness(self.a, self.b)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether the posterior is symmetric about 1/2 (``a == b``)."""
+        return self.a == self.b
+
+    @property
+    def shape(self) -> PosteriorShape:
+        """Qualitative shape classification (drives HPD dispatch)."""
+        a_gt1, b_gt1 = self.a > 1.0, self.b > 1.0
+        if a_gt1 and b_gt1:
+            return PosteriorShape.INTERIOR
+        if a_gt1 and not b_gt1:
+            return PosteriorShape.INCREASING
+        if b_gt1 and not a_gt1:
+            return PosteriorShape.DECREASING
+        if self.a == 1.0 and self.b == 1.0:
+            return PosteriorShape.FLAT
+        return PosteriorShape.BATHTUB
+
+    def __str__(self) -> str:
+        return f"Beta({self.a:g}, {self.b:g}) [prior={self.prior.name}]"

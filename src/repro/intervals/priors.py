@@ -1,0 +1,116 @@
+"""Beta priors for the Bayesian accuracy model (paper Sec. 4.1, 4.4).
+
+The annotation process is a binomial ``Bin(n_S, mu)``; Beta
+distributions are its conjugate priors, so a prior ``Beta(a, b)`` plus
+an outcome ``(tau_S, n_S)`` yields the posterior
+``Beta(a + tau_S, b + n_S - tau_S)``.
+
+Three *uninformative* priors (``a = b <= 1``) anchor the paper's
+analysis:
+
+* **Kerman** ``Beta(1/3, 1/3)`` [24] — optimal in the extreme accuracy
+  regions;
+* **Jeffreys** ``Beta(1/2, 1/2)`` [22] — the common default, never the
+  most efficient (a trade-off between the other two);
+* **Uniform** ``Beta(1, 1)`` [2] — optimal in the central region.
+
+Informative priors encode knowledge from similar KGs (paper Example 2);
+:meth:`BetaPrior.from_accuracy` builds one from an accuracy belief and
+a pseudo-annotation strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive, check_probability
+from ..exceptions import PriorError
+
+__all__ = [
+    "BetaPrior",
+    "KERMAN",
+    "JEFFREYS",
+    "UNIFORM",
+    "UNINFORMATIVE_PRIORS",
+]
+
+
+@dataclass(frozen=True)
+class BetaPrior:
+    """A validated ``Beta(a, b)`` prior with a display name.
+
+    Attributes
+    ----------
+    a:
+        Prior pseudo-count of correct triples; strictly positive.
+    b:
+        Prior pseudo-count of incorrect triples; strictly positive.
+    name:
+        Display label used in reports (e.g. ``"Kerman"``).
+    """
+
+    a: float
+    b: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        try:
+            check_positive(self.a, "a")
+            check_positive(self.b, "b")
+        except Exception as exc:
+            raise PriorError(str(exc)) from exc
+        if not self.name:
+            object.__setattr__(self, "name", f"Beta({self.a:g},{self.b:g})")
+
+    @property
+    def is_uninformative(self) -> bool:
+        """Whether the prior is objective: ``a == b <= 1`` (Sec. 4.4)."""
+        return self.a == self.b and self.a <= 1.0
+
+    @property
+    def strength(self) -> float:
+        """Total pseudo-annotation count ``a + b``."""
+        return self.a + self.b
+
+    @property
+    def mean(self) -> float:
+        """Prior mean accuracy belief ``a / (a + b)``."""
+        return self.a / (self.a + self.b)
+
+    @classmethod
+    def from_accuracy(
+        cls, accuracy: float, strength: float, name: str = ""
+    ) -> "BetaPrior":
+        """Informative prior from an accuracy belief.
+
+        *strength* is the weight of the belief in pseudo-annotations:
+        e.g. knowing a similar KG has accuracy 0.80 and trusting that as
+        much as 100 annotations gives ``Beta(80, 20)`` — the paper's
+        Example 2 construction.
+        """
+        accuracy = check_probability(accuracy, "accuracy")
+        strength = check_positive(strength, "strength")
+        a = accuracy * strength
+        b = (1.0 - accuracy) * strength
+        if a <= 0.0 or b <= 0.0:
+            raise PriorError(
+                "informative prior requires accuracy strictly inside (0, 1); "
+                f"got accuracy={accuracy}"
+            )
+        return cls(a=a, b=b, name=name or f"Informative({accuracy:g}@{strength:g})")
+
+    def __str__(self) -> str:
+        return f"{self.name}=Beta({self.a:g}, {self.b:g})"
+
+
+#: Kerman's neutral noninformative prior Beta(1/3, 1/3).
+KERMAN = BetaPrior(1.0 / 3.0, 1.0 / 3.0, name="Kerman")
+
+#: Jeffreys' invariant prior Beta(1/2, 1/2).
+JEFFREYS = BetaPrior(0.5, 0.5, name="Jeffreys")
+
+#: The Bayes-Laplace uniform prior Beta(1, 1).
+UNIFORM = BetaPrior(1.0, 1.0, name="Uniform")
+
+#: The trio fed to aHPD in all paper experiments.
+UNINFORMATIVE_PRIORS: tuple[BetaPrior, ...] = (KERMAN, JEFFREYS, UNIFORM)

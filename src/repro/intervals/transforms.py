@@ -1,0 +1,73 @@
+"""Variance-stabilising CI baselines: arcsine and logit intervals.
+
+Two further members of the binomial-CI family surveyed by Brown, Cai &
+DasGupta [8] (the paper's CI reference).  Both transform the proportion
+to a scale where the variance is (approximately) constant, build a Wald
+interval there, and back-transform:
+
+* **Arcsine**: ``sin^2( arcsin(sqrt(mu)) ± z / (2 sqrt(n)) )`` — bounds
+  always inside ``[0, 1]``.
+* **Logit**: Wald on ``log(mu / (1 - mu))`` with variance
+  ``n / (tau (n - tau))``; undefined at unanimous outcomes, where the
+  standard Anscombe continuity correction (add 1/2 to each count) is
+  applied.
+
+They complete the coverage-audit experiment's CI landscape; neither is
+used by the paper's evaluation loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_alpha
+from ..estimators.base import Evidence
+from .base import Interval, IntervalMethod, critical_value
+
+__all__ = ["ArcsineInterval", "LogitInterval"]
+
+
+class ArcsineInterval(IntervalMethod):
+    """Arcsine-square-root transformed interval."""
+
+    name = "Arcsine"
+
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        alpha = check_alpha(alpha)
+        z = critical_value(alpha)
+        n = evidence.n_effective
+        centre = math.asin(math.sqrt(evidence.mu_hat))
+        half = z / (2.0 * math.sqrt(n))
+        lower = math.sin(max(centre - half, 0.0)) ** 2
+        upper = math.sin(min(centre + half, math.pi / 2.0)) ** 2
+        return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+
+class LogitInterval(IntervalMethod):
+    """Wald interval on the log-odds scale, back-transformed."""
+
+    name = "Logit"
+
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        alpha = check_alpha(alpha)
+        z = critical_value(alpha)
+        tau = evidence.tau_effective
+        n = evidence.n_effective
+        failures = n - tau
+        if tau <= 0.0 or failures <= 0.0:
+            # Anscombe continuity correction for unanimous outcomes.
+            tau += 0.5
+            failures += 0.5
+            n = tau + failures
+        centre = math.log(tau / failures)
+        spread = z * math.sqrt(n / (tau * failures))
+        lower = _expit(centre - spread)
+        upper = _expit(centre + spread)
+        return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+
+def _expit(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)

@@ -1,0 +1,42 @@
+"""The Wald confidence interval (paper Sec. 3.1).
+
+Inverts the large-sample normal test, yielding
+
+.. math::
+
+    \\hat\\mu_S \\pm z_{\\alpha/2} \\sqrt{V(\\hat\\mu_S)}
+
+Efficient but unreliable: on binomial proportions it overshoots the
+``[0, 1]`` domain and produces zero-width intervals whenever the sample
+is unanimous (``V = 0``), the pathology behind the paper's Example 1 and
+its Fallacies 1-3 discussion.  Because it consumes the *design* variance
+directly, the same class serves SRS and TWCS without a design-effect
+correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_alpha
+from ..estimators.base import Evidence
+from .base import Interval, IntervalMethod, critical_value
+
+__all__ = ["WaldInterval"]
+
+
+class WaldInterval(IntervalMethod):
+    """Normal-approximation interval around the point estimate."""
+
+    name = "Wald"
+
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        alpha = check_alpha(alpha)
+        z = critical_value(alpha)
+        half_width = z * math.sqrt(evidence.variance)
+        return Interval(
+            lower=evidence.mu_hat - half_width,
+            upper=evidence.mu_hat + half_width,
+            alpha=alpha,
+            method=self.name,
+        )

@@ -1,0 +1,52 @@
+"""The Wilson score interval (paper Sec. 3.2, Eq. 7).
+
+Inverts the score test with the *null* standard error, producing an
+interval with a relocated centre and corrected spread:
+
+.. math::
+
+    \\frac{\\hat\\mu + z^2 / 2n}{1 + z^2 / n} \\pm
+    \\frac{z}{1 + z^2 / n}
+    \\sqrt{\\frac{\\hat\\mu (1 - \\hat\\mu)}{n} + \\frac{z^2}{4 n^2}}
+
+Wilson is the state of the art for KG accuracy estimation [31]: reliable
+where Wald is erratic, at some efficiency cost near the accuracy
+boundaries.  Under complex designs the binomial ``n`` is replaced by the
+design-effect-corrected effective sample size carried by the evidence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_alpha
+from ..estimators.base import Evidence
+from .base import Interval, IntervalMethod, critical_value
+
+__all__ = ["WilsonInterval"]
+
+
+class WilsonInterval(IntervalMethod):
+    """Score interval on the (effective) binomial sample."""
+
+    name = "Wilson"
+
+    def compute(self, evidence: Evidence, alpha: float) -> Interval:
+        alpha = check_alpha(alpha)
+        z = critical_value(alpha)
+        n = evidence.n_effective
+        mu = evidence.mu_hat
+        z2_over_n = z * z / n
+        denom = 1.0 + z2_over_n
+        centre = (mu + z2_over_n / 2.0) / denom
+        spread = (z / denom) * math.sqrt(
+            mu * (1.0 - mu) / n + z * z / (4.0 * n * n)
+        )
+        # Wilson bounds live in [0, 1] mathematically; clamp away the
+        # ulp-level float overshoot at unanimous outcomes.
+        return Interval(
+            lower=max(centre - spread, 0.0),
+            upper=min(centre + spread, 1.0),
+            alpha=alpha,
+            method=self.name,
+        )

@@ -1,0 +1,55 @@
+"""Knowledge-graph substrate: data model, generators, and datasets.
+
+The sampling / estimation layers only ever talk to the abstract
+:class:`~repro.kg.base.TripleStore` interface; the two concrete backends
+are the fully-materialised :class:`~repro.kg.graph.KnowledgeGraph` and
+the lazy, 100M-triple-capable :class:`~repro.kg.synthetic.SyntheticKG`.
+"""
+
+from .base import TripleStore
+from .datasets import (
+    PROFILES,
+    SYN100M_ACCURACIES,
+    DatasetProfile,
+    load_dataset,
+    load_dbpedia,
+    load_factbench,
+    load_nell,
+    load_syn100m,
+    load_yago,
+)
+from .evolution import UpdateBatchSpec, build_evolving_kg
+from .generators import generate_labels, generate_profiled_kg
+from .graph import KnowledgeGraph
+from .io import load_kg, save_kg
+from .queries import PredicateProfile, TripleIndex
+from .stats import KGStatistics, describe_kg
+from .synthetic import SyntheticKG, draw_cluster_sizes
+from .triple import Triple
+
+__all__ = [
+    "TripleStore",
+    "KnowledgeGraph",
+    "SyntheticKG",
+    "Triple",
+    "DatasetProfile",
+    "PROFILES",
+    "SYN100M_ACCURACIES",
+    "load_dataset",
+    "load_yago",
+    "load_nell",
+    "load_dbpedia",
+    "load_factbench",
+    "load_syn100m",
+    "generate_profiled_kg",
+    "generate_labels",
+    "draw_cluster_sizes",
+    "describe_kg",
+    "KGStatistics",
+    "save_kg",
+    "load_kg",
+    "TripleIndex",
+    "PredicateProfile",
+    "build_evolving_kg",
+    "UpdateBatchSpec",
+]

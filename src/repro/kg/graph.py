@@ -1,0 +1,166 @@
+"""In-memory knowledge graph with ground-truth labels.
+
+:class:`KnowledgeGraph` is the concrete backend used for the paper's
+small real-world datasets (YAGO, NELL, DBPEDIA, FACTBENCH profiles).
+Triples are stored column-wise, sorted by subject so that every entity
+cluster owns a contiguous range of the global index space (see
+:class:`repro.kg.base.TripleStore`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyGraphError, UnknownEntityError, ValidationError
+from .base import TripleStore
+from .triple import Triple
+
+__all__ = ["KnowledgeGraph"]
+
+
+class KnowledgeGraph(TripleStore):
+    """An immutable, fully materialised KG with correctness labels.
+
+    Parameters
+    ----------
+    triples:
+        The facts of the graph.  They are re-ordered internally so that
+        triples sharing a subject are contiguous; iteration order
+        therefore groups by entity cluster.
+    labels:
+        Ground-truth correctness flags, aligned with *triples* **as
+        given** (the constructor re-orders both consistently).
+
+    Notes
+    -----
+    The graph is immutable after construction.  Use :meth:`merge` to
+    combine graphs (e.g. when modelling evolving KGs).
+    """
+
+    def __init__(self, triples: Iterable[Triple], labels: Sequence[bool] | np.ndarray):
+        triples = list(triples)
+        label_arr = np.asarray(labels, dtype=bool)
+        if label_arr.ndim != 1:
+            raise ValidationError("labels must be one-dimensional")
+        if len(triples) != label_arr.size:
+            raise ValidationError(
+                f"got {len(triples)} triples but {label_arr.size} labels"
+            )
+        if not triples:
+            raise EmptyGraphError("a KnowledgeGraph requires at least one triple")
+        for item in triples:
+            if not isinstance(item, Triple):
+                raise ValidationError(f"expected Triple instances, got {type(item)!r}")
+
+        # Sort by subject (stable) so clusters are contiguous ranges.
+        order = sorted(range(len(triples)), key=lambda i: triples[i].subject)
+        self._triples: tuple[Triple, ...] = tuple(triples[i] for i in order)
+        self._labels = label_arr[order]
+        self._labels.setflags(write=False)
+
+        subjects = [t.subject for t in self._triples]
+        names: list[str] = []
+        sizes: list[int] = []
+        for subject in subjects:
+            if names and names[-1] == subject:
+                sizes[-1] += 1
+            else:
+                names.append(subject)
+                sizes.append(1)
+        self._entity_names: tuple[str, ...] = tuple(names)
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._sizes.setflags(write=False)
+        self._offsets = np.concatenate(([0], np.cumsum(self._sizes)))
+        self._offsets.setflags(write=False)
+        self._entity_index = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # TripleStore interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._entity_names)
+
+    @property
+    def cluster_sizes(self) -> np.ndarray:
+        return self._sizes
+
+    @property
+    def cluster_offsets(self) -> np.ndarray:
+        return self._offsets
+
+    def labels(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        idx = self._check_indices(indices)
+        return self._labels[idx]
+
+    @property
+    def accuracy(self) -> float:
+        return float(self._labels.mean())
+
+    # ------------------------------------------------------------------
+    # Materialised-graph extras
+    # ------------------------------------------------------------------
+
+    @property
+    def triples(self) -> tuple[Triple, ...]:
+        """All triples, grouped by entity cluster."""
+        return self._triples
+
+    @property
+    def all_labels(self) -> np.ndarray:
+        """Read-only view of every ground-truth label."""
+        return self._labels
+
+    @property
+    def entity_names(self) -> tuple[str, ...]:
+        """Cluster subjects, in cluster-id order."""
+        return self._entity_names
+
+    def entity_id(self, subject: str) -> int:
+        """Cluster id of *subject*; raises for unknown entities."""
+        try:
+            return self._entity_index[subject]
+        except KeyError:
+            raise UnknownEntityError(subject) from None
+
+    def triple(self, index: int) -> Triple:
+        """The triple at global *index*."""
+        idx = self._check_indices([index])
+        return self._triples[int(idx[0])]
+
+    def entity_cluster(self, subject: str) -> tuple[Triple, ...]:
+        """The entity cluster ``C_e`` of *subject*, as triples."""
+        cluster_id = self.entity_id(subject)
+        lo, hi = self._offsets[cluster_id], self._offsets[cluster_id + 1]
+        return self._triples[lo:hi]
+
+    def merge(self, other: "KnowledgeGraph") -> "KnowledgeGraph":
+        """Return a new graph containing the triples of both graphs.
+
+        Used by the evolving-KG workflow: batches of new content are
+        merged into the audited graph before re-evaluation.
+        """
+        if not isinstance(other, KnowledgeGraph):
+            raise ValidationError("can only merge with another KnowledgeGraph")
+        triples = list(self._triples) + list(other._triples)
+        labels = np.concatenate([self._labels, other._labels])
+        return KnowledgeGraph(triples, labels)
+
+    def __len__(self) -> int:
+        return self.num_triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(num_triples={self.num_triples}, "
+            f"num_clusters={self.num_clusters}, accuracy={self.accuracy:.4f})"
+        )

@@ -1,0 +1,143 @@
+"""Triple-pattern queries over a materialised KG.
+
+A light query layer on :class:`~repro.kg.graph.KnowledgeGraph`: hash
+indexes per position, ``(s, p, o)`` pattern matching with ``None`` as a
+wildcard, and per-predicate quality profiles.  The stratified sampler
+and the examples use it; it also gives downstream users the entity /
+relation navigation the paper's graph model (Sec. 2.1) implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .graph import KnowledgeGraph
+from .triple import Triple
+
+__all__ = ["PredicateProfile", "TripleIndex"]
+
+
+@dataclass(frozen=True)
+class PredicateProfile:
+    """Quality profile of one predicate (relation type)."""
+
+    predicate: str
+    num_facts: int
+    num_subjects: int
+    accuracy: float
+
+
+class TripleIndex:
+    """Positional hash indexes over a knowledge graph.
+
+    Parameters
+    ----------
+    kg:
+        The graph to index.  Indexes are built eagerly (one pass per
+        position) and the graph is immutable, so the index never goes
+        stale.
+    """
+
+    def __init__(self, kg: KnowledgeGraph):
+        if not isinstance(kg, KnowledgeGraph):
+            raise ValidationError("TripleIndex requires a materialised KnowledgeGraph")
+        self.kg = kg
+        self._by_subject: dict[str, list[int]] = {}
+        self._by_predicate: dict[str, list[int]] = {}
+        self._by_object: dict[str, list[int]] = {}
+        for index, triple in enumerate(kg.triples):
+            self._by_subject.setdefault(triple.subject, []).append(index)
+            self._by_predicate.setdefault(triple.predicate, []).append(index)
+            self._by_object.setdefault(triple.object, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object: Optional[str] = None,
+    ) -> np.ndarray:
+        """Global indices of triples matching the ``(s, p, o)`` pattern.
+
+        ``None`` is a wildcard.  The most selective bound position is
+        scanned; the others filter.
+        """
+        candidate_lists = []
+        if subject is not None:
+            candidate_lists.append(self._by_subject.get(subject, []))
+        if predicate is not None:
+            candidate_lists.append(self._by_predicate.get(predicate, []))
+        if object is not None:
+            candidate_lists.append(self._by_object.get(object, []))
+        if not candidate_lists:
+            return np.arange(self.kg.num_triples, dtype=np.int64)
+        # Intersect starting from the smallest posting list.
+        candidate_lists.sort(key=len)
+        result = set(candidate_lists[0])
+        for other in candidate_lists[1:]:
+            result &= set(other)
+        return np.asarray(sorted(result), dtype=np.int64)
+
+    def triples(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object: Optional[str] = None,
+    ) -> Iterator[Triple]:
+        """Matching triples, in global-index order."""
+        for index in self.match(subject, predicate, object):
+            yield self.kg.triples[int(index)]
+
+    def count(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object: Optional[str] = None,
+    ) -> int:
+        """Number of triples matching the pattern."""
+        return int(self.match(subject, predicate, object).size)
+
+    # ------------------------------------------------------------------
+    # Vocabulary and profiles
+    # ------------------------------------------------------------------
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """All predicates, sorted."""
+        return tuple(sorted(self._by_predicate))
+
+    @property
+    def objects(self) -> tuple[str, ...]:
+        """All object values, sorted."""
+        return tuple(sorted(self._by_object))
+
+    def predicate_profile(self, predicate: str) -> PredicateProfile:
+        """Fact count, subject fan-out, and gold accuracy of a predicate."""
+        indices = self._by_predicate.get(predicate)
+        if not indices:
+            raise ValidationError(f"unknown predicate {predicate!r}")
+        arr = np.asarray(indices, dtype=np.int64)
+        subjects = {self.kg.triples[int(i)].subject for i in arr}
+        return PredicateProfile(
+            predicate=predicate,
+            num_facts=arr.size,
+            num_subjects=len(subjects),
+            accuracy=float(self.kg.labels(arr).mean()),
+        )
+
+    def predicate_profiles(self) -> Mapping[str, PredicateProfile]:
+        """Profiles for every predicate, keyed by name."""
+        return {p: self.predicate_profile(p) for p in self.predicates}
+
+    def __repr__(self) -> str:
+        return (
+            f"TripleIndex(num_triples={self.kg.num_triples}, "
+            f"num_predicates={len(self._by_predicate)})"
+        )

@@ -1,0 +1,51 @@
+"""Triple-level data model.
+
+Following the paper (Sec. 2.1) we treat triples as first-class citizens
+of a KG: a fact is an ``(s, p, o)`` triple whose subject belongs to the
+entity set.  :class:`Triple` is deliberately a small immutable value type
+— the heavy lifting (cluster indexing, label storage) lives in
+:class:`repro.kg.graph.KnowledgeGraph`, which stores triples column-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+
+__all__ = ["Triple"]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An ``(s, p, o)`` fact.
+
+    Attributes
+    ----------
+    subject:
+        The entity identifier ``s``; determines the entity cluster the
+        triple belongs to.
+    predicate:
+        The relationship identifier ``p``.
+    object:
+        The object ``o`` — an entity or attribute identifier.
+    """
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __post_init__(self) -> None:
+        for field_name in ("subject", "predicate", "object"):
+            value = getattr(self, field_name)
+            if not isinstance(value, str) or not value:
+                raise ValidationError(
+                    f"Triple.{field_name} must be a non-empty string, got {value!r}"
+                )
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        """Return the ``(s, p, o)`` tuple form."""
+        return (self.subject, self.predicate, self.object)
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"

@@ -1,0 +1,22 @@
+"""Sampling strategies for KG accuracy evaluation (paper Sec. 2.4)."""
+
+from ..estimators.cluster import kish_design_effect
+from .base import Batch, SampleState, SamplingStrategy
+from .srs import SimpleRandomSampling, SRSState
+from .stratified import StratifiedPredicateSampling, StratifiedState
+from .twcs import TwoStageWeightedClusterSampling, TWCSState
+from .wcs import WeightedClusterSampling
+
+__all__ = [
+    "SamplingStrategy",
+    "SampleState",
+    "Batch",
+    "SimpleRandomSampling",
+    "SRSState",
+    "StratifiedPredicateSampling",
+    "StratifiedState",
+    "TwoStageWeightedClusterSampling",
+    "TWCSState",
+    "WeightedClusterSampling",
+    "kish_design_effect",
+]

@@ -1,0 +1,213 @@
+"""Stratified random sampling by predicate (library extension).
+
+Not part of the paper's head-to-head, but a natural member of the
+design family its framework supports: facts are partitioned into strata
+(here: by predicate, the typical stratification for KGs, since error
+rates vary sharply by relation type), samples are drawn from every
+stratum with allocation proportional to stratum size, and the estimator
+is the stratum-weighted mean
+
+.. math::
+
+    \\hat\\mu_{STR} = \\sum_h W_h \\hat\\mu_h, \\qquad
+    V(\\hat\\mu_{STR}) = \\sum_h W_h^2 \\frac{\\hat\\mu_h (1-\\hat\\mu_h)}{n_h}
+
+with ``W_h = M_h / M``.  When labels correlate with predicates the
+design effect drops below 1 and stratification beats SRS; the appendix
+experiment quantifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..estimators.base import Evidence
+from ..estimators.cluster import kish_design_effect
+from ..exceptions import InsufficientSampleError, SamplingError
+from ..kg.base import TripleStore
+from ..kg.graph import KnowledgeGraph
+from .base import Batch, SampleState, SamplingStrategy
+
+__all__ = ["StratifiedPredicateSampling", "StratifiedState"]
+
+
+@dataclass
+class StratifiedState(SampleState):
+    """Per-stratum annotation tallies."""
+
+    stratum_correct: dict[int, int] = field(default_factory=dict)
+    stratum_annotated: dict[int, int] = field(default_factory=dict)
+
+
+class StratifiedPredicateSampling(SamplingStrategy):
+    """Proportional-allocation stratified sampling over predicates.
+
+    Requires an in-memory :class:`~repro.kg.graph.KnowledgeGraph`
+    (predicates are not materialised by the lazy synthetic backend).
+    One *unit* is one triple; units cycle through strata
+    proportionally to stratum size so the realised allocation tracks
+    the proportional design at every sample size.
+    """
+
+    name = "STRAT"
+    unit_label = "triple"
+
+    def __init__(self):
+        self._strata_cache: dict[int, tuple[np.ndarray, list[np.ndarray]]] = {}
+
+    def new_state(self) -> StratifiedState:
+        return StratifiedState()
+
+    # ------------------------------------------------------------------
+    # Stratum index
+    # ------------------------------------------------------------------
+
+    def _strata(self, kg: TripleStore) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Stratum weights and member-index lists for *kg* (cached)."""
+        if not isinstance(kg, KnowledgeGraph):
+            raise SamplingError(
+                "stratified sampling needs a materialised KnowledgeGraph "
+                "with predicates"
+            )
+        key = id(kg)
+        if key not in self._strata_cache:
+            by_predicate: dict[str, list[int]] = {}
+            for index, triple in enumerate(kg.triples):
+                by_predicate.setdefault(triple.predicate, []).append(index)
+            members = [
+                np.asarray(indices, dtype=np.int64)
+                for _, indices in sorted(by_predicate.items())
+            ]
+            weights = np.asarray([m.size for m in members], dtype=float)
+            weights /= weights.sum()
+            self._strata_cache[key] = (weights, members)
+        return self._strata_cache[key]
+
+    # ------------------------------------------------------------------
+    # SamplingStrategy interface
+    # ------------------------------------------------------------------
+
+    def draw(
+        self,
+        kg: TripleStore,
+        state: SampleState,
+        units: int,
+        rng: np.random.Generator,
+    ) -> Batch:
+        if units <= 0:
+            raise SamplingError(f"units must be > 0, got {units}")
+        if not isinstance(state, StratifiedState):
+            raise SamplingError("stratified draw requires a StratifiedState")
+        weights, members = self._strata(kg)
+        chosen: list[int] = []
+        strata_of_chosen: list[int] = []
+        pending: set[int] = set()
+        # Within-batch allocations must count toward the proportional
+        # targets, or every unit of a batch would chase the same
+        # (largest) stratum.
+        pending_per_stratum = np.zeros(weights.size, dtype=np.int64)
+        for _ in range(units):
+            stratum = self._most_underallocated(
+                weights, members, state, pending_per_stratum
+            )
+            index = self._draw_from_stratum(members[stratum], state, pending, rng)
+            chosen.append(index)
+            strata_of_chosen.append(stratum)
+            pending.add(index)
+            pending_per_stratum[stratum] += 1
+        indices = np.asarray(chosen, dtype=np.int64)
+        return Batch(
+            indices=indices,
+            unit_slices=tuple(slice(i, i + 1) for i in range(units)),
+            subjects=kg.subjects(indices),
+            strata=tuple(strata_of_chosen),
+        )
+
+    def _most_underallocated(
+        self,
+        weights: np.ndarray,
+        members: list[np.ndarray],
+        state: StratifiedState,
+        pending_per_stratum: np.ndarray,
+    ) -> int:
+        counts = (
+            np.asarray(
+                [state.stratum_annotated.get(h, 0) for h in range(weights.size)],
+                dtype=float,
+            )
+            + pending_per_stratum
+        )
+        total = counts.sum()
+        target = weights * (total + 1)
+        deficit = target - counts
+        # Skip exhausted strata.
+        for h in np.argsort(-deficit):
+            capacity = members[h].size
+            if counts[h] < capacity:
+                return int(h)
+        raise InsufficientSampleError("all strata exhausted")
+
+    def _draw_from_stratum(
+        self,
+        member_indices: np.ndarray,
+        state: StratifiedState,
+        pending: set[int],
+        rng: np.random.Generator,
+    ) -> int:
+        for _ in range(10_000):
+            index = int(member_indices[rng.integers(0, member_indices.size)])
+            if index not in state.seen_triples and index not in pending:
+                return index
+        # Fall back to an exhaustive scan when the stratum is nearly drained.
+        available = [
+            int(i)
+            for i in member_indices
+            if int(i) not in state.seen_triples and int(i) not in pending
+        ]
+        if not available:
+            raise InsufficientSampleError("stratum exhausted")
+        return int(rng.choice(available))
+
+    def update(self, state: SampleState, batch: Batch, labels: np.ndarray) -> None:
+        if not isinstance(state, StratifiedState):
+            raise SamplingError("stratified update requires a StratifiedState")
+        labels = np.asarray(labels, dtype=bool)
+        strata = batch.strata
+        if strata is None or len(strata) != batch.num_units:
+            raise SamplingError("batch was not drawn by StratifiedPredicateSampling")
+        for stratum, label in zip(strata, labels):
+            state.stratum_annotated[stratum] = state.stratum_annotated.get(stratum, 0) + 1
+            state.stratum_correct[stratum] = state.stratum_correct.get(stratum, 0) + int(label)
+        state._record(batch, labels)
+
+    def evidence(self, state: SampleState) -> Evidence:
+        if not isinstance(state, StratifiedState):
+            raise SamplingError("stratified evidence requires a StratifiedState")
+        if state.n_annotated == 0:
+            raise InsufficientSampleError("no annotations accumulated yet")
+        sampled = sorted(state.stratum_annotated)
+        n_total = state.n_annotated
+        # Realised weights: proportional allocation makes n_h / n track
+        # W_h, so the realised-weight estimator is consistent and keeps
+        # mu_hat inside [0, 1] even while small strata are still filling.
+        mu_hat = 0.0
+        variance = 0.0
+        for stratum in sampled:
+            n_h = state.stratum_annotated[stratum]
+            tau_h = state.stratum_correct[stratum]
+            weight = n_h / n_total
+            mu_h = tau_h / n_h
+            mu_hat += weight * mu_h
+            variance += weight * weight * mu_h * (1.0 - mu_h) / n_h
+        mu_hat = min(max(mu_hat, 0.0), 1.0)
+        deff = kish_design_effect(mu_hat, variance, n_total)
+        n_effective = n_total / deff
+        return Evidence(
+            mu_hat=mu_hat,
+            variance=variance,
+            n_effective=float(n_effective),
+            tau_effective=float(mu_hat * n_effective),
+            n_annotated=int(n_total),
+        )

@@ -1,0 +1,28 @@
+"""One-stage Weighted Cluster Sampling.
+
+The paper's online appendix evaluates additional sampling strategies
+beyond SRS and TWCS; one-stage WCS — annotate *every* triple of each
+size-weighted sampled cluster — is the natural member of the family and
+the limiting case ``m -> infinity`` of TWCS.  It shares the TWCS
+estimator (the Hansen-Hurwitz mean of cluster accuracies is unbiased
+under PPS-with-replacement regardless of the stage-2 design).
+"""
+
+from __future__ import annotations
+
+from .twcs import TwoStageWeightedClusterSampling
+
+__all__ = ["WeightedClusterSampling"]
+
+
+class WeightedClusterSampling(TwoStageWeightedClusterSampling):
+    """Size-weighted cluster sampling that annotates whole clusters."""
+
+    name = "WCS"
+    unit_label = "cluster"
+
+    def __init__(self):
+        super().__init__(m=None)
+
+    def __repr__(self) -> str:
+        return "WeightedClusterSampling()"

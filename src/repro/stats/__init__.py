@@ -1,0 +1,49 @@
+"""Shared statistical primitives used across the library.
+
+This subpackage isolates the low-level numerical machinery — Beta
+distribution helpers, two-sample significance testing, descriptive
+summaries, and deterministic random-source handling — so that the
+higher-level sampling / interval code reads as statistics, not as
+numerics.
+"""
+
+from .beta import (
+    BetaParameters,
+    beta_cdf,
+    beta_interval_mass,
+    beta_mean,
+    beta_mode,
+    beta_pdf,
+    beta_ppf,
+    beta_skewness,
+    beta_std,
+    beta_variance,
+)
+from .binomial import binomial_cdf, binomial_pmf, binomial_pmf_matrix
+from .describe import Summary, summarize
+from .rng import RandomSource, derive_seed, spawn_rng
+from .ttest import TTestResult, independent_ttest, welch_ttest
+
+__all__ = [
+    "BetaParameters",
+    "beta_pdf",
+    "beta_cdf",
+    "beta_ppf",
+    "beta_mean",
+    "beta_mode",
+    "beta_variance",
+    "beta_std",
+    "beta_skewness",
+    "beta_interval_mass",
+    "Summary",
+    "binomial_pmf",
+    "binomial_pmf_matrix",
+    "binomial_cdf",
+    "summarize",
+    "RandomSource",
+    "spawn_rng",
+    "derive_seed",
+    "TTestResult",
+    "independent_ttest",
+    "welch_ttest",
+]

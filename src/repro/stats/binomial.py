@@ -1,0 +1,61 @@
+"""Binomial distribution helpers.
+
+Used by the expected-width machinery (Figure 3) and the sample-size
+planner: exact pmf evaluation in log space, vectorised over both the
+success probability and the outcome axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from .._validation import check_positive_int
+
+__all__ = ["binomial_pmf", "binomial_pmf_matrix", "binomial_cdf"]
+
+
+def binomial_pmf(tau, n: int, mu) -> np.ndarray:
+    """``P(X = tau)`` for ``X ~ Bin(n, mu)``, vectorised over *tau*/*mu*."""
+    n = check_positive_int(n, "n")
+    tau_arr = np.asarray(tau, dtype=float)
+    mu_arr = np.asarray(mu, dtype=float)
+    log_comb = (
+        special.gammaln(n + 1)
+        - special.gammaln(tau_arr + 1)
+        - special.gammaln(n - tau_arr + 1)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_pmf = (
+            log_comb
+            + special.xlogy(tau_arr, mu_arr)
+            + special.xlog1py(n - tau_arr, -mu_arr)
+        )
+    out = np.exp(log_pmf)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def binomial_pmf_matrix(n: int, mus: np.ndarray) -> np.ndarray:
+    """Pmf of every outcome for every rate; shape ``(len(mus), n + 1)``.
+
+    Row ``i`` is the full outcome distribution of ``Bin(n, mus[i])`` —
+    the mixing weights used to compute expected interval widths.
+    """
+    n = check_positive_int(n, "n")
+    mus = np.asarray(mus, dtype=float)
+    taus = np.arange(n + 1, dtype=float)
+    return binomial_pmf(taus[None, :], n, mus[:, None])
+
+
+def binomial_cdf(tau, n: int, mu: float) -> float:
+    """``P(X <= tau)`` via the regularised incomplete beta function."""
+    n = check_positive_int(n, "n")
+    tau = int(tau)
+    if tau < 0:
+        return 0.0
+    if tau >= n:
+        return 1.0
+    # P(X <= tau) = I_{1-mu}(n - tau, tau + 1).
+    return float(special.betainc(n - tau, tau + 1, 1.0 - mu))

@@ -1,0 +1,84 @@
+"""Descriptive summaries for Monte-Carlo experiment outputs.
+
+The paper reports every experimental quantity as ``mean ± std`` over
+1,000 repetitions.  :class:`Summary` is the single value type the
+experiment layer uses for those aggregates, including the paper-style
+string rendering used in the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / dispersion summary of a one-dimensional sample.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean.
+    std:
+        Sample standard deviation (``ddof=1``; 0 for singleton samples).
+    count:
+        Number of observations.
+    minimum / maximum:
+        Sample range.
+    """
+
+    mean: float
+    std: float
+    count: int
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.count)
+
+    def format(self, digits: int = 0) -> str:
+        """Render as the paper's ``mean±std`` cell format.
+
+        ``digits=0`` mimics the integer triple counts of Tables 2-4;
+        ``digits=2`` mimics the cost columns.
+        """
+        if digits < 0:
+            raise ValidationError(f"digits must be >= 0, got {digits}")
+        return f"{self.mean:.{digits}f}±{self.std:.{digits}f}"
+
+    def __str__(self) -> str:
+        return self.format(digits=2)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of *values*.
+
+    Raises :class:`~repro.exceptions.ValidationError` for empty or
+    non-finite input — a silent NaN here would propagate into every
+    regenerated table.
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError("summarize expects a one-dimensional sample")
+    if arr.size == 0:
+        raise ValidationError("summarize expects a non-empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError("summarize expects only finite values")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

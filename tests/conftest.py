@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import load_dataset
+from repro.kg.generators import generate_profiled_kg
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.synthetic import SyntheticKG
+from repro.kg.triple import Triple
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for per-test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_kg() -> KnowledgeGraph:
+    """A hand-built 6-triple KG with 3 entity clusters and mu = 2/3."""
+    triples = [
+        Triple("e:alice", "bornIn", "v:paris"),
+        Triple("e:alice", "worksFor", "v:acme"),
+        Triple("e:bob", "bornIn", "v:rome"),
+        Triple("e:bob", "marriedTo", "e:alice"),
+        Triple("e:bob", "worksFor", "v:acme"),
+        Triple("e:carol", "bornIn", "v:berlin"),
+    ]
+    labels = [True, True, False, True, False, True]
+    return KnowledgeGraph(triples, labels)
+
+
+@pytest.fixture(scope="session")
+def nell_kg() -> KnowledgeGraph:
+    """The NELL dataset profile (session-scoped; generation is pure)."""
+    return load_dataset("NELL", seed=42)
+
+
+@pytest.fixture(scope="session")
+def yago_kg() -> KnowledgeGraph:
+    """The YAGO dataset profile."""
+    return load_dataset("YAGO", seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_kg() -> KnowledgeGraph:
+    """A mid-size profiled KG with accuracy 0.8 for framework tests."""
+    return generate_profiled_kg(
+        "medium", num_facts=3_000, num_clusters=1_000, accuracy=0.8, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def small_synthetic() -> SyntheticKG:
+    """A lazily-labelled synthetic KG small enough for exhaustive checks."""
+    return SyntheticKG(num_triples=50_000, num_clusters=2_500, accuracy=0.9, seed=3)

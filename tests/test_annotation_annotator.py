@@ -1,0 +1,57 @@
+"""Unit tests for annotators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation.annotator import NoisyAnnotator, OracleAnnotator
+from repro.exceptions import ValidationError
+
+
+class TestOracleAnnotator:
+    def test_replays_ground_truth(self, tiny_kg):
+        oracle = OracleAnnotator()
+        idx = np.arange(tiny_kg.num_triples)
+        assert np.array_equal(oracle.annotate(tiny_kg, idx), tiny_kg.labels(idx))
+
+    def test_subset(self, tiny_kg):
+        oracle = OracleAnnotator()
+        judged = oracle.annotate(tiny_kg, [0, 5])
+        assert judged.shape == (2,)
+
+    def test_repr(self):
+        assert repr(OracleAnnotator()) == "OracleAnnotator()"
+
+
+class TestNoisyAnnotator:
+    def test_zero_error_equals_oracle(self, tiny_kg):
+        noisy = NoisyAnnotator(error_rate=0.0, seed=0)
+        idx = np.arange(tiny_kg.num_triples)
+        assert np.array_equal(noisy.annotate(tiny_kg, idx), tiny_kg.labels(idx))
+
+    def test_full_error_flips_everything(self, tiny_kg):
+        noisy = NoisyAnnotator(error_rate=1.0, seed=0)
+        idx = np.arange(tiny_kg.num_triples)
+        assert np.array_equal(noisy.annotate(tiny_kg, idx), ~tiny_kg.labels(idx))
+
+    def test_error_rate_realised(self, medium_kg):
+        noisy = NoisyAnnotator(error_rate=0.2, seed=0)
+        idx = np.arange(medium_kg.num_triples)
+        judged = noisy.annotate(medium_kg, idx)
+        disagreement = float(np.mean(judged != medium_kg.labels(idx)))
+        assert disagreement == pytest.approx(0.2, abs=0.03)
+
+    def test_explicit_rng_is_deterministic(self, tiny_kg):
+        noisy = NoisyAnnotator(error_rate=0.5)
+        idx = np.arange(tiny_kg.num_triples)
+        a = noisy.annotate(tiny_kg, idx, rng=7)
+        b = noisy.annotate(tiny_kg, idx, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_quality_property(self):
+        assert NoisyAnnotator(0.15).quality == pytest.approx(0.85)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            NoisyAnnotator(error_rate=1.5)

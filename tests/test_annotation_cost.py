@@ -1,0 +1,67 @@
+"""Unit tests for the annotation cost model (paper Eq. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotation.cost import DEFAULT_COST_MODEL, AnnotationCost, CostModel
+from repro.exceptions import ValidationError
+
+
+class TestCostModel:
+    def test_paper_defaults(self):
+        assert DEFAULT_COST_MODEL.entity_cost == 45.0
+        assert DEFAULT_COST_MODEL.triple_cost == 25.0
+        assert DEFAULT_COST_MODEL.annotators_per_fact == 1
+
+    def test_eq12(self):
+        # cost = |E_S| * c1 + |T_S| * c2
+        cost = DEFAULT_COST_MODEL.price(num_entities=10, num_triples=30)
+        assert cost.seconds == 10 * 45 + 30 * 25
+
+    def test_hours_conversion(self):
+        cost = DEFAULT_COST_MODEL.price(num_entities=0, num_triples=144)
+        assert cost.hours == pytest.approx(144 * 25 / 3600)
+
+    def test_multi_annotator_multiplier(self):
+        model = CostModel(annotators_per_fact=3)
+        assert model.seconds(10, 30) == 3 * (10 * 45 + 30 * 25)
+
+    def test_shortcuts_match_price(self):
+        model = CostModel()
+        assert model.seconds(4, 9) == model.price(4, 9).seconds
+        assert model.hours(4, 9) == model.price(4, 9).hours
+
+    def test_zero_effort(self):
+        cost = DEFAULT_COST_MODEL.price(0, 0)
+        assert cost.seconds == 0.0
+        assert cost.hours == 0.0
+
+    def test_rejects_negative_entities(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_COST_MODEL.price(-1, 0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValidationError):
+            CostModel(entity_cost=-1.0)
+
+    def test_paper_example_yago_srs(self):
+        # ~33 distinct triples, ~33 distinct entities under SRS on YAGO
+        # gives ~0.64h, consistent with Table 3's 0.62±0.12.
+        cost = DEFAULT_COST_MODEL.price(33, 33)
+        assert cost.hours == pytest.approx(0.64, abs=0.01)
+
+
+class TestAnnotationCost:
+    def test_addition(self):
+        a = AnnotationCost(num_entities=2, num_triples=5, seconds=215.0)
+        b = AnnotationCost(num_entities=1, num_triples=3, seconds=120.0)
+        total = a + b
+        assert total.num_entities == 3
+        assert total.num_triples == 8
+        assert total.seconds == 335.0
+
+    def test_immutable(self):
+        cost = AnnotationCost(1, 1, 70.0)
+        with pytest.raises(AttributeError):
+            cost.seconds = 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for the annotation ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotation.ledger import AnnotationLedger
+from repro.exceptions import AnnotationError, ValidationError
+
+
+class TestRecord:
+    def test_counts_and_cost(self):
+        ledger = AnnotationLedger()
+        ledger.record(0, entity_id=10, label=True)
+        ledger.record(1, entity_id=10, label=False)
+        ledger.record(2, entity_id=11, label=True)
+        assert ledger.num_triples == 3
+        assert ledger.num_entities == 2
+        assert ledger.num_correct == 2
+        assert ledger.cost.seconds == 2 * 45 + 3 * 25
+
+    def test_idempotent_re_record(self):
+        ledger = AnnotationLedger()
+        assert ledger.record(5, 1, True) is True
+        assert ledger.record(5, 1, True) is False
+        assert ledger.num_triples == 1
+
+    def test_conflicting_label_raises(self):
+        ledger = AnnotationLedger()
+        ledger.record(5, 1, True)
+        with pytest.raises(AnnotationError):
+            ledger.record(5, 1, False)
+
+    def test_new_entity_flag(self):
+        ledger = AnnotationLedger()
+        ledger.record(0, 7, True)
+        ledger.record(1, 7, True)
+        entries = list(ledger)
+        assert entries[0].new_entity is True
+        assert entries[1].new_entity is False
+
+    def test_lookup(self):
+        ledger = AnnotationLedger()
+        ledger.record(3, 1, False)
+        assert ledger.has_triple(3)
+        assert not ledger.has_triple(4)
+        assert ledger.label_of(3) is False
+        with pytest.raises(AnnotationError):
+            ledger.label_of(4)
+
+    def test_record_batch(self):
+        ledger = AnnotationLedger()
+        added = ledger.record_batch([0, 1, 2, 0], [5, 5, 6, 5], [1, 0, 1, 1])
+        assert added == 3
+        assert ledger.num_triples == 3
+
+    def test_record_batch_shape_mismatch(self):
+        ledger = AnnotationLedger()
+        with pytest.raises(ValidationError):
+            ledger.record_batch([0, 1], [5], [True, False])
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        ledger = AnnotationLedger()
+        ledger.record_batch([4, 9, 2], [1, 1, 2], [True, False, True])
+        path = ledger.to_tsv(tmp_path / "ledger.tsv")
+        resumed = AnnotationLedger.from_tsv(path)
+        assert resumed.num_triples == 3
+        assert resumed.num_entities == 2
+        assert resumed.label_of(9) is False
+        assert resumed.cost.seconds == ledger.cost.seconds
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2\n")
+        with pytest.raises(ValidationError):
+            AnnotationLedger.from_tsv(path)
+
+
+class TestFrameworkIntegration:
+    def test_ledger_tracks_evaluation(self, nell_kg):
+        from repro.evaluation.framework import KGAccuracyEvaluator
+        from repro.intervals.ahpd import AdaptiveHPD
+        from repro.sampling.srs import SimpleRandomSampling
+
+        ledger = AnnotationLedger()
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, SimpleRandomSampling(), AdaptiveHPD(), ledger=ledger
+        )
+        result = evaluator.run(rng=0)
+        assert ledger.num_triples == result.n_triples
+        assert ledger.num_entities == result.n_entities
+        assert ledger.cost.seconds == result.cost.seconds
+
+    def test_ledger_accumulates_across_runs(self, nell_kg):
+        from repro.evaluation.framework import KGAccuracyEvaluator
+        from repro.intervals.wilson import WilsonInterval
+        from repro.sampling.srs import SimpleRandomSampling
+
+        ledger = AnnotationLedger()
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, SimpleRandomSampling(), WilsonInterval(), ledger=ledger
+        )
+        first = evaluator.run(rng=0)
+        after_first = ledger.num_triples
+        evaluator.run(rng=1)
+        # Overlapping draws across runs are recorded once.
+        assert after_first == first.n_triples
+        assert ledger.num_triples >= after_first

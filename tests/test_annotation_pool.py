@@ -1,0 +1,94 @@
+"""Unit tests for multi-annotator aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation.annotator import NoisyAnnotator, OracleAnnotator
+from repro.annotation.pool import AnnotatorPool, default_crowd, estimate_worker_quality
+from repro.exceptions import ValidationError
+
+
+class TestAnnotatorPool:
+    def test_unanimous_oracles(self, tiny_kg):
+        pool = AnnotatorPool([OracleAnnotator(), OracleAnnotator(), OracleAnnotator()])
+        idx = np.arange(tiny_kg.num_triples)
+        assert np.array_equal(pool.annotate(tiny_kg, idx), tiny_kg.labels(idx))
+
+    def test_majority_beats_single_noisy_worker(self, medium_kg):
+        # Two reliable + one adversarial worker: majority should follow
+        # the reliable pair.
+        pool = AnnotatorPool(
+            [OracleAnnotator(), OracleAnnotator(), NoisyAnnotator(1.0, seed=0)]
+        )
+        idx = np.arange(200)
+        assert np.array_equal(pool.annotate(medium_kg, idx), medium_kg.labels(idx))
+
+    def test_crowd_accuracy_beats_worst_worker(self, medium_kg):
+        workers = [NoisyAnnotator(rate, seed=i) for i, rate in enumerate((0.1, 0.15, 0.2))]
+        pool = AnnotatorPool(workers)
+        idx = np.arange(medium_kg.num_triples)
+        truth = medium_kg.labels(idx)
+        crowd_acc = float(np.mean(pool.annotate(medium_kg, idx, rng=0) == truth))
+        assert crowd_acc > 0.85  # better than the 0.8-quality worker
+
+    def test_weights_dominate(self, medium_kg):
+        # An expert with overwhelming weight outvotes two liars.
+        pool = AnnotatorPool(
+            [OracleAnnotator(), NoisyAnnotator(1.0, seed=0), NoisyAnnotator(1.0, seed=1)],
+            weights=[10.0, 1.0, 1.0],
+        )
+        idx = np.arange(100)
+        assert np.array_equal(pool.annotate(medium_kg, idx), medium_kg.labels(idx))
+
+    def test_tie_breaks_toward_correct(self, tiny_kg):
+        pool = AnnotatorPool(
+            [OracleAnnotator(), NoisyAnnotator(1.0, seed=0)]
+        )
+        idx = np.arange(tiny_kg.num_triples)
+        judged = pool.annotate(tiny_kg, idx)
+        # Oracle says truth, liar says inverse: equal weights tie -> True.
+        assert judged.all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            AnnotatorPool([])
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(ValidationError):
+            AnnotatorPool([OracleAnnotator()], weights=[1.0, 2.0])
+
+    def test_rejects_non_annotator(self):
+        with pytest.raises(ValidationError):
+            AnnotatorPool(["not a worker"])  # type: ignore[list-item]
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValidationError):
+            AnnotatorPool([OracleAnnotator(), OracleAnnotator()], weights=[0.0, 0.0])
+
+    def test_len(self):
+        assert len(AnnotatorPool([OracleAnnotator(), OracleAnnotator()])) == 2
+
+
+class TestWorkerQuality:
+    def test_oracle_quality_is_one(self, medium_kg):
+        quality = estimate_worker_quality(
+            OracleAnnotator(), medium_kg, np.arange(100)
+        )
+        assert quality == 1.0
+
+    def test_noisy_quality_estimate(self, medium_kg):
+        worker = NoisyAnnotator(0.25, seed=0)
+        quality = estimate_worker_quality(worker, medium_kg, np.arange(2_000))
+        assert quality == pytest.approx(0.75, abs=0.05)
+
+    def test_rejects_empty_gold(self, medium_kg):
+        with pytest.raises(ValidationError):
+            estimate_worker_quality(OracleAnnotator(), medium_kg, [])
+
+
+class TestDefaultCrowd:
+    def test_builds_three_workers(self):
+        crowd = default_crowd(seed=0)
+        assert len(crowd) == 3

@@ -1,0 +1,53 @@
+"""Unit tests for cluster-bootstrap variance estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.bootstrap import bootstrap_cluster_variance
+from repro.estimators.cluster import twcs_point_estimate
+from repro.exceptions import InsufficientSampleError, ValidationError
+
+
+class TestBootstrapVariance:
+    def test_matches_closed_form_for_mean(self, rng):
+        means = rng.random(60)
+        _, closed_form = twcs_point_estimate(means)
+        boot = bootstrap_cluster_variance(means, replicates=6_000, rng=0)
+        assert boot == pytest.approx(closed_form, rel=0.10)
+
+    def test_rescale_flag(self):
+        means = np.array([0.2, 0.4, 0.6, 0.8])
+        scaled = bootstrap_cluster_variance(means, replicates=4_000, rng=1, rescale=True)
+        raw = bootstrap_cluster_variance(means, replicates=4_000, rng=1, rescale=False)
+        assert scaled == pytest.approx(raw * 4 / 3)
+
+    def test_custom_estimator(self, rng):
+        means = rng.random(40)
+        var_median = bootstrap_cluster_variance(
+            means, replicates=800, rng=2, estimator=np.median
+        )
+        assert var_median > 0.0
+
+    def test_deterministic_under_seed(self):
+        means = np.linspace(0.1, 0.9, 20)
+        a = bootstrap_cluster_variance(means, replicates=500, rng=7)
+        b = bootstrap_cluster_variance(means, replicates=500, rng=7)
+        assert a == b
+
+    def test_identical_means_zero_variance(self):
+        assert bootstrap_cluster_variance([0.5] * 10, replicates=200, rng=0) == 0.0
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(InsufficientSampleError):
+            bootstrap_cluster_variance([0.5], replicates=100)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            bootstrap_cluster_variance(np.ones((2, 2)), replicates=100)
+
+    def test_variance_shrinks_with_clusters(self, rng):
+        few = bootstrap_cluster_variance(rng.random(10), replicates=2_000, rng=3)
+        many = bootstrap_cluster_variance(rng.random(160), replicates=2_000, rng=3)
+        assert many < few

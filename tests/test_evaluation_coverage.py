@@ -1,0 +1,59 @@
+"""Unit tests for the empirical coverage audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.coverage import coverage_profile, empirical_coverage
+from repro.exceptions import ValidationError
+from repro.intervals.hpd import HPDCredibleInterval
+from repro.intervals.wald import WaldInterval
+from repro.intervals.wilson import WilsonInterval
+
+
+class TestEmpiricalCoverage:
+    def test_wilson_near_nominal(self):
+        result = empirical_coverage(WilsonInterval(), mu=0.85, n=60, repetitions=3_000, rng=0)
+        assert result.coverage == pytest.approx(0.95, abs=0.03)
+
+    def test_wald_undercover_near_boundary(self):
+        # The Example 1 pathology: at mu = 0.99 and n = 30 the unanimous
+        # outcome (zero-width interval missing mu) dominates.
+        wald = empirical_coverage(WaldInterval(), mu=0.99, n=30, repetitions=3_000, rng=0)
+        wilson = empirical_coverage(WilsonInterval(), mu=0.99, n=30, repetitions=3_000, rng=0)
+        assert wald.coverage < 0.85
+        assert wilson.coverage > wald.coverage
+
+    def test_hpd_calibrated_mid_range(self):
+        result = empirical_coverage(
+            HPDCredibleInterval(), mu=0.7, n=100, repetitions=3_000, rng=0
+        )
+        assert result.coverage == pytest.approx(0.95, abs=0.03)
+
+    def test_shortfall_sign(self):
+        result = empirical_coverage(WaldInterval(), mu=0.99, n=30, repetitions=500, rng=0)
+        assert result.shortfall > 0
+
+    def test_nominal_property(self):
+        result = empirical_coverage(WilsonInterval(), mu=0.5, n=30, repetitions=100, rng=0)
+        assert result.nominal == pytest.approx(0.95)
+
+    def test_deterministic(self):
+        a = empirical_coverage(WilsonInterval(), mu=0.8, n=30, repetitions=200, rng=5)
+        b = empirical_coverage(WilsonInterval(), mu=0.8, n=30, repetitions=200, rng=5)
+        assert a.coverage == b.coverage
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            empirical_coverage(WilsonInterval(), mu=1.5, n=30)
+        with pytest.raises(ValidationError):
+            empirical_coverage(WilsonInterval(), mu=0.5, n=0)
+
+
+class TestCoverageProfile:
+    def test_one_result_per_mu(self):
+        results = coverage_profile(
+            WilsonInterval(), mus=[0.5, 0.9, 0.99], n=30, repetitions=200
+        )
+        assert [r.mu for r in results] == [0.5, 0.9, 0.99]
+        assert all(0.0 <= r.coverage <= 1.0 for r in results)

@@ -1,0 +1,168 @@
+"""Unit tests for the iterative evaluation framework (paper Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation.annotator import NoisyAnnotator
+from repro.evaluation.framework import EvaluationConfig, KGAccuracyEvaluator
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.intervals.wald import WaldInterval
+from repro.intervals.wilson import WilsonInterval
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = EvaluationConfig()
+        assert config.alpha == 0.05
+        assert config.epsilon == 0.05
+        assert config.min_triples == 30
+
+    def test_rejects_budget_below_minimum(self):
+        with pytest.raises(ValidationError):
+            EvaluationConfig(min_triples=100, max_triples=50)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            EvaluationConfig(alpha=1.5)
+
+
+class TestRunSRS:
+    def test_converges_and_meets_moe(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, SimpleRandomSampling(), AdaptiveHPD()
+        )
+        result = evaluator.run(rng=0)
+        assert result.converged
+        assert result.moe <= 0.05
+        assert result.n_annotated >= 30
+
+    def test_estimate_near_truth(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        estimates = [evaluator.run(rng=seed).mu_hat for seed in range(40)]
+        assert np.mean(estimates) == pytest.approx(nell_kg.accuracy, abs=0.02)
+
+    def test_deterministic_under_seed(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), AdaptiveHPD())
+        a = evaluator.run(rng=123)
+        b = evaluator.run(rng=123)
+        assert a.n_annotated == b.n_annotated
+        assert a.mu_hat == b.mu_hat
+        assert a.interval.lower == b.interval.lower
+
+    def test_minimum_sample_respected(self, yago_kg):
+        # YAGO's high accuracy converges immediately at the minimum.
+        evaluator = KGAccuracyEvaluator(yago_kg, SimpleRandomSampling(), WaldInterval())
+        result = evaluator.run(rng=5)
+        assert result.n_annotated >= 30
+
+    def test_trace_records_iterations(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), WilsonInterval())
+        result = evaluator.run(rng=0, keep_trace=True)
+        assert len(result.trace) == result.iterations
+        # MoE at the final record equals the result's MoE.
+        assert result.trace[-1].moe == pytest.approx(result.moe)
+        # Sample size grows monotonically along the trace.
+        sizes = [record.n_annotated for record in result.trace]
+        assert sizes == sorted(sizes)
+
+    def test_no_trace_by_default(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), WilsonInterval())
+        assert evaluator.run(rng=0).trace == ()
+
+    def test_cost_accounting(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), AdaptiveHPD())
+        result = evaluator.run(rng=0)
+        expected_seconds = result.n_entities * 45 + result.n_triples * 25
+        assert result.cost.seconds == pytest.approx(expected_seconds)
+        assert result.cost_hours == pytest.approx(expected_seconds / 3600)
+
+    def test_n_entities_at_most_n_triples(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), AdaptiveHPD())
+        result = evaluator.run(rng=0)
+        assert result.n_entities <= result.n_triples
+
+
+class TestRunTWCS:
+    def test_converges(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, TwoStageWeightedClusterSampling(m=3), AdaptiveHPD()
+        )
+        result = evaluator.run(rng=0)
+        assert result.converged
+        assert result.moe <= 0.05
+        assert result.n_units >= 2
+
+    def test_units_are_clusters(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(
+            nell_kg, TwoStageWeightedClusterSampling(m=3), WilsonInterval()
+        )
+        result = evaluator.run(rng=0)
+        # With m = 3 and avg cluster 2.28, triples ≈ units * [1, 3].
+        assert result.n_units <= result.n_annotated <= 3 * result.n_units
+
+    def test_twcs_cheaper_than_srs(self, nell_kg):
+        # The entity-identification saving is the point of TWCS.
+        srs_cost = np.mean(
+            [
+                KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), AdaptiveHPD())
+                .run(rng=seed)
+                .cost_hours
+                for seed in range(15)
+            ]
+        )
+        twcs_cost = np.mean(
+            [
+                KGAccuracyEvaluator(
+                    nell_kg, TwoStageWeightedClusterSampling(m=3), AdaptiveHPD()
+                )
+                .run(rng=seed)
+                .cost_hours
+                for seed in range(15)
+            ]
+        )
+        assert twcs_cost < srs_cost
+
+
+class TestBudget:
+    def test_budget_raises_by_default(self, medium_kg):
+        config = EvaluationConfig(epsilon=0.001, max_triples=60)
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval(), config=config
+        )
+        with pytest.raises(ConvergenceError):
+            evaluator.run(rng=0)
+
+    def test_budget_can_return_unconverged(self, medium_kg):
+        config = EvaluationConfig(epsilon=0.001, max_triples=60, raise_on_budget=False)
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval(), config=config
+        )
+        result = evaluator.run(rng=0)
+        assert not result.converged
+        assert result.moe > 0.001
+
+
+class TestAnnotatorIntegration:
+    def test_noisy_annotator_biases_estimate(self, medium_kg):
+        # A worker who flips 30% of labels pulls the estimate toward 0.5.
+        evaluator = KGAccuracyEvaluator(
+            medium_kg,
+            SimpleRandomSampling(),
+            WilsonInterval(),
+            annotator=NoisyAnnotator(0.3, seed=0),
+        )
+        estimates = [evaluator.run(rng=seed).mu_hat for seed in range(30)]
+        expected = 0.7 * medium_kg.accuracy + 0.3 * (1 - medium_kg.accuracy)
+        assert np.mean(estimates) == pytest.approx(expected, abs=0.04)
+
+    def test_repr(self, nell_kg):
+        evaluator = KGAccuracyEvaluator(nell_kg, SimpleRandomSampling(), AdaptiveHPD())
+        text = repr(evaluator)
+        assert "SRS" in text and "aHPD" in text

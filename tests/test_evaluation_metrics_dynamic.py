@@ -1,0 +1,112 @@
+"""Unit tests for metrics and the evolving-KG auditor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.dynamic import DynamicAuditor
+from repro.evaluation.framework import EvaluationConfig
+from repro.evaluation.metrics import cost_reduction, reduction_ratio, triples_reduction
+from repro.evaluation.runner import StudyResult
+from repro.exceptions import ValidationError
+from repro.kg.generators import generate_profiled_kg
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+
+
+class TestReductionRatio:
+    def test_cheaper_candidate_is_negative(self):
+        assert reduction_ratio(2.0, 1.0) == pytest.approx(-0.5)
+
+    def test_equal_is_zero(self):
+        assert reduction_ratio(3.0, 3.0) == 0.0
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValidationError):
+            reduction_ratio(0.0, 1.0)
+
+    def test_study_helpers(self):
+        def study(label, cost):
+            n = 20
+            return StudyResult(
+                label=label,
+                triples=np.full(n, int(cost * 100)),
+                cost_hours=np.full(n, cost),
+                estimates=np.full(n, 0.9),
+                entities=np.full(n, 10),
+                converged=np.ones(n, dtype=bool),
+            )
+
+        baseline, candidate = study("w", 2.0), study("a", 1.0)
+        assert cost_reduction(baseline, candidate) == pytest.approx(-0.5)
+        assert triples_reduction(baseline, candidate) == pytest.approx(-0.5)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    base = generate_profiled_kg("dyn", 3_000, 1_000, accuracy=0.85, seed=0)
+    update = generate_profiled_kg("upd", 1_500, 500, accuracy=0.85, seed=1)
+    return [base, base.merge(update)]
+
+
+class TestDynamicAuditor:
+    def test_audit_round_produces_prior(self, snapshots):
+        auditor = DynamicAuditor(strategy=TwoStageWeightedClusterSampling(m=3))
+        record = auditor.audit_round(snapshots[0], rng=0)
+        assert record.carried_prior is None
+        assert record.posterior_prior.mean == pytest.approx(record.result.mu_hat, abs=0.01)
+        assert record.result.converged
+
+    def test_stream_carries_priors(self, snapshots):
+        auditor = DynamicAuditor(strategy=TwoStageWeightedClusterSampling(m=3))
+        records = auditor.audit_stream(snapshots, seed=0)
+        assert records[0].carried_prior is None
+        assert records[1].carried_prior is records[0].posterior_prior
+
+    def test_carryover_zero_disables(self, snapshots):
+        auditor = DynamicAuditor(
+            strategy=TwoStageWeightedClusterSampling(m=3), carryover=0.0
+        )
+        records = auditor.audit_stream(snapshots, seed=0)
+        assert records[1].carried_prior is None
+
+    def test_carried_prior_reduces_cost_when_stable(self, snapshots):
+        strategy = TwoStageWeightedClusterSampling(m=3)
+        config = EvaluationConfig()
+        carried = DynamicAuditor(strategy=strategy, config=config, carryover=1.0)
+        independent = DynamicAuditor(strategy=strategy, config=config, carryover=0.0)
+        triples_carried = []
+        triples_indep = []
+        for seed in range(8):
+            triples_carried.append(
+                carried.audit_stream(snapshots, seed=seed)[1].result.n_triples
+            )
+            triples_indep.append(
+                independent.audit_stream(snapshots, seed=seed)[1].result.n_triples
+            )
+        assert np.mean(triples_carried) < np.mean(triples_indep)
+
+    def test_drift_still_converges_correctly(self):
+        # A deceptive carried prior must not corrupt the estimate.
+        base = generate_profiled_kg("dyn", 3_000, 1_000, accuracy=0.85, seed=0)
+        drifted = base.merge(
+            generate_profiled_kg("bad", 4_000, 1_500, accuracy=0.3, seed=2)
+        )
+        auditor = DynamicAuditor(strategy=TwoStageWeightedClusterSampling(m=3))
+        records = auditor.audit_stream([base, drifted], seed=0)
+        final = records[1].result
+        assert final.converged
+        assert final.mu_hat == pytest.approx(drifted.accuracy, abs=0.08)
+
+    def test_prior_strength_capped(self, snapshots):
+        auditor = DynamicAuditor(
+            strategy=TwoStageWeightedClusterSampling(m=3), max_prior_strength=50.0
+        )
+        record = auditor.audit_round(snapshots[0], rng=0)
+        assert record.posterior_prior.strength <= 50.0 + 1e-9
+
+    def test_rejects_bad_carryover(self):
+        with pytest.raises(ValidationError):
+            DynamicAuditor(
+                strategy=TwoStageWeightedClusterSampling(m=3), carryover=1.5
+            )

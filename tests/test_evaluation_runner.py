@@ -1,0 +1,85 @@
+"""Unit tests for the Monte-Carlo study harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.framework import KGAccuracyEvaluator
+from repro.evaluation.runner import run_study
+from repro.exceptions import ValidationError
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.intervals.wilson import WilsonInterval
+from repro.sampling.srs import SimpleRandomSampling
+
+
+@pytest.fixture(scope="module")
+def nell_study(request):
+    from repro.kg.datasets import load_dataset
+
+    kg = load_dataset("NELL", seed=42)
+    evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), AdaptiveHPD())
+    return run_study(evaluator, repetitions=40, seed=0, label="nell/ahpd")
+
+
+class TestRunStudy:
+    def test_arrays_sized(self, nell_study):
+        assert nell_study.repetitions == 40
+        assert nell_study.triples.shape == (40,)
+        assert nell_study.cost_hours.shape == (40,)
+        assert nell_study.estimates.shape == (40,)
+
+    def test_all_converged(self, nell_study):
+        assert nell_study.convergence_rate == 1.0
+
+    def test_label(self, nell_study):
+        assert nell_study.label == "nell/ahpd"
+
+    def test_summaries(self, nell_study):
+        assert nell_study.triples_summary.mean == pytest.approx(
+            nell_study.triples.mean()
+        )
+        assert nell_study.cost_summary.count == 40
+
+    def test_estimate_bias_small(self, nell_study):
+        assert abs(nell_study.estimate_bias(0.91)) < 0.03
+
+    def test_deterministic(self):
+        from repro.kg.datasets import load_dataset
+
+        kg = load_dataset("NELL", seed=42)
+        evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval())
+        a = run_study(evaluator, repetitions=10, seed=7)
+        b = run_study(evaluator, repetitions=10, seed=7)
+        assert np.array_equal(a.triples, b.triples)
+        assert np.array_equal(a.cost_hours, b.cost_hours)
+
+    def test_seed_changes_outcomes(self):
+        from repro.kg.datasets import load_dataset
+
+        kg = load_dataset("NELL", seed=42)
+        evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval())
+        a = run_study(evaluator, repetitions=10, seed=1)
+        b = run_study(evaluator, repetitions=10, seed=2)
+        assert not np.array_equal(a.triples, b.triples)
+
+    def test_default_label(self):
+        from repro.kg.datasets import load_dataset
+
+        kg = load_dataset("NELL", seed=42)
+        evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval())
+        study = run_study(evaluator, repetitions=3, seed=0)
+        assert study.label == "SRS/Wilson"
+
+    def test_rejects_zero_repetitions(self):
+        from repro.kg.datasets import load_dataset
+
+        kg = load_dataset("NELL", seed=42)
+        evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval())
+        with pytest.raises(ValidationError):
+            run_study(evaluator, repetitions=0)
+
+    def test_str(self, nell_study):
+        text = str(nell_study)
+        assert "nell/ahpd" in text
+        assert "triples=" in text

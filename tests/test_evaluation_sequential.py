@@ -1,0 +1,66 @@
+"""Unit tests for the sequential-coverage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.framework import EvaluationConfig
+from repro.evaluation.sequential import sequential_coverage
+from repro.exceptions import ValidationError
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.intervals.wald import WaldInterval
+from repro.intervals.wilson import WilsonInterval
+
+
+class TestSequentialCoverage:
+    def test_basic_fields(self):
+        result = sequential_coverage(WilsonInterval(), mu=0.85, repetitions=60, seed=0)
+        assert result.method == "Wilson"
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.mean_stopping_n >= 30
+        assert result.repetitions == 60
+        assert result.nominal == pytest.approx(0.95)
+
+    def test_deterministic(self):
+        a = sequential_coverage(WilsonInterval(), mu=0.85, repetitions=40, seed=3)
+        b = sequential_coverage(WilsonInterval(), mu=0.85, repetitions=40, seed=3)
+        assert a.coverage == b.coverage
+        assert a.mean_stopping_n == b.mean_stopping_n
+
+    def test_wald_boundary_collapse_survives_stopping(self):
+        # The Example 1 pathology is even starker sequentially: Wald
+        # stops on unanimous minimum samples with a zero-width miss.
+        wald = sequential_coverage(WaldInterval(), mu=0.99, repetitions=150, seed=0)
+        wilson = sequential_coverage(WilsonInterval(), mu=0.99, repetitions=150, seed=0)
+        assert wald.coverage < wilson.coverage
+        assert wald.shortfall > 0.10
+
+    def test_ahpd_reasonable_sequential_coverage(self):
+        result = sequential_coverage(AdaptiveHPD(), mu=0.85, repetitions=150, seed=0)
+        assert result.coverage > 0.80
+
+    def test_stopping_time_scales_with_difficulty(self):
+        easy = sequential_coverage(AdaptiveHPD(), mu=0.95, repetitions=40, seed=0)
+        hard = sequential_coverage(AdaptiveHPD(), mu=0.55, repetitions=40, seed=0)
+        assert hard.mean_stopping_n > easy.mean_stopping_n
+
+    def test_tighter_epsilon_stops_later(self):
+        loose = sequential_coverage(
+            WilsonInterval(),
+            mu=0.85,
+            config=EvaluationConfig(epsilon=0.05),
+            repetitions=40,
+            seed=0,
+        )
+        tight = sequential_coverage(
+            WilsonInterval(),
+            mu=0.85,
+            config=EvaluationConfig(epsilon=0.03),
+            repetitions=40,
+            seed=0,
+        )
+        assert tight.mean_stopping_n > loose.mean_stopping_n
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValidationError):
+            sequential_coverage(WilsonInterval(), mu=1.5, repetitions=10)

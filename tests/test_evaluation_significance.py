@@ -1,0 +1,71 @@
+"""Unit tests for the significance-testing layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.runner import StudyResult
+from repro.evaluation.significance import (
+    compare_costs,
+    compare_triples,
+    significance_markers,
+)
+
+
+def _study(label: str, cost_mean: float, cost_std: float, n: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    cost = rng.normal(cost_mean, cost_std, size=n)
+    triples = np.clip((cost * 120).astype(np.int64), 30, None)
+    return StudyResult(
+        label=label,
+        triples=triples,
+        cost_hours=cost,
+        estimates=np.full(n, 0.9),
+        entities=triples,
+        converged=np.ones(n, dtype=bool),
+    )
+
+
+class TestCompareCosts:
+    def test_clear_difference_significant(self):
+        a = _study("ahpd", 1.5, 0.2, seed=1)
+        b = _study("wilson", 2.0, 0.2, seed=2)
+        comparison = compare_costs(a, b)
+        assert comparison.significant
+        assert comparison.better == "ahpd"
+
+    def test_identical_distributions_not_significant(self):
+        a = _study("a", 2.0, 0.3, seed=3)
+        b = _study("b", 2.0, 0.3, seed=4)
+        assert not compare_costs(a, b).significant
+
+    def test_str(self):
+        text = str(compare_costs(_study("a", 1.0, 0.1, seed=5), _study("b", 1.0, 0.1, seed=6)))
+        assert "a (" in text and "vs b" in text
+
+
+class TestCompareTriples:
+    def test_uses_triples_column(self):
+        a = _study("a", 1.0, 0.1, seed=7)
+        b = _study("b", 3.0, 0.1, seed=8)
+        comparison = compare_triples(a, b)
+        assert comparison.mean_a == pytest.approx(a.triples.mean())
+        assert comparison.significant
+
+
+class TestMarkers:
+    def test_both_markers(self):
+        candidate = _study("ahpd", 1.0, 0.1, seed=9)
+        wald = _study("wald", 1.5, 0.1, seed=10)
+        wilson = _study("wilson", 1.6, 0.1, seed=11)
+        assert significance_markers(candidate, wald, wilson) == "†‡"
+
+    def test_wilson_only(self):
+        candidate = _study("ahpd", 1.0, 0.2, seed=12)
+        tied = _study("wald", 1.0, 0.2, seed=13)
+        wilson = _study("wilson", 2.0, 0.2, seed=14)
+        assert significance_markers(candidate, tied, wilson) == "‡"
+
+    def test_no_baselines_no_markers(self):
+        assert significance_markers(_study("x", 1.0, 0.1)) == ""

@@ -1,0 +1,95 @@
+"""Behavioural tests of the evaluation loop's convergence dynamics.
+
+These probe the *shape* of the iterative procedure — how the MoE decays
+and the interval tightens — complementing the outcome-level framework
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.framework import EvaluationConfig, KGAccuracyEvaluator
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.intervals.wilson import WilsonInterval
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+
+
+class TestConvergenceDynamics:
+    def test_moe_trends_downward(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        trace = evaluator.run(rng=0, keep_trace=True).trace
+        moes = np.array([record.moe for record in trace])
+        # The MoE is noisy step to step but the decade trend is down.
+        if moes.size >= 20:
+            first_decile = moes[: moes.size // 10 + 1].mean()
+            last_decile = moes[-(moes.size // 10 + 1):].mean()
+            assert last_decile < first_decile
+
+    def test_only_final_moe_meets_threshold(self, medium_kg):
+        # The stop rule fires at the *first* crossing: every earlier
+        # consultation must be above epsilon.
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        trace = evaluator.run(rng=1, keep_trace=True).trace
+        for record in trace[:-1]:
+            assert record.moe > 0.05
+        assert trace[-1].moe <= 0.05
+
+    def test_moe_scales_inverse_sqrt_n(self, medium_kg):
+        # Between consultations k and 4k the MoE should roughly halve.
+        config = EvaluationConfig(epsilon=0.02, max_triples=5_000)
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval(), config=config
+        )
+        trace = evaluator.run(rng=2, keep_trace=True).trace
+        by_n = {record.n_annotated: record.moe for record in trace}
+        pairs = [(n, 4 * n) for n in (50, 100, 200) if n in by_n and 4 * n in by_n]
+        assert pairs, "trace too short for the scaling check"
+        for n, n4 in pairs:
+            ratio = by_n[n4] / by_n[n]
+            assert 0.3 < ratio < 0.75  # ideal is 0.5
+
+    def test_estimates_concentrate(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        trace = evaluator.run(rng=3, keep_trace=True).trace
+        early = [r.mu_hat for r in trace[:5]]
+        late = [r.mu_hat for r in trace[-5:]]
+        truth = medium_kg.accuracy
+        assert abs(np.mean(late) - truth) <= abs(np.mean(early) - truth) + 0.05
+
+    def test_twcs_trace_units_grow_by_cluster(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, TwoStageWeightedClusterSampling(m=3), WilsonInterval()
+        )
+        trace = evaluator.run(rng=0, keep_trace=True).trace
+        increments = np.diff([record.n_annotated for record in trace])
+        assert np.all(increments >= 1)
+        assert np.all(increments <= 3)
+
+    def test_ahpd_interval_never_wider_than_each_consultation(self, medium_kg):
+        # At every consultation the recorded aHPD interval satisfies
+        # the width race against a fixed Jeffreys HPD on the same data.
+        from repro.intervals.hpd import HPDCredibleInterval
+
+        ahpd_eval = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), AdaptiveHPD()
+        )
+        fixed_eval = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), HPDCredibleInterval()
+        )
+        ahpd_trace = ahpd_eval.run(rng=9, keep_trace=True).trace
+        fixed_trace = fixed_eval.run(rng=9, keep_trace=True).trace
+        # Same seed => same sample path while both are still running.
+        for a_rec, f_rec in zip(ahpd_trace, fixed_trace):
+            assert a_rec.n_annotated == f_rec.n_annotated
+            assert (a_rec.upper - a_rec.lower) <= (
+                f_rec.upper - f_rec.lower
+            ) + 1e-9

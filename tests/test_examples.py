@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each script runs in a subprocess with the repository's
+``src`` on the path and must exit 0 with its headline output present.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "estimated accuracy"),
+    ("audit_large_kg.py", "SYN 100M"),
+    ("compare_interval_methods.py", "empirical coverage"),
+    ("dynamic_kg_audit.py", "re-audit annotations saved"),
+    ("predicate_quality_report.py", "curation priority"),
+    ("plan_audit_budget.py", "planner prediction"),
+    ("informative_priors.py", "informative priors save"),
+]
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, marker):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert on_disk == covered, "update CASES when adding examples"

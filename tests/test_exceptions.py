@@ -1,0 +1,52 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            exc.ValidationError,
+            exc.KGError,
+            exc.AnnotationError,
+            exc.SamplingError,
+            exc.EstimationError,
+            exc.IntervalError,
+            exc.EvaluationError,
+            exc.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, exc.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # So that callers using stdlib idioms still catch bad arguments.
+        assert issubclass(exc.ValidationError, ValueError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(exc.UnknownEntityError, KeyError)
+        assert issubclass(exc.UnknownTripleError, KeyError)
+        assert issubclass(exc.MissingLabelError, KeyError)
+
+    def test_interval_sub_hierarchy(self):
+        assert issubclass(exc.PriorError, exc.IntervalError)
+        assert issubclass(exc.OptimizationError, exc.IntervalError)
+
+    def test_evaluation_sub_hierarchy(self):
+        assert issubclass(exc.ConvergenceError, exc.EvaluationError)
+
+    def test_sampling_sub_hierarchy(self):
+        assert issubclass(exc.InsufficientSampleError, exc.SamplingError)
+
+    def test_catching_base_catches_library_errors(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.ConvergenceError("budget exhausted")
+
+    def test_all_exports_exist(self):
+        for name in exc.__all__:
+            assert hasattr(exc, name)

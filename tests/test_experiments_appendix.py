@@ -1,0 +1,48 @@
+"""Tests for the online-appendix sampling-strategy experiment and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.experiments.appendix_sampling import run_appendix_sampling
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.figure2 import run_figure2
+
+SETTINGS = ExperimentSettings(repetitions=3, datasets=("YAGO",))
+
+
+class TestAppendixSampling:
+    def test_all_strategies_present(self):
+        report = run_appendix_sampling(SETTINGS)
+        assert [row["sampling"] for row in report.rows] == [
+            "SRS",
+            "TWCS",
+            "WCS",
+            "STRAT",
+        ]
+
+    def test_cells_formatted(self):
+        report = run_appendix_sampling(SETTINGS)
+        for row in report.rows:
+            assert "±" in str(row["YAGO triples"])
+            assert "±" in str(row["YAGO cost"])
+
+    def test_registered_in_cli(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "appendix-sampling" in EXPERIMENTS
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        report = run_figure2(SETTINGS)
+        path = report.to_csv(tmp_path / "figure2.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(report.headers)
+        assert len(rows) == len(report.rows) + 1
+
+    def test_creates_parents(self, tmp_path):
+        report = run_figure2(SETTINGS)
+        path = report.to_csv(tmp_path / "nested" / "out.csv")
+        assert path.exists()

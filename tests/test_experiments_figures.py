@@ -1,0 +1,106 @@
+"""Content tests for the analytic experiments (Table 1, Figures 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.figure2 import FIGURE2_SCENARIOS, et_waste_ratio, run_figure2
+from repro.experiments.figure3 import compute_figure3, expected_hpd_width, run_figure3
+from repro.experiments.table1 import run_table1
+from repro.intervals.priors import JEFFREYS, KERMAN, UNIFORM
+
+SETTINGS = ExperimentSettings(repetitions=5)
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        report = run_table1(SETTINGS, include_syn100m=False)
+        rows = {row["dataset"]: row for row in report.rows}
+        assert rows["YAGO"]["num_facts"] == 1_386
+        assert rows["NELL"]["num_clusters"] == 817
+        assert rows["DBPEDIA"]["avg_cluster_size"] == pytest.approx(3.18)
+        assert rows["FACTBENCH"]["accuracy"] == pytest.approx(0.54)
+
+    def test_syn100m_row(self):
+        report = run_table1(SETTINGS, include_syn100m=True)
+        syn = report.rows[-1]
+        assert syn["num_facts"] == 101_415_011
+        assert syn["num_clusters"] == 5_000_000
+        assert syn["avg_cluster_size"] == pytest.approx(20.28)
+
+
+class TestFigure2:
+    def test_three_scenarios(self):
+        report = run_figure2(SETTINGS)
+        assert [row["scenario"] for row in report.rows] == [
+            "symmetric",
+            "moderately skewed",
+            "highly skewed",
+        ]
+
+    def test_symmetric_panel_identical_intervals(self):
+        report = run_figure2(SETTINGS)
+        row = report.rows[0]
+        assert row["et_interval"] == row["hpd_interval"]
+        assert row["width_gain"] == "0.0%"
+
+    def test_paper_waste_ratio_claims(self):
+        # Moderate skew: < 75%; high skew: ~< 20% (paper Sec. 4.2).
+        moderate = et_waste_ratio(FIGURE2_SCENARIOS[1].posterior(), 0.05)
+        high = et_waste_ratio(FIGURE2_SCENARIOS[2].posterior(), 0.05)
+        assert moderate < 0.75
+        assert high < 0.25
+        assert high < moderate
+
+    def test_hpd_width_never_larger(self):
+        report = run_figure2(SETTINGS)
+        for row in report.rows:
+            assert row["hpd_width"] <= row["et_width"] + 1e-9
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return compute_figure3(n=30, alpha=0.05, grid_points=99)
+
+    def test_curves_positive_and_bounded(self, series):
+        for widths in series.widths_by_prior.values():
+            assert np.all(widths > 0)
+            assert np.all(widths < 1)
+
+    def test_kerman_optimal_at_extremes(self, series):
+        winners = series.optimal_prior()
+        assert winners[0] == "Kerman"
+        assert winners[-1] == "Kerman"
+
+    def test_uniform_optimal_at_centre(self, series):
+        winners = series.optimal_prior()
+        centre = len(winners) // 2
+        assert winners[centre] == "Uniform"
+
+    def test_jeffreys_never_optimal(self, series):
+        # The paper's headline Fig. 3 finding.
+        assert "Jeffreys" not in set(series.optimal_prior())
+
+    def test_jeffreys_between_the_others(self):
+        # Jeffreys is a trade-off: between Kerman and Uniform widths.
+        mus = np.array([0.05, 0.5, 0.95])
+        kerman = expected_hpd_width(KERMAN, 30, 0.05, mus)
+        jeffreys = expected_hpd_width(JEFFREYS, 30, 0.05, mus)
+        uniform = expected_hpd_width(UNIFORM, 30, 0.05, mus)
+        lower = np.minimum(kerman, uniform)
+        upper = np.maximum(kerman, uniform)
+        assert np.all(jeffreys >= lower - 1e-9)
+        assert np.all(jeffreys <= upper + 1e-9)
+
+    def test_symmetry_of_curves(self, series):
+        # Uninformative priors are symmetric, so E[w](mu) == E[w](1-mu).
+        for widths in series.widths_by_prior.values():
+            assert np.allclose(widths, widths[::-1], atol=1e-9)
+
+    def test_report_renders(self):
+        report = run_figure3(SETTINGS, n=30, grid_points=39)
+        assert "Kerman" in report.render()
+        assert any("optimal" in note for note in report.notes)

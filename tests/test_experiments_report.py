@@ -1,0 +1,64 @@
+"""Unit tests for experiment report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.report import ExperimentReport, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows have equal width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [["only one"]])
+
+
+class TestExperimentReport:
+    def _report(self):
+        report = ExperimentReport(
+            experiment_id="t", title="Test", headers=("a", "b")
+        )
+        report.add_row(a=1, b=2)
+        report.add_row(a=3, b=4)
+        return report
+
+    def test_add_row_and_column(self):
+        report = self._report()
+        assert report.column("a") == [1, 3]
+        assert report.column("b") == [2, 4]
+
+    def test_add_row_missing_cell(self):
+        report = ExperimentReport("t", "Test", headers=("a", "b"))
+        with pytest.raises(ValidationError):
+            report.add_row(a=1)
+
+    def test_unknown_column(self):
+        with pytest.raises(ValidationError):
+            self._report().column("zzz")
+
+    def test_render_includes_title_and_notes(self):
+        report = self._report()
+        report.notes.append("a note")
+        text = report.render()
+        assert "== t: Test ==" in text
+        assert "note: a note" in text
+
+    def test_str_is_render(self):
+        report = self._report()
+        assert str(report) == report.render()

@@ -1,0 +1,29 @@
+"""Smoke tests for the sequential-coverage experiment module."""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.sequential_coverage import run_sequential_coverage
+
+
+class TestSequentialCoverageExperiment:
+    def test_structure(self):
+        report = run_sequential_coverage(
+            ExperimentSettings(repetitions=20), mus=(0.91, 0.54)
+        )
+        assert [row["method"] for row in report.rows] == ["Wald", "Wilson", "aHPD"]
+        for row in report.rows:
+            for column in ("mu=0.91", "mu=0.54"):
+                assert str(row[column]).endswith("%")
+
+    def test_registered_in_cli(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "sequential-coverage" in EXPERIMENTS
+
+    def test_mean_stopping_reported(self):
+        report = run_sequential_coverage(
+            ExperimentSettings(repetitions=10), mus=(0.91,)
+        )
+        for row in report.rows:
+            assert float(row["mean n @0.91"]) >= 30

@@ -1,0 +1,112 @@
+"""Smoke + shape tests for the Monte-Carlo experiment modules.
+
+Full 1,000-repetition reproductions live in the benchmark harness; here
+each experiment runs with a handful of repetitions on a reduced dataset
+roster to validate wiring, table shapes, and the qualitative orderings
+that don't need large samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_batch_size_ablation, run_hpd_solver_ablation
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.coverage_audit import run_coverage_audit
+from repro.experiments.dynamic_audit import run_dynamic_audit
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+from repro.experiments.figure4 import figure4_studies, run_figure4
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3, table3_studies
+from repro.experiments.table4 import run_table4
+
+SMALL = ExperimentSettings(repetitions=4, datasets=("YAGO", "NELL"))
+TINY = ExperimentSettings(repetitions=3, datasets=("YAGO",))
+
+
+class TestTable2:
+    def test_shape_and_content(self):
+        report = run_table2(SMALL)
+        assert len(report.rows) == 7  # 3 ET + 3 HPD + aHPD
+        assert set(report.headers) == {"interval", "YAGO", "NELL"}
+        for row in report.rows:
+            for dataset in ("YAGO", "NELL"):
+                assert "±" in str(row[dataset])
+
+
+class TestTable3:
+    def test_structure(self):
+        report = run_table3(SMALL, strategies=("SRS",))
+        assert len(report.rows) == 3  # Wald, Wilson, aHPD
+        assert any("†" in str(note) for note in report.notes)
+
+    def test_studies_keys(self):
+        studies = table3_studies(TINY, strategies=("SRS",))
+        assert ("YAGO", "SRS", "aHPD") in studies
+        assert studies[("YAGO", "SRS", "aHPD")].repetitions == 3
+
+
+class TestTable4:
+    def test_syn100m_single_cell(self):
+        settings = ExperimentSettings(repetitions=3)
+        report = run_table4(settings, accuracies=(0.9,), strategies=("SRS",))
+        assert len(report.rows) == 3
+        assert "mu=0.9 triples" in report.headers
+
+
+class TestFigure4:
+    def test_reduction_column(self):
+        report = run_figure4(TINY, alphas=(0.10,), strategies=("SRS",))
+        assert len(report.rows) == 1
+        assert report.rows[0]["reduction"].endswith("%")
+
+    def test_studies_carry_alpha(self):
+        studies = figure4_studies(TINY, alphas=(0.10,), strategies=("SRS",))
+        assert ("YAGO", "SRS", 0.10, "aHPD") in studies
+
+
+class TestExamples:
+    def test_example1_rows(self):
+        report = run_example1(ExperimentSettings(repetitions=30))
+        quantities = [row["quantity"] for row in report.rows]
+        assert "zero-width interval rate" in quantities
+
+    def test_example2_rows(self):
+        report = run_example2(ExperimentSettings(repetitions=3))
+        assert [row["configuration"] for row in report.rows] == [
+            "aHPD informative",
+            "aHPD uninformative",
+        ]
+
+
+class TestCoverageAudit:
+    def test_rows_per_method(self):
+        report = run_coverage_audit(
+            ExperimentSettings(repetitions=50), mus=(0.91, 0.5), n=30
+        )
+        methods = [row["method"] for row in report.rows]
+        assert "Wald" in methods and "aHPD" in methods
+        assert "Arcsine" in methods and "Logit" in methods
+        assert len(report.rows) == 8
+
+
+class TestDynamicAudit:
+    def test_two_regimes(self):
+        report = run_dynamic_audit(ExperimentSettings(repetitions=3))
+        regimes = {row["regime"] for row in report.rows}
+        assert regimes == {"stable", "drift"}
+
+
+class TestAblations:
+    def test_hpd_solver_agreement(self):
+        report = run_hpd_solver_ablation(ExperimentSettings(repetitions=3), n=20)
+        devs = [float(str(row["max_dev_vs_slsqp"])) for row in report.rows]
+        assert max(devs) < 1e-6
+
+    def test_batch_ablation_overshoot(self):
+        report = run_batch_size_ablation(
+            ExperimentSettings(repetitions=5), batch_sizes=(1, 30)
+        )
+        assert len(report.rows) == 2
+        assert report.rows[0]["overshoot_vs_1"] == "0%"

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the complete paper pipeline — dataset generation,
+sampling, annotation, interval estimation, stopping — and check the
+qualitative results the paper reports, at Monte-Carlo scales small
+enough for CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveHPD,
+    AnnotatorPool,
+    EvaluationConfig,
+    KGAccuracyEvaluator,
+    NoisyAnnotator,
+    SimpleRandomSampling,
+    TwoStageWeightedClusterSampling,
+    WaldInterval,
+    WilsonInterval,
+    load_dataset,
+    load_syn100m,
+    run_study,
+)
+
+
+class TestPaperOrderings:
+    """The qualitative rankings behind Tables 2-3, at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def nell(self):
+        return load_dataset("NELL", seed=42)
+
+    @pytest.fixture(scope="class")
+    def studies(self, nell):
+        methods = {
+            "Wald": WaldInterval(),
+            "Wilson": WilsonInterval(),
+            "aHPD": AdaptiveHPD(),
+        }
+        return {
+            name: run_study(
+                KGAccuracyEvaluator(nell, SimpleRandomSampling(), method),
+                repetitions=60,
+                seed=0,
+            )
+            for name, method in methods.items()
+        }
+
+    def test_ahpd_beats_wilson_on_skewed_kg(self, studies):
+        assert studies["aHPD"].triples.mean() < studies["Wilson"].triples.mean()
+
+    def test_ahpd_beats_wald_on_skewed_kg(self, studies):
+        assert studies["aHPD"].triples.mean() <= studies["Wald"].triples.mean()
+
+    def test_all_methods_unbiased(self, studies, nell):
+        for study in studies.values():
+            assert abs(study.estimate_bias(nell.accuracy)) < 0.02
+
+    def test_all_runs_converged(self, studies):
+        for study in studies.values():
+            assert study.convergence_rate == 1.0
+
+
+class TestScalabilityClaim:
+    """Table 4's claim: size does not change convergence behaviour."""
+
+    def test_syn100m_matches_small_scale_magnitude(self):
+        kg = load_syn100m(accuracy=0.9, seed=0)
+        evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), AdaptiveHPD())
+        study = run_study(evaluator, repetitions=15, seed=0)
+        # Paper Table 4 reports 114±46 under SRS at mu = 0.9.
+        assert 60 <= study.triples.mean() <= 220
+
+    def test_symmetric_accuracies_cost_the_same(self):
+        results = {}
+        for mu in (0.9, 0.1):
+            kg = load_syn100m(accuracy=mu, seed=0)
+            evaluator = KGAccuracyEvaluator(kg, SimpleRandomSampling(), AdaptiveHPD())
+            results[mu] = run_study(evaluator, repetitions=15, seed=0).triples.mean()
+        ratio = results[0.9] / results[0.1]
+        assert 0.6 < ratio < 1.6
+
+
+class TestCrowdsourcedPipeline:
+    """The DBPEDIA-style noisy-crowd annotation workflow end to end."""
+
+    def test_majority_vote_audit_close_to_truth(self):
+        kg = load_dataset("YAGO", seed=42)
+        crowd = AnnotatorPool(
+            [NoisyAnnotator(rate, seed=i) for i, rate in enumerate((0.05, 0.08, 0.12))]
+        )
+        evaluator = KGAccuracyEvaluator(
+            kg,
+            TwoStageWeightedClusterSampling(m=3),
+            AdaptiveHPD(),
+            annotator=crowd,
+        )
+        estimates = [evaluator.run(rng=seed).mu_hat for seed in range(20)]
+        assert np.mean(estimates) == pytest.approx(kg.accuracy, abs=0.05)
+
+
+class TestPrecisionSweep:
+    """Figure 4's claim: tighter alpha costs more, aHPD stays ahead."""
+
+    def test_cost_grows_with_confidence(self):
+        kg = load_dataset("NELL", seed=42)
+        means = {}
+        for alpha in (0.10, 0.01):
+            evaluator = KGAccuracyEvaluator(
+                kg,
+                SimpleRandomSampling(),
+                AdaptiveHPD(),
+                config=EvaluationConfig(alpha=alpha, epsilon=0.05),
+            )
+            means[alpha] = run_study(evaluator, repetitions=25, seed=0).triples.mean()
+        assert means[0.01] > means[0.10]
+
+    def test_ahpd_no_worse_than_wilson_high_precision(self):
+        kg = load_dataset("YAGO", seed=42)
+        config = EvaluationConfig(alpha=0.01, epsilon=0.05)
+        wilson = run_study(
+            KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval(), config=config),
+            repetitions=25,
+            seed=0,
+        )
+        ahpd = run_study(
+            KGAccuracyEvaluator(kg, SimpleRandomSampling(), AdaptiveHPD(), config=config),
+            repetitions=25,
+            seed=0,
+        )
+        assert ahpd.cost_hours.mean() < wilson.cost_hours.mean()

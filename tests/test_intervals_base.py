@@ -1,0 +1,70 @@
+"""Unit tests for the Interval value type and critical values."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ValidationError
+from repro.intervals.base import Interval, critical_value
+
+
+class TestCriticalValue:
+    @pytest.mark.parametrize("alpha", [0.10, 0.05, 0.01])
+    def test_matches_scipy(self, alpha):
+        assert critical_value(alpha) == pytest.approx(
+            scipy_stats.norm.ppf(1 - alpha / 2)
+        )
+
+    def test_known_value(self):
+        assert critical_value(0.05) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValidationError):
+            critical_value(0.0)
+
+
+class TestInterval:
+    def test_width_and_moe(self):
+        interval = Interval(lower=0.8, upper=0.9, alpha=0.05)
+        assert interval.width == pytest.approx(0.1)
+        assert interval.moe == pytest.approx(0.05)
+        assert interval.midpoint == pytest.approx(0.85)
+        assert interval.confidence == pytest.approx(0.95)
+
+    def test_contains(self):
+        interval = Interval(lower=0.2, upper=0.6, alpha=0.05)
+        assert interval.contains(0.2)
+        assert interval.contains(0.6)
+        assert interval.contains(0.4)
+        assert not interval.contains(0.61)
+
+    def test_zero_width_allowed(self):
+        # The Wald pathology produces zero-width intervals; the value
+        # type must represent them (Example 1).
+        interval = Interval(lower=1.0, upper=1.0, alpha=0.05)
+        assert interval.width == 0.0
+        assert interval.contains(1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            Interval(lower=0.9, upper=0.1, alpha=0.05)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            Interval(lower=0.1, upper=0.2, alpha=0.0)
+
+    def test_overshoot_representable_and_clippable(self):
+        # Wald can overshoot [0, 1]; clipping is presentation-only.
+        interval = Interval(lower=0.95, upper=1.05, alpha=0.05, method="Wald")
+        clipped = interval.clipped()
+        assert clipped.upper == 1.0
+        assert clipped.lower == 0.95
+        assert clipped.method == "Wald"
+        # Raw width (used by the stop rule) is unchanged on the original.
+        assert interval.width == pytest.approx(0.1)
+
+    def test_str_rendering(self):
+        text = str(Interval(lower=0.1, upper=0.3, alpha=0.05, method="Wilson"))
+        assert "Wilson" in text
+        assert "0.1000" in text

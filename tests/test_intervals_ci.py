@@ -1,0 +1,130 @@
+"""Unit tests for the frequentist interval methods."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.estimators.base import Evidence
+from repro.intervals.agresti_coull import AgrestiCoullInterval
+from repro.intervals.base import critical_value
+from repro.intervals.clopper_pearson import ClopperPearsonInterval
+from repro.intervals.wald import WaldInterval
+from repro.intervals.wilson import WilsonInterval
+from repro.stats.beta import beta_cdf
+
+
+class TestWald:
+    def test_formula_eq5(self):
+        ev = Evidence.from_counts(80, 100)
+        interval = WaldInterval().compute(ev, alpha=0.05)
+        z = critical_value(0.05)
+        half = z * math.sqrt(0.8 * 0.2 / 100)
+        assert interval.lower == pytest.approx(0.8 - half)
+        assert interval.upper == pytest.approx(0.8 + half)
+
+    def test_zero_width_pathology(self):
+        # Example 1: unanimous sample -> V = 0 -> CI = [1, 1].
+        ev = Evidence.from_counts(30, 30)
+        interval = WaldInterval().compute(ev, alpha=0.05)
+        assert interval.width == 0.0
+        assert interval.lower == interval.upper == 1.0
+
+    def test_overshoot_near_boundary(self):
+        ev = Evidence.from_counts(29, 30)
+        interval = WaldInterval().compute(ev, alpha=0.05)
+        assert interval.upper > 1.0  # the documented Wald overshoot
+
+    def test_uses_design_variance_directly(self):
+        # TWCS-style evidence with its own variance.
+        ev = Evidence(
+            mu_hat=0.8, variance=0.001, n_effective=50, tau_effective=40, n_annotated=60
+        )
+        interval = WaldInterval().compute(ev, alpha=0.05)
+        assert interval.moe == pytest.approx(critical_value(0.05) * math.sqrt(0.001))
+
+
+class TestWilson:
+    def test_formula_eq7(self):
+        n, tau, alpha = 100, 80, 0.05
+        ev = Evidence.from_counts(tau, n)
+        interval = WilsonInterval().compute(ev, alpha=alpha)
+        z = critical_value(alpha)
+        mu = tau / n
+        denom = 1 + z * z / n
+        centre = (mu + z * z / (2 * n)) / denom
+        spread = (z / denom) * math.sqrt(mu * (1 - mu) / n + z * z / (4 * n * n))
+        assert interval.lower == pytest.approx(centre - spread)
+        assert interval.upper == pytest.approx(centre + spread)
+
+    def test_never_zero_width_on_unanimous(self):
+        ev = Evidence.from_counts(30, 30)
+        interval = WilsonInterval().compute(ev, alpha=0.05)
+        assert interval.width > 0.0
+
+    def test_stays_in_unit_interval(self):
+        for tau, n in [(0, 30), (30, 30), (1, 30), (29, 30)]:
+            interval = WilsonInterval().compute(Evidence.from_counts(tau, n), 0.05)
+            assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_centre_shrinks_toward_half(self):
+        ev = Evidence.from_counts(30, 30)
+        interval = WilsonInterval().compute(ev, alpha=0.05)
+        assert interval.midpoint < 1.0
+
+    def test_design_effect_widens_interval(self):
+        srs_ev = Evidence.from_counts(80, 100)
+        # Same point estimate but only 50 effective samples.
+        deff_ev = Evidence(
+            mu_hat=0.8, variance=0.0032, n_effective=50, tau_effective=40, n_annotated=100
+        )
+        assert (
+            WilsonInterval().compute(deff_ev, 0.05).width
+            > WilsonInterval().compute(srs_ev, 0.05).width
+        )
+
+
+class TestAgrestiCoull:
+    def test_contains_wilson_interval(self):
+        # Agresti-Coull is known to contain the Wilson interval.
+        for tau, n in [(25, 30), (15, 30), (29, 30)]:
+            ev = Evidence.from_counts(tau, n)
+            ac = AgrestiCoullInterval().compute(ev, 0.05)
+            wilson = WilsonInterval().compute(ev, 0.05)
+            assert ac.lower <= wilson.lower + 1e-12
+            assert ac.upper >= wilson.upper - 1e-12
+
+    def test_centre_matches_wilson_centre(self):
+        ev = Evidence.from_counts(25, 30)
+        ac = AgrestiCoullInterval().compute(ev, 0.05)
+        wilson = WilsonInterval().compute(ev, 0.05)
+        assert ac.midpoint == pytest.approx(wilson.midpoint)
+
+
+class TestClopperPearson:
+    def test_tail_inversion_property(self):
+        # At the bounds, the binomial tail probabilities equal alpha/2 —
+        # expressed through the Beta representation.
+        tau, n, alpha = 22, 30, 0.05
+        interval = ClopperPearsonInterval().compute(Evidence.from_counts(tau, n), alpha)
+        assert beta_cdf(interval.lower, tau, n - tau + 1) == pytest.approx(alpha / 2, abs=1e-9)
+        assert beta_cdf(interval.upper, tau + 1, n - tau) == pytest.approx(
+            1 - alpha / 2, abs=1e-9
+        )
+
+    def test_boundary_outcomes(self):
+        all_correct = ClopperPearsonInterval().compute(Evidence.from_counts(30, 30), 0.05)
+        assert all_correct.upper == 1.0
+        assert all_correct.lower > 0.8
+        none_correct = ClopperPearsonInterval().compute(Evidence.from_counts(0, 30), 0.05)
+        assert none_correct.lower == 0.0
+        assert none_correct.upper < 0.2
+
+    def test_wider_than_wilson(self):
+        # Conservatism: CP is at least as wide as Wilson for interior tau.
+        for tau in (5, 15, 25):
+            ev = Evidence.from_counts(tau, 30)
+            cp = ClopperPearsonInterval().compute(ev, 0.05)
+            wilson = WilsonInterval().compute(ev, 0.05)
+            assert cp.width >= wilson.width - 1e-12

@@ -1,0 +1,145 @@
+"""Unit tests for Beta priors and the conjugate posterior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators.base import Evidence
+from repro.exceptions import PriorError, ValidationError
+from repro.intervals.posterior import BetaPosterior, PosteriorShape
+from repro.intervals.priors import (
+    JEFFREYS,
+    KERMAN,
+    UNIFORM,
+    UNINFORMATIVE_PRIORS,
+    BetaPrior,
+)
+
+
+class TestPriors:
+    def test_paper_trio(self):
+        assert KERMAN.a == KERMAN.b == pytest.approx(1 / 3)
+        assert JEFFREYS.a == JEFFREYS.b == 0.5
+        assert UNIFORM.a == UNIFORM.b == 1.0
+        assert UNINFORMATIVE_PRIORS == (KERMAN, JEFFREYS, UNIFORM)
+
+    def test_uninformative_flag(self):
+        assert KERMAN.is_uninformative
+        assert JEFFREYS.is_uninformative
+        assert UNIFORM.is_uninformative
+        assert not BetaPrior(80, 20).is_uninformative
+        assert not BetaPrior(2, 2).is_uninformative  # a == b but > 1
+
+    def test_from_accuracy_example2(self):
+        # Example 2: accuracy 0.80 with strength 100 -> Beta(80, 20).
+        prior = BetaPrior.from_accuracy(0.80, 100)
+        assert prior.a == pytest.approx(80)
+        assert prior.b == pytest.approx(20)
+        assert prior.mean == pytest.approx(0.80)
+        assert prior.strength == pytest.approx(100)
+
+    def test_from_accuracy_rejects_degenerate(self):
+        with pytest.raises(PriorError):
+            BetaPrior.from_accuracy(0.0, 100)
+        with pytest.raises(PriorError):
+            BetaPrior.from_accuracy(1.0, 100)
+
+    def test_rejects_nonpositive_shapes(self):
+        with pytest.raises(PriorError):
+            BetaPrior(0.0, 1.0)
+        with pytest.raises(PriorError):
+            BetaPrior(1.0, -2.0)
+
+    def test_default_name(self):
+        assert BetaPrior(2, 3).name == "Beta(2,3)"
+
+    def test_str(self):
+        assert "Kerman" in str(KERMAN)
+
+
+class TestPosteriorUpdate:
+    def test_conjugate_arithmetic(self):
+        post = BetaPosterior.from_counts(JEFFREYS, tau=27, n=30)
+        assert post.a == pytest.approx(27.5)
+        assert post.b == pytest.approx(3.5)
+
+    def test_from_evidence_uses_effective_counts(self):
+        ev = Evidence(
+            mu_hat=0.9, variance=0.001, n_effective=40.0, tau_effective=36.0, n_annotated=60
+        )
+        post = BetaPosterior.from_evidence(UNIFORM, ev)
+        assert post.a == pytest.approx(37.0)
+        assert post.b == pytest.approx(5.0)
+
+    def test_no_data_returns_prior(self):
+        post = BetaPosterior.from_counts(UNIFORM, tau=0, n=0)
+        assert post.a == UNIFORM.a
+        assert post.b == UNIFORM.b
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(ValidationError):
+            BetaPosterior.from_counts(UNIFORM, tau=5, n=3)
+        with pytest.raises(ValidationError):
+            BetaPosterior.from_counts(UNIFORM, tau=-1, n=3)
+
+
+class TestPosteriorShape:
+    def test_interior(self):
+        assert (
+            BetaPosterior.from_counts(JEFFREYS, 15, 30).shape
+            is PosteriorShape.INTERIOR
+        )
+
+    def test_increasing_limiting_case(self):
+        # tau = n under an uninformative prior (Eq. 10 regime).
+        assert (
+            BetaPosterior.from_counts(JEFFREYS, 30, 30).shape
+            is PosteriorShape.INCREASING
+        )
+
+    def test_decreasing_limiting_case(self):
+        assert (
+            BetaPosterior.from_counts(JEFFREYS, 0, 30).shape
+            is PosteriorShape.DECREASING
+        )
+
+    def test_flat(self):
+        assert BetaPosterior.from_counts(UNIFORM, 0, 0).shape is PosteriorShape.FLAT
+
+    def test_bathtub(self):
+        assert BetaPosterior.from_counts(KERMAN, 0, 0).shape is PosteriorShape.BATHTUB
+
+    def test_informative_prior_all_correct_stays_interior(self):
+        # Informative prior with b > 1: no limiting case even at tau = n.
+        prior = BetaPrior(80, 20)
+        assert (
+            BetaPosterior.from_counts(prior, 30, 30).shape
+            is PosteriorShape.INTERIOR
+        )
+
+
+class TestPosteriorMoments:
+    def test_mean_and_mode(self):
+        post = BetaPosterior.from_counts(UNIFORM, 27, 30)
+        assert post.mean == pytest.approx(28 / 32)
+        assert post.mode == pytest.approx(27 / 30)
+
+    def test_symmetry(self):
+        post = BetaPosterior.from_counts(UNIFORM, 15, 30)
+        assert post.is_symmetric
+        assert post.skewness == pytest.approx(0.0)
+
+    def test_skewness_negative_for_accurate_kg(self):
+        post = BetaPosterior.from_counts(JEFFREYS, 27, 30)
+        assert post.skewness < 0
+
+    def test_distribution_functions_consistent(self):
+        post = BetaPosterior.from_counts(JEFFREYS, 20, 30)
+        x = post.ppf(0.3)
+        assert post.cdf(x) == pytest.approx(0.3, abs=1e-9)
+        assert post.interval_mass(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_more_data_sharpens_posterior(self):
+        small = BetaPosterior.from_counts(JEFFREYS, 9, 10)
+        large = BetaPosterior.from_counts(JEFFREYS, 90, 100)
+        assert large.std < small.std

@@ -1,0 +1,67 @@
+"""Unit tests for the arcsine and logit interval baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators.base import Evidence
+from repro.evaluation.coverage import empirical_coverage
+from repro.intervals.transforms import ArcsineInterval, LogitInterval
+
+
+class TestArcsine:
+    def test_bounds_inside_unit_interval(self):
+        for tau, n in [(0, 30), (1, 30), (15, 30), (29, 30), (30, 30)]:
+            interval = ArcsineInterval().compute(Evidence.from_counts(tau, n), 0.05)
+            assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_centre_tracks_estimate(self):
+        interval = ArcsineInterval().compute(Evidence.from_counts(24, 30), 0.05)
+        assert interval.contains(0.8)
+
+    def test_width_shrinks_with_n(self):
+        small = ArcsineInterval().compute(Evidence.from_counts(24, 30), 0.05)
+        large = ArcsineInterval().compute(Evidence.from_counts(240, 300), 0.05)
+        assert large.width < small.width
+
+    def test_no_zero_width_pathology(self):
+        interval = ArcsineInterval().compute(Evidence.from_counts(30, 30), 0.05)
+        assert interval.width > 0.0
+
+    def test_reasonable_coverage_midrange(self):
+        result = empirical_coverage(
+            ArcsineInterval(), mu=0.7, n=100, repetitions=2_000, rng=0
+        )
+        assert result.coverage > 0.90
+
+
+class TestLogit:
+    def test_bounds_inside_open_unit_interval(self):
+        for tau, n in [(1, 30), (15, 30), (29, 30)]:
+            interval = LogitInterval().compute(Evidence.from_counts(tau, n), 0.05)
+            assert 0.0 < interval.lower < interval.upper < 1.0
+
+    def test_unanimous_outcomes_corrected(self):
+        # The Anscombe correction keeps unanimous outcomes finite.
+        all_correct = LogitInterval().compute(Evidence.from_counts(30, 30), 0.05)
+        assert 0.0 < all_correct.lower < all_correct.upper < 1.0
+        assert all_correct.width > 0.0
+        none_correct = LogitInterval().compute(Evidence.from_counts(0, 30), 0.05)
+        assert none_correct.upper < 0.5
+
+    def test_centre_tracks_estimate(self):
+        interval = LogitInterval().compute(Evidence.from_counts(24, 30), 0.05)
+        assert interval.contains(0.8)
+
+    def test_reasonable_coverage_midrange(self):
+        result = empirical_coverage(
+            LogitInterval(), mu=0.7, n=100, repetitions=2_000, rng=0
+        )
+        assert result.coverage > 0.90
+
+    def test_symmetry_on_logit_scale(self):
+        # Swapping successes and failures mirrors the interval.
+        a = LogitInterval().compute(Evidence.from_counts(24, 30), 0.05)
+        b = LogitInterval().compute(Evidence.from_counts(6, 30), 0.05)
+        assert a.lower == pytest.approx(1.0 - b.upper, abs=1e-12)
+        assert a.upper == pytest.approx(1.0 - b.lower, abs=1e-12)

@@ -1,0 +1,89 @@
+"""Unit tests for the paper dataset profiles (Table 1 fidelity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kg.datasets import (
+    PROFILES,
+    SYN100M_ACCURACIES,
+    load_dataset,
+    load_dbpedia,
+    load_factbench,
+    load_nell,
+    load_syn100m,
+    load_yago,
+)
+
+EXPECTED = {
+    "YAGO": (1_386, 822, 0.99),
+    "NELL": (1_860, 817, 0.91),
+    "DBPEDIA": (9_344, 2_936, 0.85),
+    "FACTBENCH": (2_800, 1_157, 0.54),
+}
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_profile_constants(self, name):
+        facts, clusters, accuracy = EXPECTED[name]
+        profile = PROFILES[name]
+        assert profile.num_facts == facts
+        assert profile.num_clusters == clusters
+        assert profile.accuracy == accuracy
+
+    def test_avg_cluster_sizes_match_table1(self):
+        # Table 1 reports 1.69 / 2.28 / 3.18 / 2.42.
+        assert PROFILES["YAGO"].avg_cluster_size == pytest.approx(1.69, abs=0.01)
+        assert PROFILES["NELL"].avg_cluster_size == pytest.approx(2.28, abs=0.01)
+        assert PROFILES["DBPEDIA"].avg_cluster_size == pytest.approx(3.18, abs=0.01)
+        assert PROFILES["FACTBENCH"].avg_cluster_size == pytest.approx(2.42, abs=0.01)
+
+
+class TestLoaders:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_load_dataset_matches_profile(self, name):
+        facts, clusters, accuracy = EXPECTED[name]
+        kg = load_dataset(name, seed=0)
+        assert kg.num_triples == facts
+        assert kg.num_clusters == clusters
+        assert kg.accuracy == pytest.approx(accuracy, abs=0.001)
+
+    def test_case_insensitive(self):
+        assert load_dataset("yago", seed=0).num_triples == 1_386
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("WIKIDATA")
+
+    def test_named_loaders_agree(self):
+        for loader, name in (
+            (load_yago, "YAGO"),
+            (load_nell, "NELL"),
+            (load_dbpedia, "DBPEDIA"),
+            (load_factbench, "FACTBENCH"),
+        ):
+            kg = loader(seed=3)
+            assert kg.num_triples == EXPECTED[name][0]
+
+    def test_same_seed_same_kg(self):
+        a = load_nell(seed=42)
+        b = load_nell(seed=42)
+        assert a.triples == b.triples
+
+
+class TestSyn100M:
+    def test_paper_accuracies(self):
+        assert SYN100M_ACCURACIES == (0.9, 0.5, 0.1)
+
+    def test_structure(self):
+        kg = load_syn100m(accuracy=0.9, seed=0)
+        assert kg.num_triples == 101_415_011
+        assert kg.num_clusters == 5_000_000
+        assert kg.avg_cluster_size == pytest.approx(20.28, abs=0.01)
+        assert kg.accuracy == 0.9
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ValidationError):
+            load_syn100m(accuracy=1.2)

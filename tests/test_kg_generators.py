@@ -1,0 +1,93 @@
+"""Unit tests for profiled KG generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kg.generators import generate_labels, generate_profiled_kg
+
+
+class TestGenerateLabels:
+    def test_exact_global_accuracy(self, rng):
+        sizes = np.full(100, 10, dtype=np.int64)
+        labels = generate_labels(sizes, accuracy=0.85, rng=rng)
+        assert labels.sum() == round(0.85 * 1000)
+
+    def test_zero_correlation_is_iid(self, rng):
+        sizes = np.full(50, 20, dtype=np.int64)
+        labels = generate_labels(sizes, 0.5, rng=rng, intra_cluster_correlation=0.0)
+        assert labels.sum() == 500
+
+    def test_high_correlation_concentrates_errors(self):
+        sizes = np.full(200, 20, dtype=np.int64)
+        low = generate_labels(sizes, 0.7, rng=1, intra_cluster_correlation=0.01)
+        high = generate_labels(sizes, 0.7, rng=1, intra_cluster_correlation=0.9)
+
+        def cluster_variance(labels):
+            means = labels.reshape(200, 20).mean(axis=1)
+            return means.var()
+
+        assert cluster_variance(high) > cluster_variance(low)
+
+    @pytest.mark.parametrize("mu", [0.0, 1.0])
+    def test_degenerate_accuracy(self, rng, mu):
+        sizes = np.full(10, 5, dtype=np.int64)
+        labels = generate_labels(sizes, mu, rng=rng)
+        assert labels.mean() == mu
+
+    def test_negative_correlation_balances_clusters(self, rng):
+        # FACTBENCH mode: cluster means hug the global accuracy.
+        sizes = np.full(300, 10, dtype=np.int64)
+        labels = generate_labels(sizes, 0.5, rng=rng, intra_cluster_correlation=-0.5)
+        means = labels.reshape(300, 10).mean(axis=1)
+        # Balanced allocation: between-cluster variance far below the
+        # i.i.d. binomial value 0.5*0.5/10 = 0.025.
+        assert means.var() < 0.005
+        assert labels.sum() == 1_500
+
+    def test_rejects_bad_correlation(self, rng):
+        with pytest.raises(ValidationError):
+            generate_labels(np.array([5]), 0.5, rng=rng, intra_cluster_correlation=1.0)
+        with pytest.raises(ValidationError):
+            generate_labels(np.array([5]), 0.5, rng=rng, intra_cluster_correlation=-1.5)
+
+    def test_rejects_empty_sizes(self, rng):
+        with pytest.raises(ValidationError):
+            generate_labels(np.array([], dtype=np.int64), 0.5, rng=rng)
+
+    def test_rejects_zero_size_cluster(self, rng):
+        with pytest.raises(ValidationError):
+            generate_labels(np.array([3, 0, 2]), 0.5, rng=rng)
+
+
+class TestGenerateProfiledKG:
+    def test_matches_profile_exactly(self):
+        kg = generate_profiled_kg(
+            "test", num_facts=1_386, num_clusters=822, accuracy=0.99, seed=0
+        )
+        assert kg.num_triples == 1_386
+        assert kg.num_clusters == 822
+        assert kg.accuracy == pytest.approx(round(0.99 * 1_386) / 1_386)
+
+    def test_deterministic_under_seed(self):
+        a = generate_profiled_kg("t", 500, 200, 0.8, seed=9)
+        b = generate_profiled_kg("t", 500, 200, 0.8, seed=9)
+        assert a.triples == b.triples
+        assert np.array_equal(a.all_labels, b.all_labels)
+
+    def test_seed_changes_graph(self):
+        a = generate_profiled_kg("t", 500, 200, 0.8, seed=1)
+        b = generate_profiled_kg("t", 500, 200, 0.8, seed=2)
+        assert not np.array_equal(a.cluster_sizes, b.cluster_sizes)
+
+    def test_entity_prefix(self):
+        kg = generate_profiled_kg("MyKG", 50, 20, 0.5, seed=0)
+        assert all(t.subject.startswith("mykg:e") for t in kg.triples)
+
+    def test_rejects_degenerate_counts(self):
+        with pytest.raises(ValidationError):
+            generate_profiled_kg("t", 0, 1, 0.5)
+        with pytest.raises(ValidationError):
+            generate_profiled_kg("t", 10, 0, 0.5)

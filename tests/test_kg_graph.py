@@ -1,0 +1,138 @@
+"""Unit tests for the in-memory KnowledgeGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyGraphError, UnknownEntityError, ValidationError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+
+
+class TestConstruction:
+    def test_counts(self, tiny_kg):
+        assert tiny_kg.num_triples == 6
+        assert tiny_kg.num_clusters == 3
+        assert len(tiny_kg) == 6
+
+    def test_accuracy(self, tiny_kg):
+        assert tiny_kg.accuracy == pytest.approx(4 / 6)
+
+    def test_clusters_are_contiguous(self, tiny_kg):
+        # Subjects must be grouped after internal re-ordering.
+        subjects = [t.subject for t in tiny_kg.triples]
+        seen = set()
+        previous = None
+        for subject in subjects:
+            if subject != previous:
+                assert subject not in seen
+                seen.add(subject)
+            previous = subject
+
+    def test_offsets_consistent_with_sizes(self, tiny_kg):
+        assert tiny_kg.cluster_offsets[0] == 0
+        assert tiny_kg.cluster_offsets[-1] == tiny_kg.num_triples
+        assert np.array_equal(
+            np.diff(tiny_kg.cluster_offsets), tiny_kg.cluster_sizes
+        )
+
+    def test_labels_follow_reordering(self):
+        # Construct with interleaved subjects; labels must track triples.
+        triples = [
+            Triple("b", "p", "o1"),
+            Triple("a", "p", "o2"),
+            Triple("b", "p", "o3"),
+        ]
+        kg = KnowledgeGraph(triples, [True, False, True])
+        for idx in range(3):
+            triple = kg.triple(idx)
+            expected = triple.subject == "b"
+            assert bool(kg.labels([idx])[0]) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            KnowledgeGraph([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            KnowledgeGraph([Triple("s", "p", "o")], [True, False])
+
+    def test_non_triple_rejected(self):
+        with pytest.raises(ValidationError):
+            KnowledgeGraph([("s", "p", "o")], [True])  # type: ignore[list-item]
+
+
+class TestLookups:
+    def test_subjects_vectorised(self, tiny_kg):
+        subjects = tiny_kg.subjects(np.arange(6))
+        sizes = tiny_kg.cluster_sizes
+        expected = np.repeat(np.arange(3), sizes)
+        assert np.array_equal(subjects, expected)
+
+    def test_cluster_triples(self, tiny_kg):
+        for cid in range(tiny_kg.num_clusters):
+            idx = tiny_kg.cluster_triples(cid)
+            assert idx.size == tiny_kg.cluster_size(cid)
+            assert np.all(tiny_kg.subjects(idx) == cid)
+
+    def test_entity_cluster_by_name(self, tiny_kg):
+        cluster = tiny_kg.entity_cluster("e:bob")
+        assert len(cluster) == 3
+        assert all(t.subject == "e:bob" for t in cluster)
+
+    def test_unknown_entity(self, tiny_kg):
+        with pytest.raises(UnknownEntityError):
+            tiny_kg.entity_id("e:nobody")
+
+    def test_out_of_range_index(self, tiny_kg):
+        with pytest.raises(ValidationError):
+            tiny_kg.labels([99])
+        with pytest.raises(ValidationError):
+            tiny_kg.labels([-1])
+
+    def test_out_of_range_cluster(self, tiny_kg):
+        with pytest.raises(ValidationError):
+            tiny_kg.cluster_triples(5)
+
+    def test_labels_read_only(self, tiny_kg):
+        with pytest.raises(ValueError):
+            tiny_kg.all_labels[0] = False
+
+
+class TestMerge:
+    def test_merge_counts_and_accuracy(self, tiny_kg):
+        other = KnowledgeGraph(
+            [Triple("e:dave", "bornIn", "v:oslo")], [False]
+        )
+        merged = tiny_kg.merge(other)
+        assert merged.num_triples == 7
+        assert merged.num_clusters == 4
+        assert merged.accuracy == pytest.approx(4 / 7)
+
+    def test_merge_same_subject_consolidates(self, tiny_kg):
+        other = KnowledgeGraph(
+            [Triple("e:alice", "hasGenre", "v:jazz")], [True]
+        )
+        merged = tiny_kg.merge(other)
+        assert merged.num_clusters == 3
+        assert len(merged.entity_cluster("e:alice")) == 3
+
+    def test_merge_rejects_other_types(self, tiny_kg):
+        with pytest.raises(ValidationError):
+            tiny_kg.merge("not a graph")  # type: ignore[arg-type]
+
+    def test_originals_unchanged(self, tiny_kg):
+        before = tiny_kg.num_triples
+        tiny_kg.merge(tiny_kg)
+        assert tiny_kg.num_triples == before
+
+
+class TestDunder:
+    def test_iteration(self, tiny_kg):
+        assert list(iter(tiny_kg)) == list(tiny_kg.triples)
+
+    def test_repr_mentions_stats(self, tiny_kg):
+        text = repr(tiny_kg)
+        assert "num_triples=6" in text
+        assert "accuracy=" in text

@@ -1,0 +1,83 @@
+"""Unit tests for KG serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_kg, save_kg
+from repro.kg.triple import Triple
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tiny_kg, tmp_path):
+        path = tmp_path / "kg.tsv"
+        written = save_kg(tiny_kg, path)
+        assert written == tiny_kg.num_triples
+        loaded = load_kg(path)
+        assert loaded.triples == tiny_kg.triples
+        assert np.array_equal(loaded.all_labels, tiny_kg.all_labels)
+        assert loaded.accuracy == tiny_kg.accuracy
+
+    def test_creates_parent_dirs(self, tiny_kg, tmp_path):
+        path = tmp_path / "nested" / "dir" / "kg.tsv"
+        save_kg(tiny_kg, path)
+        assert path.exists()
+
+    def test_header_comment_present(self, tiny_kg, tmp_path):
+        path = tmp_path / "kg.tsv"
+        save_kg(tiny_kg, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+
+
+class TestLoadValidation:
+    def test_rejects_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\tc\n")
+        with pytest.raises(ValidationError, match="4 tab-separated"):
+            load_kg(path)
+
+    def test_rejects_bad_label(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\tc\tmaybe\n")
+        with pytest.raises(ValidationError, match="label"):
+            load_kg(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# only a comment\n")
+        with pytest.raises(ValidationError, match="no facts"):
+            load_kg(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("e:a\tp\tv:x\t1\n\ne:b\tp\tv:y\t0\n")
+        kg = load_kg(path)
+        assert kg.num_triples == 2
+        assert kg.accuracy == 0.5
+
+    def test_error_includes_line_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("e:a\tp\tv:x\t1\nbroken line\n")
+        with pytest.raises(ValidationError, match=":2"):
+            load_kg(path)
+
+
+class TestSaveValidation:
+    def test_rejects_tab_in_field(self, tmp_path):
+        kg = KnowledgeGraph([Triple("with\ttab", "p", "o")], [True])
+        with pytest.raises(ValidationError, match="tab"):
+            save_kg(kg, tmp_path / "kg.tsv")
+
+
+class TestLargerRoundTrip:
+    def test_profiled_kg_round_trip(self, tmp_path, medium_kg):
+        path = tmp_path / "medium.tsv"
+        save_kg(medium_kg, path)
+        loaded = load_kg(path)
+        assert loaded.num_triples == medium_kg.num_triples
+        assert loaded.num_clusters == medium_kg.num_clusters
+        assert loaded.accuracy == pytest.approx(medium_kg.accuracy)

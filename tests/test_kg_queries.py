@@ -1,0 +1,87 @@
+"""Unit tests for the triple-pattern query index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kg.queries import TripleIndex
+from repro.kg.synthetic import SyntheticKG
+
+
+@pytest.fixture
+def index(tiny_kg) -> TripleIndex:
+    return TripleIndex(tiny_kg)
+
+
+class TestMatch:
+    def test_wildcard_everything(self, index, tiny_kg):
+        assert index.match().size == tiny_kg.num_triples
+
+    def test_by_subject(self, index):
+        assert index.count(subject="e:bob") == 3
+        assert index.count(subject="e:carol") == 1
+
+    def test_by_predicate(self, index):
+        assert index.count(predicate="bornIn") == 3
+        assert index.count(predicate="worksFor") == 2
+
+    def test_by_object(self, index):
+        assert index.count(object="v:acme") == 2
+
+    def test_compound_pattern(self, index):
+        matches = list(index.triples(subject="e:bob", predicate="worksFor"))
+        assert len(matches) == 1
+        assert matches[0].object == "v:acme"
+
+    def test_fully_bound(self, index):
+        assert index.count("e:alice", "bornIn", "v:paris") == 1
+        assert index.count("e:alice", "bornIn", "v:rome") == 0
+
+    def test_unknown_values_empty(self, index):
+        assert index.count(subject="e:nobody") == 0
+        assert index.count(predicate="owns") == 0
+
+    def test_indices_are_valid(self, index, tiny_kg):
+        idx = index.match(predicate="bornIn")
+        assert np.all(idx >= 0)
+        assert np.all(idx < tiny_kg.num_triples)
+        for i in idx:
+            assert tiny_kg.triples[int(i)].predicate == "bornIn"
+
+
+class TestVocabulary:
+    def test_predicates_sorted(self, index):
+        preds = index.predicates
+        assert list(preds) == sorted(preds)
+        assert "bornIn" in preds
+
+    def test_objects(self, index):
+        assert "v:acme" in index.objects
+
+
+class TestProfiles:
+    def test_predicate_profile(self, index):
+        profile = index.predicate_profile("bornIn")
+        assert profile.num_facts == 3
+        assert profile.num_subjects == 3
+        # bornIn labels in tiny_kg: alice True, bob False, carol True.
+        assert profile.accuracy == pytest.approx(2 / 3)
+
+    def test_unknown_predicate(self, index):
+        with pytest.raises(ValidationError):
+            index.predicate_profile("owns")
+
+    def test_all_profiles_cover_graph(self, index, tiny_kg):
+        profiles = index.predicate_profiles()
+        assert sum(p.num_facts for p in profiles.values()) == tiny_kg.num_triples
+
+
+class TestConstruction:
+    def test_requires_materialised_graph(self):
+        with pytest.raises(ValidationError):
+            TripleIndex(SyntheticKG(100, 10, accuracy=0.5, seed=0))
+
+    def test_repr(self, index):
+        assert "num_triples=6" in repr(index)

@@ -1,0 +1,34 @@
+"""Unit tests for KG descriptive statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg.stats import describe_kg
+
+
+class TestDescribeKG:
+    def test_tiny_kg(self, tiny_kg):
+        stats = describe_kg(tiny_kg, name="tiny")
+        assert stats.name == "tiny"
+        assert stats.num_facts == 6
+        assert stats.num_clusters == 3
+        assert stats.avg_cluster_size == pytest.approx(2.0)
+        assert stats.accuracy == pytest.approx(4 / 6)
+        assert stats.max_cluster_size == 3
+        assert stats.min_cluster_size == 1
+
+    def test_as_row_rounding(self, tiny_kg):
+        row = describe_kg(tiny_kg, name="tiny").as_row()
+        assert row["avg_cluster_size"] == 2.0
+        assert row["accuracy"] == 0.67
+        assert row["dataset"] == "tiny"
+
+    def test_synthetic_kg(self, small_synthetic):
+        stats = describe_kg(small_synthetic, name="syn")
+        assert stats.num_facts == 50_000
+        assert stats.num_clusters == 2_500
+        assert stats.accuracy == pytest.approx(0.9)
+
+    def test_cluster_size_std_nonnegative(self, medium_kg):
+        assert describe_kg(medium_kg).cluster_size_std >= 0.0

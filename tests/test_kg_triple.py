@@ -1,0 +1,45 @@
+"""Unit tests for the Triple value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kg.triple import Triple
+
+
+class TestTriple:
+    def test_fields(self):
+        t = Triple("e:a", "bornIn", "v:x")
+        assert t.subject == "e:a"
+        assert t.predicate == "bornIn"
+        assert t.object == "v:x"
+
+    def test_as_tuple(self):
+        assert Triple("s", "p", "o").as_tuple() == ("s", "p", "o")
+
+    def test_equality_and_hash(self):
+        a = Triple("s", "p", "o")
+        b = Triple("s", "p", "o")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_immutable(self):
+        t = Triple("s", "p", "o")
+        with pytest.raises(AttributeError):
+            t.subject = "other"
+
+    @pytest.mark.parametrize("field", ["subject", "predicate", "object"])
+    def test_rejects_empty_field(self, field):
+        kwargs = {"subject": "s", "predicate": "p", "object": "o"}
+        kwargs[field] = ""
+        with pytest.raises(ValidationError):
+            Triple(**kwargs)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            Triple("s", "p", 42)  # type: ignore[arg-type]
+
+    def test_str_rendering(self):
+        assert str(Triple("s", "p", "o")) == "(s, p, o)"

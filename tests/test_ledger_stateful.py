@@ -1,0 +1,83 @@
+"""Stateful property test of the annotation ledger (hypothesis).
+
+The ledger's invariants must hold under *any* interleaving of records,
+re-records, and persistence round trips — exactly what a stateful
+hypothesis machine explores:
+
+* counts equal the distinct triples / entities recorded so far;
+* re-records are idempotent, conflicting labels always raise;
+* cost is exactly the Eq. 12 price of the distinct sets;
+* a TSV round trip reproduces the ledger state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.annotation.ledger import AnnotationLedger
+from repro.exceptions import AnnotationError
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ledger = AnnotationLedger()
+        self.model: dict[int, tuple[int, bool]] = {}
+
+    @rule(
+        triple=st.integers(0, 50),
+        entity=st.integers(0, 15),
+        label=st.booleans(),
+    )
+    def record(self, triple, entity, label):
+        if triple in self.model:
+            known_entity, known_label = self.model[triple]
+            if known_label != label:
+                try:
+                    self.ledger.record(triple, known_entity, label)
+                    raise AssertionError("conflicting label must raise")
+                except AnnotationError:
+                    return
+            added = self.ledger.record(triple, known_entity, label)
+            assert added is False
+        else:
+            added = self.ledger.record(triple, entity, label)
+            assert added is True
+            self.model[triple] = (entity, label)
+
+    @rule()
+    def round_trip(self, tmp_suffix=None):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ledger.tsv"
+            self.ledger.to_tsv(path)
+            resumed = AnnotationLedger.from_tsv(path)
+        assert resumed.num_triples == self.ledger.num_triples
+        assert resumed.num_entities == self.ledger.num_entities
+        for triple, (_, label) in self.model.items():
+            assert resumed.label_of(triple) == label
+
+    @invariant()
+    def counts_match_model(self):
+        assert self.ledger.num_triples == len(self.model)
+        assert self.ledger.num_entities == len(
+            {entity for entity, _ in self.model.values()}
+        )
+        assert self.ledger.num_correct == sum(
+            label for _, label in self.model.values()
+        )
+
+    @invariant()
+    def cost_is_eq12(self):
+        expected = self.ledger.num_entities * 45 + self.ledger.num_triples * 25
+        assert self.ledger.cost.seconds == expected
+
+
+LedgerMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestLedgerStateful = LedgerMachine.TestCase

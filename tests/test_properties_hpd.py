@@ -1,0 +1,155 @@
+"""Property-based tests of the paper's theorems (hypothesis).
+
+The HPD theorems hold for *every* annotation outcome and prior; these
+properties let hypothesis explore the space:
+
+* Theorem 1 — minimality: no same-mass interval is shorter; in
+  particular HPD width <= ET width.
+* Theorem 2 — density dominance: every point inside the HPD interval
+  has density >= any point outside (checked on a grid).
+* Theorem 3 — symmetric equivalence with ET.
+* Corollaries 1-2 — limiting cases are minimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.et import et_bounds
+from repro.intervals.hpd import hpd_bounds
+from repro.intervals.posterior import BetaPosterior
+from repro.intervals.priors import JEFFREYS, KERMAN, UNIFORM, BetaPrior
+
+PRIORS = (KERMAN, JEFFREYS, UNIFORM)
+
+outcomes = st.tuples(
+    st.integers(min_value=0, max_value=200),  # tau
+    st.integers(min_value=1, max_value=200),  # n
+).filter(lambda pair: pair[0] <= pair[1])
+
+alphas = st.sampled_from([0.10, 0.05, 0.01])
+prior_strategy = st.sampled_from(PRIORS)
+
+
+@given(outcome=outcomes, alpha=alphas, prior=prior_strategy)
+@settings(max_examples=150, deadline=None)
+def test_hpd_mass_is_nominal(outcome, alpha, prior):
+    tau, n = outcome
+    post = BetaPosterior.from_counts(prior, tau, n)
+    lower, upper = hpd_bounds(post, alpha)
+    assert post.interval_mass(lower, upper) == pytest.approx(1 - alpha, abs=1e-6)
+
+
+@given(outcome=outcomes, alpha=alphas, prior=prior_strategy)
+@settings(max_examples=150, deadline=None)
+def test_theorem1_hpd_never_wider_than_et(outcome, alpha, prior):
+    tau, n = outcome
+    post = BetaPosterior.from_counts(prior, tau, n)
+    l_et, u_et = et_bounds(post, alpha)
+    l_h, u_h = hpd_bounds(post, alpha)
+    assert (u_h - l_h) <= (u_et - l_et) + 1e-7
+
+
+@given(outcome=outcomes, alpha=alphas, prior=prior_strategy)
+@settings(max_examples=100, deadline=None)
+def test_theorem2_density_dominance(outcome, alpha, prior):
+    tau, n = outcome
+    post = BetaPosterior.from_counts(prior, tau, n)
+    lower, upper = hpd_bounds(post, alpha)
+    inside = np.linspace(lower + 1e-9, upper - 1e-9, 25)
+    min_inside = float(np.min(post.pdf(inside)))
+    outside_points = [x for x in np.linspace(0.001, 0.999, 41) if not lower <= x <= upper]
+    if outside_points:
+        max_outside = float(np.max(post.pdf(np.asarray(outside_points))))
+        assert min_inside >= max_outside - 1e-6 * max(max_outside, 1.0)
+
+
+@given(n=st.integers(1, 200), alpha=alphas)
+@settings(max_examples=60, deadline=None)
+def test_theorem3_symmetric_posterior_equals_et(n, alpha):
+    # Uniform prior and a balanced outcome give a symmetric posterior.
+    if n % 2 == 1:
+        n += 1
+    post = BetaPosterior.from_counts(UNIFORM, n // 2, n)
+    assert post.is_symmetric
+    l_et, u_et = et_bounds(post, alpha)
+    l_h, u_h = hpd_bounds(post, alpha)
+    assert l_h == pytest.approx(l_et, abs=1e-6)
+    assert u_h == pytest.approx(u_et, abs=1e-6)
+
+
+@given(n=st.integers(1, 300), alpha=alphas, prior=prior_strategy)
+@settings(max_examples=80, deadline=None)
+def test_corollary1_limiting_cases_minimal(n, alpha, prior):
+    for tau in (0, n):
+        post = BetaPosterior.from_counts(prior, tau, n)
+        l_h, u_h = hpd_bounds(post, alpha)
+        l_et, u_et = et_bounds(post, alpha)
+        assert (u_h - l_h) <= (u_et - l_et) + 1e-9
+        # Limiting-case bounds anchor at the boundary with the mass.
+        if tau == 0:
+            assert l_h == 0.0
+        else:
+            assert u_h == 1.0
+
+
+@given(outcome=outcomes, prior=prior_strategy)
+@settings(max_examples=100, deadline=None)
+def test_nesting_in_alpha(outcome, prior):
+    # Lower alpha (higher confidence) must give a wider HPD interval.
+    tau, n = outcome
+    post = BetaPosterior.from_counts(prior, tau, n)
+    w_90 = np.diff(hpd_bounds(post, 0.10))[0]
+    w_95 = np.diff(hpd_bounds(post, 0.05))[0]
+    w_99 = np.diff(hpd_bounds(post, 0.01))[0]
+    assert w_90 <= w_95 + 1e-9 <= w_99 + 2e-9
+
+
+@given(
+    outcome=outcomes,
+    alpha=alphas,
+    accuracy=st.floats(0.05, 0.95),
+    strength=st.floats(2.0, 150.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_informative_priors_also_satisfy_theorems(outcome, alpha, accuracy, strength):
+    tau, n = outcome
+    prior = BetaPrior.from_accuracy(accuracy, strength)
+    post = BetaPosterior.from_counts(prior, tau, n)
+    lower, upper = hpd_bounds(post, alpha)
+    assert 0.0 <= lower < upper <= 1.0
+    assert post.interval_mass(lower, upper) == pytest.approx(1 - alpha, abs=1e-6)
+    l_et, u_et = et_bounds(post, alpha)
+    assert (upper - lower) <= (u_et - l_et) + 1e-7
+
+
+@given(n=st.integers(2, 400))
+@settings(max_examples=60, deadline=None)
+def test_width_shrinks_with_sample_size(n):
+    small = BetaPosterior.from_counts(JEFFREYS, round(0.9 * n), n)
+    large = BetaPosterior.from_counts(JEFFREYS, round(0.9 * 4 * n), 4 * n)
+    w_small = np.diff(hpd_bounds(small, 0.05))[0]
+    w_large = np.diff(hpd_bounds(large, 0.05))[0]
+    assert w_large < w_small + 1e-9
+
+
+@given(
+    outcome_a=outcomes,
+    outcome_b=outcomes,
+    prior=prior_strategy,
+)
+@settings(max_examples=80, deadline=None)
+def test_conjugate_update_composes(outcome_a, outcome_b, prior):
+    # Bayesian updating is associative: two annotation rounds equal one
+    # combined round — the property the evolving-KG workflow relies on.
+    tau_a, n_a = outcome_a
+    tau_b, n_b = outcome_b
+    step1 = BetaPosterior.from_counts(prior, tau_a, n_a)
+    intermediate_prior = type(prior)(a=step1.a, b=step1.b, name="carried")
+    step2 = BetaPosterior.from_counts(intermediate_prior, tau_b, n_b)
+    combined = BetaPosterior.from_counts(prior, tau_a + tau_b, n_a + n_b)
+    assert step2.a == pytest.approx(combined.a)
+    assert step2.b == pytest.approx(combined.b)

@@ -1,0 +1,98 @@
+"""Property-based invariants of the frequentist interval family."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import Evidence
+from repro.intervals.agresti_coull import AgrestiCoullInterval
+from repro.intervals.clopper_pearson import ClopperPearsonInterval
+from repro.intervals.transforms import ArcsineInterval, LogitInterval
+from repro.intervals.wald import WaldInterval
+from repro.intervals.wilson import WilsonInterval
+
+# Methods whose bounds are guaranteed inside [0, 1].  Agresti-Coull is
+# deliberately absent: as an adjusted-Wald recipe it can overshoot
+# slightly at tiny n (Brown, Cai & DasGupta [8]), like Wald itself.
+BOUNDED_METHODS = (
+    WilsonInterval(),
+    ClopperPearsonInterval(),
+    ArcsineInterval(),
+    LogitInterval(),
+)
+ALL_METHODS = BOUNDED_METHODS + (AgrestiCoullInterval(), WaldInterval())
+
+outcomes = st.tuples(
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=1, max_value=300),
+).filter(lambda pair: pair[0] <= pair[1])
+
+alphas = st.sampled_from([0.10, 0.05, 0.01])
+
+
+@given(outcome=outcomes, alpha=alphas)
+@settings(max_examples=120, deadline=None)
+def test_bounded_methods_stay_in_unit_interval(outcome, alpha):
+    tau, n = outcome
+    evidence = Evidence.from_counts(tau, n)
+    for method in BOUNDED_METHODS:
+        interval = method.compute(evidence, alpha)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0, method.name
+
+
+@given(outcome=outcomes, alpha=alphas)
+@settings(max_examples=120, deadline=None)
+def test_intervals_cover_the_point_estimate(outcome, alpha):
+    tau, n = outcome
+    evidence = Evidence.from_counts(tau, n)
+    for method in ALL_METHODS:
+        interval = method.compute(evidence, alpha)
+        if method.name == "Logit" and (tau == 0 or tau == n):
+            continue  # continuity correction relocates the centre
+        assert interval.lower - 1e-12 <= evidence.mu_hat <= interval.upper + 1e-12, (
+            method.name
+        )
+
+
+@given(outcome=outcomes)
+@settings(max_examples=100, deadline=None)
+def test_nesting_in_alpha(outcome):
+    # Higher confidence must never shrink an interval.
+    tau, n = outcome
+    evidence = Evidence.from_counts(tau, n)
+    for method in ALL_METHODS:
+        w90 = method.compute(evidence, 0.10).width
+        w95 = method.compute(evidence, 0.05).width
+        w99 = method.compute(evidence, 0.01).width
+        assert w90 <= w95 + 1e-12 <= w99 + 2e-12, method.name
+
+
+@given(outcome=outcomes, alpha=alphas)
+@settings(max_examples=100, deadline=None)
+def test_width_decreases_with_sample_size(outcome, alpha):
+    # Scaling (tau, n) -> (4 tau, 4 n) keeps the point estimate exactly
+    # fixed, so every method's width must shrink (or stay zero).
+    tau, n = outcome
+    small = Evidence.from_counts(tau, n)
+    large = Evidence.from_counts(4 * tau, 4 * n)
+    for method in ALL_METHODS:
+        w_small = method.compute(small, alpha).width
+        w_large = method.compute(large, alpha).width
+        assert w_large <= w_small + 1e-9, method.name
+
+
+@given(outcome=outcomes, alpha=alphas)
+@settings(max_examples=100, deadline=None)
+def test_symmetry_under_label_flip(outcome, alpha):
+    # Auditing mu or 1 - mu is the same problem (paper Sec. 6.4): every
+    # method's interval must mirror when successes and failures swap.
+    tau, n = outcome
+    forward = Evidence.from_counts(tau, n)
+    mirrored = Evidence.from_counts(n - tau, n)
+    for method in ALL_METHODS:
+        a = method.compute(forward, alpha)
+        b = method.compute(mirrored, alpha)
+        assert a.lower == pytest.approx(1.0 - b.upper, abs=1e-9), method.name
+        assert a.upper == pytest.approx(1.0 - b.lower, abs=1e-9), method.name

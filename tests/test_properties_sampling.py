@@ -1,0 +1,99 @@
+"""Property-based tests of the sampling and estimation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import Evidence
+from repro.estimators.cluster import twcs_evidence
+from repro.kg.generators import generate_profiled_kg
+from repro.sampling.srs import SimpleRandomSampling
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+
+
+@st.composite
+def small_kg_params(draw):
+    clusters = draw(st.integers(5, 60))
+    facts = draw(st.integers(clusters, clusters * 8))
+    accuracy = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**20))
+    return clusters, facts, accuracy, seed
+
+
+@given(params=small_kg_params())
+@settings(max_examples=40, deadline=None)
+def test_generated_kg_matches_requested_stats(params):
+    clusters, facts, accuracy, seed = params
+    kg = generate_profiled_kg("prop", facts, clusters, accuracy, seed=seed)
+    assert kg.num_triples == facts
+    assert kg.num_clusters == clusters
+    assert kg.accuracy == pytest.approx(round(accuracy * facts) / facts)
+
+
+@given(params=small_kg_params(), units=st.integers(1, 20), seed=st.integers(0, 1_000))
+@settings(max_examples=40, deadline=None)
+def test_srs_evidence_invariants(params, units, seed):
+    clusters, facts, accuracy, kg_seed = params
+    kg = generate_profiled_kg("prop", facts, clusters, accuracy, seed=kg_seed)
+    units = min(units, facts)
+    srs = SimpleRandomSampling()
+    state = srs.new_state()
+    rng = np.random.default_rng(seed)
+    batch = srs.draw(kg, state, units=units, rng=rng)
+    srs.update(state, batch, kg.labels(batch.indices))
+    ev = srs.evidence(state)
+    assert 0.0 <= ev.mu_hat <= 1.0
+    assert ev.n_annotated == units
+    assert ev.n_effective == units
+    assert ev.variance >= 0.0
+    # Sample labels are a subset of the population: a sample proportion
+    # of 1 requires a non-empty correct population and vice versa.
+    if ev.mu_hat > 0:
+        assert kg.accuracy > 0
+    if ev.mu_hat < 1:
+        assert kg.accuracy < 1
+
+
+@given(params=small_kg_params(), units=st.integers(2, 15), seed=st.integers(0, 1_000))
+@settings(max_examples=40, deadline=None)
+def test_twcs_evidence_invariants(params, units, seed):
+    clusters, facts, accuracy, kg_seed = params
+    kg = generate_profiled_kg("prop", facts, clusters, accuracy, seed=kg_seed)
+    twcs = TwoStageWeightedClusterSampling(m=3)
+    state = twcs.new_state()
+    rng = np.random.default_rng(seed)
+    batch = twcs.draw(kg, state, units=units, rng=rng)
+    twcs.update(state, batch, kg.labels(batch.indices))
+    ev = twcs.evidence(state)
+    assert 0.0 <= ev.mu_hat <= 1.0
+    assert ev.n_effective > 0.0
+    assert 0.0 <= ev.tau_effective <= ev.n_effective + 1e-9
+    assert len(state.cluster_means) == units
+
+
+@given(
+    means=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=40),
+    per_cluster=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_twcs_evidence_from_arbitrary_means(means, per_cluster):
+    ev = twcs_evidence(means, n_annotated=len(means) * per_cluster)
+    assert ev.mu_hat == pytest.approx(float(np.mean(means)))
+    assert ev.variance >= 0.0
+
+
+@given(tau=st.integers(0, 500), extra=st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_evidence_from_counts_consistency(tau, extra):
+    n = tau + extra
+    if n == 0:
+        return
+    ev = Evidence.from_counts(tau, n)
+    assert ev.tau_effective == tau
+    assert ev.n_effective == n
+    assert ev.mu_hat * n == pytest.approx(tau)
+    # Variance formula is exact.
+    assert ev.variance == pytest.approx(ev.mu_hat * (1 - ev.mu_hat) / n)

@@ -1,0 +1,88 @@
+"""Public-API surface tests.
+
+These guard the contract downstream users rely on: everything in
+``__all__`` is importable, the quickstart in the package docstring runs,
+and the core value types behave like values (hashable / comparable
+where documented).
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+
+
+class TestAllExports:
+    def test_every_name_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "KnowledgeGraph",
+            "SyntheticKG",
+            "SimpleRandomSampling",
+            "TwoStageWeightedClusterSampling",
+            "StratifiedPredicateSampling",
+            "WaldInterval",
+            "WilsonInterval",
+            "AdaptiveHPD",
+            "KGAccuracyEvaluator",
+            "SampleSizePlanner",
+            "AnnotationLedger",
+            "TripleIndex",
+        ],
+    )
+    def test_key_classes_exported(self, name):
+        assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        import repro.annotation
+        import repro.estimators
+        import repro.evaluation
+        import repro.experiments
+        import repro.intervals
+        import repro.kg
+        import repro.sampling
+        import repro.stats
+
+        for module in (
+            repro.annotation,
+            repro.estimators,
+            repro.evaluation,
+            repro.experiments,
+            repro.intervals,
+            repro.kg,
+            repro.sampling,
+            repro.stats,
+        ):
+            assert module.__doc__
+
+
+class TestPackageDoctest:
+    def test_quickstart_docstring_runs(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2
+
+
+class TestValueSemantics:
+    def test_triple_usable_as_dict_key(self):
+        t = repro.Triple("s", "p", "o")
+        assert {t: 1}[repro.Triple("s", "p", "o")] == 1
+
+    def test_interval_equality(self):
+        a = repro.Interval(lower=0.1, upper=0.2, alpha=0.05, method="x")
+        b = repro.Interval(lower=0.1, upper=0.2, alpha=0.05, method="x")
+        assert a == b
+
+    def test_priors_are_constants(self):
+        assert repro.KERMAN.name == "Kerman"
+        assert repro.UNINFORMATIVE_PRIORS[-1] is repro.UNIFORM

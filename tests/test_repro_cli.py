@@ -1,0 +1,76 @@
+"""Unit tests for the user-facing audit CLI (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.kg.io import save_kg
+
+
+@pytest.fixture
+def kg_file(tmp_path, medium_kg):
+    path = tmp_path / "kg.tsv"
+    save_kg(medium_kg, path)
+    return str(path)
+
+
+class TestStats:
+    def test_prints_statistics(self, kg_file, capsys):
+        assert main(["stats", kg_file]) == 0
+        out = capsys.readouterr().out
+        assert "facts            : 3000" in out
+        assert "gold accuracy" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/kg.tsv"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_profiled_dataset(self, tmp_path, capsys):
+        out_path = tmp_path / "yago.tsv"
+        assert main(["generate", "--dataset", "YAGO", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "1386" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_default_audit(self, kg_file, capsys):
+        assert main(["audit", kg_file, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated accuracy" in out
+        assert "annotation cost" in out
+
+    @pytest.mark.parametrize("strategy", ["srs", "twcs", "wcs", "strat"])
+    def test_every_strategy(self, kg_file, strategy, capsys):
+        assert main(["audit", kg_file, "--strategy", strategy, "--seed", "1"]) == 0
+        assert "margin of error" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["ahpd", "wilson", "wald"])
+    def test_every_method(self, kg_file, method, capsys):
+        assert main(["audit", kg_file, "--method", method, "--seed", "1"]) == 0
+        capsys.readouterr()
+
+    def test_ledger_written(self, kg_file, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.tsv"
+        assert main(["audit", kg_file, "--ledger", str(ledger_path), "--seed", "2"]) == 0
+        assert ledger_path.exists()
+        assert "judgement ledger" in capsys.readouterr().out
+
+    def test_custom_precision(self, kg_file, capsys):
+        assert main(
+            ["audit", kg_file, "--alpha", "0.1", "--epsilon", "0.08", "--seed", "1"]
+        ) == 0
+        assert "threshold 0.08" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_output(self, capsys):
+        assert main(["plan", "--mu", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "aHPD" in out and "Wilson" in out and "triples" in out
+
+    def test_twcs_style_entities(self, capsys):
+        assert main(["plan", "--mu", "0.9", "--entities-per-triple", "0.4"]) == 0
+        capsys.readouterr()

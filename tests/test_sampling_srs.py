@@ -1,0 +1,111 @@
+"""Unit tests for Simple Random Sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientSampleError, SamplingError
+from repro.sampling.srs import SimpleRandomSampling
+
+
+class TestDraw:
+    def test_batch_shape(self, medium_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        batch = srs.draw(medium_kg, state, units=10, rng=rng)
+        assert batch.num_triples == 10
+        assert batch.num_units == 10
+        assert batch.subjects.shape == (10,)
+
+    def test_no_duplicates_within_batch(self, medium_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        batch = srs.draw(medium_kg, state, units=500, rng=rng)
+        assert len(set(batch.indices.tolist())) == 500
+
+    def test_without_replacement_across_batches(self, tiny_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        drawn: set[int] = set()
+        for _ in range(3):
+            batch = srs.draw(tiny_kg, state, units=2, rng=rng)
+            labels = tiny_kg.labels(batch.indices)
+            srs.update(state, batch, labels)
+            for idx in batch.indices:
+                assert int(idx) not in drawn
+                drawn.add(int(idx))
+
+    def test_exhaustion_raises(self, tiny_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        batch = srs.draw(tiny_kg, state, units=6, rng=rng)
+        srs.update(state, batch, tiny_kg.labels(batch.indices))
+        with pytest.raises(InsufficientSampleError):
+            srs.draw(tiny_kg, state, units=1, rng=rng)
+
+    def test_rejects_zero_units(self, tiny_kg, rng):
+        srs = SimpleRandomSampling()
+        with pytest.raises(SamplingError):
+            srs.draw(tiny_kg, srs.new_state(), units=0, rng=rng)
+
+    def test_uniformity(self, tiny_kg):
+        # Each triple should be drawn first with equal probability.
+        srs = SimpleRandomSampling()
+        counts = np.zeros(6)
+        for seed in range(3_000):
+            rng = np.random.default_rng(seed)
+            batch = srs.draw(tiny_kg, srs.new_state(), units=1, rng=rng)
+            counts[batch.indices[0]] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 1 / 6, atol=0.03)
+
+
+class TestUpdateAndEvidence:
+    def test_counts_accumulate(self, medium_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        for _ in range(4):
+            batch = srs.draw(medium_kg, state, units=5, rng=rng)
+            srs.update(state, batch, medium_kg.labels(batch.indices))
+        assert state.n_annotated == 20
+        assert state.n_units == 20
+        assert len(state.seen_triples) == 20
+
+    def test_evidence_matches_counts(self, medium_kg, rng):
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        batch = srs.draw(medium_kg, state, units=50, rng=rng)
+        labels = medium_kg.labels(batch.indices)
+        srs.update(state, batch, labels)
+        ev = srs.evidence(state)
+        assert ev.mu_hat == pytest.approx(labels.mean())
+        assert ev.n_effective == 50
+
+    def test_evidence_without_data_raises(self):
+        srs = SimpleRandomSampling()
+        with pytest.raises(InsufficientSampleError):
+            srs.evidence(srs.new_state())
+
+    def test_estimator_unbiased_on_kg(self, medium_kg):
+        # Mean of many SRS estimates should approach the true accuracy.
+        srs = SimpleRandomSampling()
+        estimates = []
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            state = srs.new_state()
+            batch = srs.draw(medium_kg, state, units=100, rng=rng)
+            srs.update(state, batch, medium_kg.labels(batch.indices))
+            estimates.append(srs.evidence(state).mu_hat)
+        assert np.mean(estimates) == pytest.approx(medium_kg.accuracy, abs=0.01)
+
+    def test_cost_tracks_distinct_entities(self, medium_kg, rng):
+        from repro.annotation.cost import DEFAULT_COST_MODEL
+
+        srs = SimpleRandomSampling()
+        state = srs.new_state()
+        batch = srs.draw(medium_kg, state, units=30, rng=rng)
+        srs.update(state, batch, medium_kg.labels(batch.indices))
+        cost = state.cost(DEFAULT_COST_MODEL)
+        assert cost.num_triples == 30
+        assert cost.num_entities == len(set(batch.subjects.tolist()))

@@ -1,0 +1,119 @@
+"""Unit tests for stratified-by-predicate sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.synthetic import SyntheticKG
+from repro.kg.triple import Triple
+from repro.sampling.stratified import StratifiedPredicateSampling
+
+
+@pytest.fixture
+def predicate_kg() -> KnowledgeGraph:
+    """A KG whose label distribution differs sharply by predicate."""
+    triples: list[Triple] = []
+    labels: list[bool] = []
+    rng = np.random.default_rng(0)
+    # Predicate "clean": 95% correct, 600 facts.
+    for i in range(600):
+        triples.append(Triple(f"e:{i % 200}", "clean", f"v:{i}"))
+        labels.append(bool(rng.random() < 0.95))
+    # Predicate "noisy": 40% correct, 400 facts.
+    for i in range(400):
+        triples.append(Triple(f"e:{i % 150}", "noisy", f"v:{i}"))
+        labels.append(bool(rng.random() < 0.40))
+    return KnowledgeGraph(triples, labels)
+
+
+class TestDraw:
+    def test_allocation_proportional(self, predicate_kg, rng):
+        strat = StratifiedPredicateSampling()
+        state = strat.new_state()
+        batch = strat.draw(predicate_kg, state, units=100, rng=rng)
+        strat.update(state, batch, predicate_kg.labels(batch.indices))
+        counts = state.stratum_annotated
+        # Strata are 60% / 40% of the KG (sorted by predicate name:
+        # "clean" then "noisy").
+        assert counts[0] == pytest.approx(60, abs=2)
+        assert counts[1] == pytest.approx(40, abs=2)
+
+    def test_no_repeats_across_batches(self, predicate_kg, rng):
+        strat = StratifiedPredicateSampling()
+        state = strat.new_state()
+        seen: set[int] = set()
+        for _ in range(5):
+            batch = strat.draw(predicate_kg, state, units=20, rng=rng)
+            strat.update(state, batch, predicate_kg.labels(batch.indices))
+            for idx in batch.indices:
+                assert int(idx) not in seen
+                seen.add(int(idx))
+
+    def test_strata_recorded_on_batch(self, predicate_kg, rng):
+        strat = StratifiedPredicateSampling()
+        batch = strat.draw(predicate_kg, strat.new_state(), units=10, rng=rng)
+        assert batch.strata is not None
+        assert len(batch.strata) == 10
+
+    def test_requires_materialised_kg(self, rng):
+        synthetic = SyntheticKG(1_000, 100, accuracy=0.9, seed=0)
+        strat = StratifiedPredicateSampling()
+        with pytest.raises(SamplingError):
+            strat.draw(synthetic, strat.new_state(), units=1, rng=rng)
+
+    def test_rejects_foreign_batch(self, predicate_kg, rng):
+        from repro.sampling.srs import SimpleRandomSampling
+
+        srs = SimpleRandomSampling()
+        foreign = srs.draw(predicate_kg, srs.new_state(), units=5, rng=rng)
+        strat = StratifiedPredicateSampling()
+        with pytest.raises(SamplingError):
+            strat.update(strat.new_state(), foreign, predicate_kg.labels(foreign.indices))
+
+
+class TestEvidence:
+    def _evidence(self, kg, units, seed=0):
+        strat = StratifiedPredicateSampling()
+        state = strat.new_state()
+        rng = np.random.default_rng(seed)
+        batch = strat.draw(kg, state, units=units, rng=rng)
+        strat.update(state, batch, kg.labels(batch.indices))
+        return strat.evidence(state)
+
+    def test_estimate_unbiased(self, predicate_kg):
+        estimates = [
+            self._evidence(predicate_kg, units=120, seed=seed).mu_hat
+            for seed in range(150)
+        ]
+        assert np.mean(estimates) == pytest.approx(predicate_kg.accuracy, abs=0.01)
+
+    def test_variance_below_srs(self, predicate_kg):
+        # Labels correlate with predicates -> stratification wins.
+        ev = self._evidence(predicate_kg, units=200, seed=1)
+        srs_variance = ev.mu_hat * (1 - ev.mu_hat) / ev.n_annotated
+        assert ev.variance < srs_variance
+
+    def test_effective_sample_above_raw(self, predicate_kg):
+        ev = self._evidence(predicate_kg, units=200, seed=2)
+        assert ev.n_effective > ev.n_annotated
+
+    def test_bounds(self, predicate_kg):
+        ev = self._evidence(predicate_kg, units=50, seed=3)
+        assert 0.0 <= ev.mu_hat <= 1.0
+        assert 0.0 <= ev.tau_effective <= ev.n_effective + 1e-9
+
+
+class TestEndToEnd:
+    def test_evaluator_integration(self, predicate_kg):
+        from repro.evaluation.framework import KGAccuracyEvaluator
+        from repro.intervals.ahpd import AdaptiveHPD
+
+        evaluator = KGAccuracyEvaluator(
+            predicate_kg, StratifiedPredicateSampling(), AdaptiveHPD()
+        )
+        result = evaluator.run(rng=0)
+        assert result.converged
+        assert result.mu_hat == pytest.approx(predicate_kg.accuracy, abs=0.1)

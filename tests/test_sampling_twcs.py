@@ -1,0 +1,119 @@
+"""Unit tests for Two-stage Weighted Cluster Sampling and WCS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientSampleError, SamplingError, ValidationError
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
+from repro.sampling.wcs import WeightedClusterSampling
+
+
+class TestStageOne:
+    def test_pps_probabilities(self, tiny_kg):
+        # tiny_kg cluster sizes are (2, 3, 1): stage-1 draw probabilities
+        # must be proportional to size.
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        counts = np.zeros(3)
+        for seed in range(4_000):
+            rng = np.random.default_rng(seed)
+            batch = twcs.draw(tiny_kg, twcs.new_state(), units=1, rng=rng)
+            cluster = int(tiny_kg.subjects(batch.indices[:1])[0])
+            counts[cluster] += 1
+        freq = counts / counts.sum()
+        expected = tiny_kg.cluster_sizes / tiny_kg.num_triples
+        assert np.allclose(freq, expected, atol=0.03)
+
+
+class TestStageTwo:
+    def test_cap_respected(self, medium_kg, rng):
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        batch = twcs.draw(medium_kg, twcs.new_state(), units=20, rng=rng)
+        for unit in batch.unit_slices:
+            size = unit.stop - unit.start
+            assert 1 <= size <= 3
+
+    def test_small_cluster_taken_whole(self, tiny_kg, rng):
+        twcs = TwoStageWeightedClusterSampling(m=5)
+        batch = twcs.draw(tiny_kg, twcs.new_state(), units=1, rng=rng)
+        cluster = int(tiny_kg.subjects(batch.indices[:1])[0])
+        assert batch.num_triples == tiny_kg.cluster_size(cluster)
+
+    def test_no_duplicate_triples_within_unit(self, medium_kg, rng):
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        batch = twcs.draw(medium_kg, twcs.new_state(), units=50, rng=rng)
+        for unit in batch.unit_slices:
+            chunk = batch.indices[unit]
+            assert len(set(chunk.tolist())) == chunk.size
+
+    def test_unit_triples_share_cluster(self, medium_kg, rng):
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        batch = twcs.draw(medium_kg, twcs.new_state(), units=10, rng=rng)
+        for unit in batch.unit_slices:
+            subs = batch.subjects[unit]
+            assert len(set(subs.tolist())) == 1
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValidationError):
+            TwoStageWeightedClusterSampling(m=0)
+
+
+class TestUpdateAndEvidence:
+    def _filled_state(self, kg, units, seed=0, m=3):
+        twcs = TwoStageWeightedClusterSampling(m=m)
+        state = twcs.new_state()
+        rng = np.random.default_rng(seed)
+        batch = twcs.draw(kg, state, units=units, rng=rng)
+        twcs.update(state, batch, kg.labels(batch.indices))
+        return twcs, state
+
+    def test_cluster_means_recorded(self, medium_kg):
+        twcs, state = self._filled_state(medium_kg, units=15)
+        assert len(state.cluster_means) == 15
+        assert all(0.0 <= m <= 1.0 for m in state.cluster_means)
+
+    def test_evidence_needs_two_clusters(self, medium_kg):
+        twcs, state = self._filled_state(medium_kg, units=1)
+        with pytest.raises(InsufficientSampleError):
+            twcs.evidence(state)
+
+    def test_evidence_point_estimate(self, medium_kg):
+        twcs, state = self._filled_state(medium_kg, units=40)
+        ev = twcs.evidence(state)
+        assert ev.mu_hat == pytest.approx(np.mean(state.cluster_means))
+        assert ev.n_annotated == state.n_annotated
+
+    def test_estimator_unbiased_on_kg(self, medium_kg):
+        estimates = []
+        for seed in range(250):
+            twcs, state = self._filled_state(medium_kg, units=40, seed=seed)
+            estimates.append(twcs.evidence(state).mu_hat)
+        assert np.mean(estimates) == pytest.approx(medium_kg.accuracy, abs=0.015)
+
+    def test_update_requires_twcs_state(self, medium_kg, rng):
+        from repro.sampling.srs import SimpleRandomSampling
+
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        srs_state = SimpleRandomSampling().new_state()
+        batch = twcs.draw(medium_kg, twcs.new_state(), units=1, rng=rng)
+        with pytest.raises(SamplingError):
+            twcs.update(srs_state, batch, medium_kg.labels(batch.indices))
+
+    def test_min_units_is_two(self):
+        assert TwoStageWeightedClusterSampling(m=3).min_units == 2
+
+
+class TestWCS:
+    def test_annotates_whole_clusters(self, medium_kg, rng):
+        wcs = WeightedClusterSampling()
+        batch = wcs.draw(medium_kg, wcs.new_state(), units=5, rng=rng)
+        for unit in batch.unit_slices:
+            chunk = batch.indices[unit]
+            cluster = int(medium_kg.subjects(chunk[:1])[0])
+            assert chunk.size == medium_kg.cluster_size(cluster)
+
+    def test_is_twcs_with_unbounded_m(self):
+        wcs = WeightedClusterSampling()
+        assert wcs.m is None
+        assert wcs.name == "WCS"

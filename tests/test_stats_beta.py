@@ -1,0 +1,194 @@
+"""Unit and property tests for the Beta distribution helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.stats.beta import (
+    BetaParameters,
+    beta_cdf,
+    beta_interval_mass,
+    beta_mean,
+    beta_mode,
+    beta_pdf,
+    beta_ppf,
+    beta_skewness,
+    beta_std,
+    beta_variance,
+)
+
+positive_shapes = st.floats(min_value=0.05, max_value=500.0, allow_nan=False)
+
+
+class TestBetaPdf:
+    def test_uniform_density(self):
+        assert beta_pdf(0.3, 1, 1) == pytest.approx(1.0)
+        assert beta_pdf(0.9, 1, 1) == pytest.approx(1.0)
+
+    def test_symmetric_peak_at_half(self):
+        assert beta_pdf(0.5, 5, 5) > beta_pdf(0.3, 5, 5)
+
+    def test_outside_support_is_zero(self):
+        assert beta_pdf(-0.1, 2, 2) == 0.0
+        assert beta_pdf(1.1, 2, 2) == 0.0
+
+    def test_vectorised(self):
+        out = beta_pdf(np.array([0.25, 0.5, 0.75]), 2, 2)
+        assert out.shape == (3,)
+        assert out[1] == pytest.approx(1.5)
+
+    def test_known_value(self):
+        # Beta(2, 2): f(x) = 6 x (1 - x).
+        assert beta_pdf(0.25, 2, 2) == pytest.approx(6 * 0.25 * 0.75)
+
+    def test_large_shapes_finite(self):
+        assert math.isfinite(beta_pdf(0.9, 900.0, 100.0))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            beta_pdf(0.5, 0.0, 1.0)
+
+    @given(a=st.floats(1.0, 500.0), b=st.floats(1.0, 500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_integrates_to_one(self, a, b):
+        # Shapes >= 1 keep the density bounded, so the trapezoid rule
+        # converges; singular shapes are covered via the CDF instead.
+        xs = np.linspace(1e-6, 1 - 1e-6, 20_001)
+        mass = np.trapezoid(beta_pdf(xs, a, b), xs)
+        assert mass == pytest.approx(1.0, abs=2e-2)
+
+    @given(a=positive_shapes, b=positive_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_total_mass_via_cdf(self, a, b):
+        assert beta_cdf(1.0, a, b) == pytest.approx(1.0)
+        assert beta_cdf(0.0, a, b) == pytest.approx(0.0)
+
+
+class TestBetaCdf:
+    def test_bounds(self):
+        assert beta_cdf(0.0, 3, 4) == 0.0
+        assert beta_cdf(1.0, 3, 4) == 1.0
+
+    def test_clips_outside_support(self):
+        assert beta_cdf(-5.0, 2, 2) == 0.0
+        assert beta_cdf(5.0, 2, 2) == 1.0
+
+    def test_uniform_is_identity(self):
+        assert beta_cdf(0.37, 1, 1) == pytest.approx(0.37)
+
+    @given(a=positive_shapes, b=positive_shapes, x=st.floats(0.01, 0.99))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone(self, a, b, x):
+        assert beta_cdf(x, a, b) <= beta_cdf(min(x + 0.01, 1.0), a, b) + 1e-12
+
+
+class TestBetaPpf:
+    @given(
+        a=st.floats(min_value=1 / 3, max_value=500.0),
+        b=st.floats(min_value=1 / 3, max_value=500.0),
+        q=st.floats(0.001, 0.999),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_inverts_cdf(self, a, b, q):
+        # Shapes >= 1/3 cover every prior/posterior the library builds
+        # (Kerman is the smallest); the round trip is tight there.
+        x = beta_ppf(q, a, b)
+        assert beta_cdf(x, a, b) == pytest.approx(q, abs=1e-9)
+
+    @given(a=positive_shapes, b=positive_shapes, q=st.floats(0.01, 0.98))
+    @settings(max_examples=60, deadline=None)
+    def test_ppf_monotone_extreme_shapes(self, a, b, q):
+        # Spike shapes (a or b << 1) make the q-space round trip
+        # imprecise by design (the CDF is near-flat, then jumps); the
+        # meaningful guarantee there is order preservation.
+        x_lo = beta_ppf(q, a, b)
+        x_hi = beta_ppf(min(q + 0.01, 0.999), a, b)
+        assert 0.0 <= x_lo <= x_hi <= 1.0
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ValidationError):
+            beta_ppf(1.5, 2, 2)
+
+    def test_median_of_symmetric(self):
+        assert beta_ppf(0.5, 7, 7) == pytest.approx(0.5)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert beta_mean(2, 8) == pytest.approx(0.2)
+
+    def test_variance_formula(self):
+        a, b = 3.0, 5.0
+        expected = a * b / ((a + b) ** 2 * (a + b + 1))
+        assert beta_variance(a, b) == pytest.approx(expected)
+
+    def test_std_is_sqrt_variance(self):
+        assert beta_std(4, 6) == pytest.approx(math.sqrt(beta_variance(4, 6)))
+
+    def test_skewness_sign(self):
+        # Mass near 1 (a >> b): left tail, negative skew.
+        assert beta_skewness(90, 10) < 0
+        assert beta_skewness(10, 90) > 0
+        assert beta_skewness(5, 5) == pytest.approx(0.0)
+
+
+class TestBetaMode:
+    def test_interior(self):
+        assert beta_mode(3, 2) == pytest.approx(2 / 3)
+
+    def test_monotone_decreasing(self):
+        assert beta_mode(1.0, 5.0) == 0.0
+
+    def test_monotone_increasing(self):
+        assert beta_mode(5.0, 1.0) == 1.0
+
+    def test_uniform_centre(self):
+        assert beta_mode(1.0, 1.0) == 0.5
+
+    def test_bathtub_centre_convention(self):
+        assert beta_mode(0.5, 0.5) == 0.5
+
+    @given(a=st.floats(1.01, 200), b=st.floats(1.01, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_interior_mode_is_argmax(self, a, b):
+        mode = beta_mode(a, b)
+        peak = beta_pdf(mode, a, b)
+        for offset in (-0.01, 0.01):
+            x = mode + offset
+            if 0 < x < 1:
+                assert beta_pdf(x, a, b) <= peak + 1e-9
+
+
+class TestIntervalMass:
+    def test_full_interval(self):
+        assert beta_interval_mass(0.0, 1.0, 3, 3) == pytest.approx(1.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            beta_interval_mass(0.8, 0.2, 2, 2)
+
+    def test_matches_cdf_difference(self):
+        got = beta_interval_mass(0.2, 0.7, 4, 6)
+        assert got == pytest.approx(beta_cdf(0.7, 4, 6) - beta_cdf(0.2, 4, 6))
+
+
+class TestBetaParameters:
+    def test_properties(self):
+        params = BetaParameters(3, 2)
+        assert params.mean == pytest.approx(0.6)
+        assert params.mode == pytest.approx(2 / 3)
+        assert params.is_unimodal_interior
+
+    def test_symmetry_flag(self):
+        assert BetaParameters(2, 2).is_symmetric
+        assert not BetaParameters(2, 3).is_symmetric
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            BetaParameters(0, 1)

@@ -1,0 +1,64 @@
+"""Unit tests for the binomial helpers against scipy's reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ValidationError
+from repro.stats.binomial import binomial_cdf, binomial_pmf, binomial_pmf_matrix
+
+
+class TestBinomialPmf:
+    @pytest.mark.parametrize("mu", [0.1, 0.5, 0.91])
+    def test_matches_scipy(self, mu):
+        n = 30
+        taus = np.arange(n + 1, dtype=float)
+        ours = binomial_pmf(taus, n, mu)
+        ref = scipy_stats.binom.pmf(taus, n, mu)
+        assert np.allclose(ours, ref)
+
+    def test_sums_to_one(self):
+        pmf = binomial_pmf(np.arange(51, dtype=float), 50, 0.37)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mu", [0.0, 1.0])
+    def test_degenerate_rates(self, mu):
+        pmf = binomial_pmf(np.arange(11, dtype=float), 10, mu)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[0 if mu == 0.0 else 10] == pytest.approx(1.0)
+
+    def test_scalar_output(self):
+        assert binomial_pmf(3.0, 10, 0.5) == pytest.approx(
+            scipy_stats.binom.pmf(3, 10, 0.5)
+        )
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            binomial_pmf(1.0, 0, 0.5)
+
+
+class TestBinomialPmfMatrix:
+    def test_shape_and_rows(self):
+        mus = np.array([0.2, 0.8])
+        matrix = binomial_pmf_matrix(20, mus)
+        assert matrix.shape == (2, 21)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_rows_match_pmf(self):
+        matrix = binomial_pmf_matrix(15, np.array([0.6]))
+        ref = scipy_stats.binom.pmf(np.arange(16), 15, 0.6)
+        assert np.allclose(matrix[0], ref)
+
+
+class TestBinomialCdf:
+    @pytest.mark.parametrize("tau", [0, 5, 15, 29, 30])
+    def test_matches_scipy(self, tau):
+        assert binomial_cdf(tau, 30, 0.91) == pytest.approx(
+            scipy_stats.binom.cdf(tau, 30, 0.91)
+        )
+
+    def test_out_of_range(self):
+        assert binomial_cdf(-1, 10, 0.5) == 0.0
+        assert binomial_cdf(10, 10, 0.5) == 1.0

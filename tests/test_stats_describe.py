@@ -1,0 +1,64 @@
+"""Unit tests for descriptive summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.describe import Summary, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_singleton_std_zero(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.count == 1
+
+    def test_sem(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.sem == pytest.approx(summary.std / math.sqrt(4))
+
+    def test_accepts_numpy_array(self):
+        summary = summarize(np.arange(10, dtype=float))
+        assert summary.mean == pytest.approx(4.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            summarize([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            summarize([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            summarize(np.ones((2, 2)))
+
+
+class TestSummaryFormat:
+    def test_paper_integer_format(self):
+        summary = Summary(mean=96.4, std=44.2, count=1000, minimum=30, maximum=300)
+        assert summary.format(0) == "96±44"
+
+    def test_paper_cost_format(self):
+        summary = Summary(mean=1.757, std=0.791, count=1000, minimum=0.5, maximum=5.0)
+        assert summary.format(2) == "1.76±0.79"
+
+    def test_rejects_negative_digits(self):
+        summary = summarize([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            summary.format(-1)
+
+    def test_str_uses_two_digits(self):
+        assert str(summarize([1.0, 2.0])) == "1.50±0.71"

@@ -1,0 +1,54 @@
+"""Unit tests for deterministic random-source handling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.rng import derive_seed, spawn_rng
+
+
+class TestSpawnRng:
+    def test_seed_is_deterministic(self):
+        a = spawn_rng(42).random(5)
+        b = spawn_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert spawn_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(spawn_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = spawn_rng(seq)
+        assert isinstance(a, np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(spawn_rng(1).random(5), spawn_rng(2).random(5))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, 3) == derive_seed(0, 3)
+
+    def test_index_sensitivity(self):
+        assert derive_seed(0, 1) != derive_seed(0, 2)
+
+    def test_base_sensitivity(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_multi_index(self):
+        assert derive_seed(0, 1, 2) != derive_seed(0, 2, 1)
+
+    def test_non_negative_63bit(self):
+        for i in range(20):
+            seed = derive_seed(123, i)
+            assert 0 <= seed < 2**63
+
+    def test_derived_streams_look_independent(self):
+        a = spawn_rng(derive_seed(0, 0)).random(2_000)
+        b = spawn_rng(derive_seed(0, 1)).random(2_000)
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.1

@@ -1,0 +1,87 @@
+"""Unit tests for the two-sample t-tests against scipy's reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ValidationError
+from repro.stats.ttest import independent_ttest, welch_ttest
+
+
+@pytest.fixture
+def samples():
+    rng = np.random.default_rng(5)
+    a = rng.normal(10.0, 2.0, size=80)
+    b = rng.normal(11.0, 3.0, size=120)
+    return a, b
+
+
+class TestIndependentTTest:
+    def test_matches_scipy(self, samples):
+        a, b = samples
+        ours = independent_ttest(a, b)
+        ref = scipy_stats.ttest_ind(a, b, equal_var=True)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.pvalue == pytest.approx(ref.pvalue)
+        assert ours.dof == len(a) + len(b) - 2
+
+    def test_identical_samples_not_significant(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        result = independent_ttest(sample, sample)
+        assert result.statistic == 0.0
+        assert result.pvalue == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_clearly_different_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, 200)
+        b = rng.normal(5.0, 1.0, 200)
+        assert independent_ttest(a, b).significant(0.01)
+
+    def test_sign_convention(self):
+        result = independent_ttest([5.0, 6.0, 7.0], [1.0, 2.0, 3.0])
+        assert result.statistic > 0
+
+    def test_constant_equal_samples(self):
+        result = independent_ttest([2.0, 2.0, 2.0], [2.0, 2.0])
+        assert result.pvalue == 1.0
+
+    def test_constant_different_samples(self):
+        result = independent_ttest([2.0, 2.0, 2.0], [3.0, 3.0])
+        assert result.pvalue == 0.0
+        assert result.significant()
+
+    @pytest.mark.parametrize("bad", [[], [1.0]])
+    def test_rejects_tiny_samples(self, bad):
+        with pytest.raises(ValidationError):
+            independent_ttest(bad, [1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            independent_ttest([1.0, float("nan")], [1.0, 2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            independent_ttest([[1.0, 2.0]], [1.0, 2.0])
+
+
+class TestWelchTTest:
+    def test_matches_scipy(self, samples):
+        a, b = samples
+        ours = welch_ttest(a, b)
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.pvalue == pytest.approx(ref.pvalue)
+
+    def test_dof_below_pooled_for_unequal_variances(self, samples):
+        a, b = samples
+        assert welch_ttest(a, b).dof < independent_ttest(a, b).dof
+
+    def test_significance_threshold(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0.05, 1, 50)
+        result = welch_ttest(a, b)
+        assert not result.significant(0.01)

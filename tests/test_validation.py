@@ -1,0 +1,141 @@
+"""Unit tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro._validation import (
+    check_alpha,
+    check_counts,
+    check_fraction_pair,
+    check_in_unit_interval,
+    check_non_negative,
+    check_non_negative_int,
+    check_not_empty,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan, math.inf, -math.inf])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValidationError):
+            check_probability(bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("half")
+
+    def test_coerces_int(self):
+        assert check_probability(1) == 1.0
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValidationError, match="accuracy"):
+            check_probability(2.0, name="accuracy")
+
+
+class TestCheckUnitInterval:
+    def test_open_left_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(0.0, open_left=True)
+
+    def test_open_right_rejects_one(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(1.0, open_right=True)
+
+    def test_open_both_accepts_interior(self):
+        assert check_in_unit_interval(0.5, open_left=True, open_right=True) == 0.5
+
+
+class TestCheckAlpha:
+    @pytest.mark.parametrize("alpha", [0.10, 0.05, 0.01])
+    def test_accepts_paper_levels(self, alpha):
+        assert check_alpha(alpha) == alpha
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate(self, bad):
+        with pytest.raises(ValidationError):
+            check_alpha(bad)
+
+
+class TestPositiveChecks:
+    def test_positive_accepts(self):
+        assert check_positive(0.1) == 0.1
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0) == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9)
+
+
+class TestIntChecks:
+    def test_positive_int(self):
+        assert check_positive_int(3) == 3
+
+    def test_positive_int_accepts_float_whole(self):
+        assert check_positive_int(3.0) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "x", True])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive_int(bad)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0) == 0
+
+
+class TestCheckCounts:
+    def test_valid(self):
+        assert check_counts(3, 10) == (3, 10)
+
+    def test_boundaries(self):
+        assert check_counts(0, 5) == (0, 5)
+        assert check_counts(5, 5) == (5, 5)
+
+    def test_successes_exceed_trials(self):
+        with pytest.raises(ValidationError):
+            check_counts(6, 5)
+
+    def test_zero_trials(self):
+        with pytest.raises(ValidationError):
+            check_counts(0, 0)
+
+
+class TestFractionPair:
+    def test_ordered(self):
+        assert check_fraction_pair(0.2, 0.8) == (0.2, 0.8)
+
+    def test_equal_allowed(self):
+        assert check_fraction_pair(0.5, 0.5) == (0.5, 0.5)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            check_fraction_pair(0.8, 0.2)
+
+
+class TestNotEmpty:
+    def test_accepts_list(self):
+        assert check_not_empty([1, 2]) == [1, 2]
+
+    def test_materialises_iterator(self):
+        assert check_not_empty(iter([1])) == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_not_empty([])
