@@ -87,3 +87,22 @@ class Evidence:
             tau_effective=float(successes),
             n_annotated=trials,
         )
+
+    @classmethod
+    def from_counts_fast(cls, successes: int, trials: int) -> "Evidence":
+        """Non-validating :meth:`from_counts` for trusted hot loops.
+
+        Skips ``__post_init__``'s range checks entirely; Monte-Carlo
+        loops that draw ``successes ~ Bin(trials, mu)`` construct
+        millions of evidences whose invariants hold by construction.
+        Callers with untrusted inputs must use :meth:`from_counts`, the
+        public default.
+        """
+        mu_hat = successes / trials
+        evidence = object.__new__(cls)
+        object.__setattr__(evidence, "mu_hat", mu_hat)
+        object.__setattr__(evidence, "variance", mu_hat * (1.0 - mu_hat) / trials)
+        object.__setattr__(evidence, "n_effective", float(trials))
+        object.__setattr__(evidence, "tau_effective", float(successes))
+        object.__setattr__(evidence, "n_annotated", trials)
+        return evidence

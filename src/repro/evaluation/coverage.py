@@ -60,9 +60,16 @@ def empirical_coverage(
 ) -> CoverageResult:
     """Monte-Carlo coverage of *method* under binomial sampling.
 
-    Draws ``tau ~ Bin(n, mu)`` *repetitions* times, builds the interval
-    from each outcome, and reports the fraction of intervals containing
-    the true ``mu`` together with the mean interval width.
+    Draws ``tau ~ Bin(n, mu)`` *repetitions* times and reports the
+    fraction of intervals containing the true ``mu`` together with the
+    mean interval width.
+
+    A ``Bin(n, mu)`` draw has only ``n + 1`` distinct outcomes, so the
+    repetitions are aggregated by unique ``tau`` (``np.bincount``) and
+    each observed outcome is solved exactly once through the method's
+    batch engine — at the paper's settings (n=30, 2,000 repetitions)
+    that is at most 31 interval solves per cell instead of 2,000, with
+    bit-identical coverage counts.
     """
     mu = check_probability(mu, "mu")
     n = check_positive_int(n, "n")
@@ -71,20 +78,20 @@ def empirical_coverage(
     generator = spawn_rng(rng)
     taus = generator.binomial(n, mu, size=repetitions)
 
-    hits = 0
-    widths = np.empty(repetitions, dtype=float)
-    for i, tau in enumerate(taus):
-        evidence = Evidence.from_counts(int(tau), n)
-        interval = method.compute(evidence, alpha)
-        hits += interval.contains(mu)
-        widths[i] = interval.width
+    counts = np.bincount(taus, minlength=n + 1)
+    observed = np.flatnonzero(counts)
+    weights = counts[observed]
+    evidences = [Evidence.from_counts_fast(int(tau), n) for tau in observed]
+    batch = method.compute_batch(evidences, alpha)
+    hits = int(weights @ batch.contains(mu))
+    total_width = float(weights @ batch.width)
     return CoverageResult(
         method=method.name,
         mu=mu,
         n=n,
         alpha=alpha,
         coverage=hits / repetitions,
-        mean_width=float(widths.mean()),
+        mean_width=total_width / repetitions,
         repetitions=repetitions,
     )
 

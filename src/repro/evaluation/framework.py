@@ -186,6 +186,15 @@ class KGAccuracyEvaluator:
         #: Optional durable judgement record; every annotated batch is
         #: appended, enabling suspend/resume of real audits.
         self.ledger = ledger
+        # Interval methods are deterministic functions of the evidence
+        # summary, and the iterative stop rule (and Monte-Carlo replays
+        # of it) revisit the same evidence states constantly — memoise
+        # the solves.  Keyed on the method instance plus everything the
+        # methods read: tau and n (effective), the design variance
+        # (Wald), and alpha.
+        self._interval_cache: dict[tuple, Interval] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def run(self, rng: RandomSource = None, keep_trace: bool = False) -> EvaluationResult:
         """Execute one full evaluation (phases 1-4 until convergence)."""
@@ -205,7 +214,7 @@ class KGAccuracyEvaluator:
         while True:
             iterations += 1
             evidence = strategy.evidence(state)
-            interval = self.method.compute(evidence, cfg.alpha)
+            interval = self._compute_interval(evidence, cfg.alpha)
             if keep_trace:
                 trace.append(
                     IterationRecord(
@@ -225,6 +234,46 @@ class KGAccuracyEvaluator:
                     )
                 return self._result(state, evidence.mu_hat, interval, iterations, False, trace)
             self._ingest(state, cfg.units_per_iteration, rng)
+
+    #: Entries kept before the interval memo resets (a full reset is
+    #: cheaper and simpler than LRU bookkeeping at this hit rate).
+    _CACHE_LIMIT = 100_000
+
+    def _compute_interval(self, evidence, alpha: float) -> Interval:
+        """Memoised ``method.compute`` over already-seen evidence states.
+
+        The cache persists across :meth:`run` calls, so Monte-Carlo
+        replays (e.g. sequential-coverage studies) share solves between
+        repetitions that walk through the same ``(tau, n)`` states.
+        The method instance is part of the key, so *reassigning*
+        ``self.method`` never serves another method's intervals;
+        mutating a method's configuration in place (e.g. swapping its
+        ``prior`` attribute) is not detectable here and requires
+        :meth:`clear_interval_cache`.
+        """
+        key = (
+            self.method,
+            evidence.tau_effective,
+            evidence.n_effective,
+            evidence.variance,
+            alpha,
+        )
+        interval = self._interval_cache.get(key)
+        if interval is None:
+            self.cache_misses += 1
+            if len(self._interval_cache) >= self._CACHE_LIMIT:
+                self._interval_cache.clear()
+            interval = self.method.compute(evidence, alpha)
+            self._interval_cache[key] = interval
+        else:
+            self.cache_hits += 1
+        return interval
+
+    def clear_interval_cache(self) -> None:
+        """Drop memoised solves (e.g. after mutating ``method``)."""
+        self._interval_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _ingest(self, state, units: int, rng) -> None:
         batch = self.strategy.draw(self.kg, state, units, rng)

@@ -88,17 +88,18 @@ class SampleSizePlanner:
         self.entities_per_triple = entities_per_triple
 
     def expected_moe(self, method: IntervalMethod, mu: float, n: int) -> float:
-        """Expected MoE of *method* at sample size *n* under ``Bin(n, mu)``."""
+        """Expected MoE of *method* at sample size *n* under ``Bin(n, mu)``.
+
+        All ``n + 1`` binomial outcomes are solved in one batch call.
+        """
         mu = check_probability(mu, "mu")
         n = check_positive_int(n, "n")
         alpha = check_alpha(self.config.alpha)
         taus = np.arange(n + 1)
         weights = binomial_pmf(taus.astype(float), n, mu)
-        moes = np.empty(n + 1, dtype=float)
-        for tau in taus:
-            interval = method.compute(Evidence.from_counts(int(tau), n), alpha)
-            moes[tau] = interval.moe
-        return float(weights @ moes)
+        evidences = [Evidence.from_counts_fast(int(tau), n) for tau in taus]
+        batch = method.compute_batch(evidences, alpha)
+        return float(weights @ batch.moe)
 
     def plan(
         self,

@@ -70,6 +70,11 @@ def sequential_coverage(
 ) -> SequentialCoverageResult:
     """Coverage of the *stopped* interval under the full procedure.
 
+    All replays share one :class:`KGAccuracyEvaluator`, whose interval
+    memo persists across runs: replays walk through largely overlapping
+    ``(tau, n)`` evidence states, so most stop-rule consultations after
+    the first few replays are cache hits rather than fresh solves.
+
     Parameters
     ----------
     method:

@@ -10,11 +10,17 @@ The paper's cast:
 
 Plus two extra CI baselines (Agresti-Coull, Clopper-Pearson) from the
 binomial-interval literature the paper builds on [8].
+
+Every method also implements ``compute_batch``, backed by the
+vectorised batch engine in :mod:`repro.intervals.batch`, which solves
+whole arrays of evidences (or Beta posteriors) in one call — the hot
+path of the Monte-Carlo experiments.
 """
 
 from .agresti_coull import AgrestiCoullInterval
 from .ahpd import AdaptiveHPD
 from .base import Interval, IntervalMethod, critical_value
+from .batch import BatchIntervals, et_bounds_batch, hpd_bounds_batch
 from .clopper_pearson import ClopperPearsonInterval
 from .et import ETCredibleInterval, et_bounds
 from .transforms import ArcsineInterval, LogitInterval
@@ -27,6 +33,7 @@ from .wilson import WilsonInterval
 __all__ = [
     "Interval",
     "IntervalMethod",
+    "BatchIntervals",
     "critical_value",
     "WaldInterval",
     "WilsonInterval",
@@ -43,8 +50,10 @@ __all__ = [
     "PosteriorShape",
     "ETCredibleInterval",
     "et_bounds",
+    "et_bounds_batch",
     "HPDCredibleInterval",
     "hpd_bounds",
+    "hpd_bounds_batch",
     "HPD_SOLVERS",
     "AdaptiveHPD",
 ]

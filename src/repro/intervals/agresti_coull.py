@@ -11,10 +11,12 @@ Wald / Wilson / credible intervals in the broader CI landscape.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from .base import Interval, IntervalMethod, critical_value
+from .batch import BatchIntervals, agresti_coull_bounds_batch, evidence_arrays
 
 __all__ = ["AgrestiCoullInterval"]
 
@@ -37,3 +39,11 @@ class AgrestiCoullInterval(IntervalMethod):
             alpha=alpha,
             method=self.name,
         )
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        _, _, n_eff, tau_eff = evidence_arrays(evidences)
+        lower, upper = agresti_coull_bounds_batch(tau_eff, n_eff, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)

@@ -14,12 +14,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from scipy import special
 
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from ..exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .batch import BatchIntervals
 
 __all__ = ["Interval", "IntervalMethod", "critical_value"]
 
@@ -110,6 +114,26 @@ class IntervalMethod(ABC):
     @abstractmethod
     def compute(self, evidence: Evidence, alpha: float) -> Interval:
         """Build the ``1 - alpha`` interval for *evidence*."""
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> "BatchIntervals":
+        """Build one interval per evidence, as a struct-of-arrays batch.
+
+        The default is a per-element :meth:`compute` loop, so any
+        subclass is batch-correct for free; every built-in method
+        overrides it with the vectorised engine in
+        :mod:`repro.intervals.batch`.  Results agree with the scalar
+        path to ~1e-8 element-wise.
+        """
+        from .batch import BatchIntervals
+
+        alpha = check_alpha(alpha)
+        return BatchIntervals.from_intervals(
+            (self.compute(evidence, alpha) for evidence in evidences),
+            alpha=alpha,
+            method=self.name,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -17,10 +17,13 @@ are supported because Beta quantiles accept real-valued shapes.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from ..stats.beta import beta_ppf
 from .base import Interval, IntervalMethod
+from .batch import BatchIntervals, clopper_pearson_bounds_batch, evidence_arrays
 
 __all__ = ["ClopperPearsonInterval"]
 
@@ -40,3 +43,11 @@ class ClopperPearsonInterval(IntervalMethod):
             beta_ppf(1.0 - alpha / 2.0, tau + 1.0, failures)
         )
         return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        _, _, n_eff, tau_eff = evidence_arrays(evidences)
+        lower, upper = clopper_pearson_bounds_batch(tau_eff, n_eff, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)

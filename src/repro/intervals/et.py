@@ -15,9 +15,17 @@ HPD intervals fix.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from .base import Interval, IntervalMethod
+from .batch import (
+    BatchIntervals,
+    et_bounds_batch,
+    evidence_arrays,
+    posterior_shapes_batch,
+)
 from .posterior import BetaPosterior
 from .priors import BetaPrior, JEFFREYS
 
@@ -54,3 +62,12 @@ class ETCredibleInterval(IntervalMethod):
         posterior = self.posterior(evidence)
         lower, upper = et_bounds(posterior, alpha)
         return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        _, _, n_eff, tau_eff = evidence_arrays(evidences)
+        a, b = posterior_shapes_batch(self.prior, tau_eff, n_eff)
+        lower, upper = et_bounds_batch(a, b, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)

@@ -19,10 +19,17 @@ used by the paper's evaluation loop.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from .base import Interval, IntervalMethod, critical_value
+from .batch import (
+    BatchIntervals,
+    arcsine_bounds_batch,
+    evidence_arrays,
+    logit_bounds_batch,
+)
 
 __all__ = ["ArcsineInterval", "LogitInterval"]
 
@@ -41,6 +48,14 @@ class ArcsineInterval(IntervalMethod):
         lower = math.sin(max(centre - half, 0.0)) ** 2
         upper = math.sin(min(centre + half, math.pi / 2.0)) ** 2
         return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        mu, _, n_eff, _ = evidence_arrays(evidences)
+        lower, upper = arcsine_bounds_batch(mu, n_eff, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)
 
 
 class LogitInterval(IntervalMethod):
@@ -64,6 +79,14 @@ class LogitInterval(IntervalMethod):
         lower = _expit(centre - spread)
         upper = _expit(centre + spread)
         return Interval(lower=lower, upper=upper, alpha=alpha, method=self.name)
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        _, _, n_eff, tau_eff = evidence_arrays(evidences)
+        lower, upper = logit_bounds_batch(tau_eff, n_eff, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)
 
 
 def _expit(x: float) -> float:

@@ -17,10 +17,12 @@ correction.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from .base import Interval, IntervalMethod, critical_value
+from .batch import BatchIntervals, evidence_arrays, wald_bounds_batch
 
 __all__ = ["WaldInterval"]
 
@@ -40,3 +42,11 @@ class WaldInterval(IntervalMethod):
             alpha=alpha,
             method=self.name,
         )
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        mu, variance, _, _ = evidence_arrays(evidences)
+        lower, upper = wald_bounds_batch(mu, variance, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)

@@ -18,10 +18,12 @@ design-effect-corrected effective sample size carried by the evidence.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from .._validation import check_alpha
 from ..estimators.base import Evidence
 from .base import Interval, IntervalMethod, critical_value
+from .batch import BatchIntervals, evidence_arrays, wilson_bounds_batch
 
 __all__ = ["WilsonInterval"]
 
@@ -50,3 +52,11 @@ class WilsonInterval(IntervalMethod):
             alpha=alpha,
             method=self.name,
         )
+
+    def compute_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> BatchIntervals:
+        alpha = check_alpha(alpha)
+        mu, _, n_eff, _ = evidence_arrays(evidences)
+        lower, upper = wilson_bounds_batch(mu, n_eff, alpha)
+        return BatchIntervals(lower=lower, upper=upper, alpha=alpha, method=self.name)

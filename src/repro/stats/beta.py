@@ -24,6 +24,9 @@ __all__ = [
     "beta_pdf",
     "beta_cdf",
     "beta_ppf",
+    "beta_pdf_batch",
+    "beta_cdf_batch",
+    "beta_ppf_batch",
     "beta_mean",
     "beta_mode",
     "beta_variance",
@@ -129,6 +132,52 @@ def beta_ppf(q, a: float, b: float):
     if out.ndim == 0:
         return float(out)
     return out
+
+
+def _check_positive_array(values, name: str) -> np.ndarray:
+    """Validate an array of strictly positive, finite shape parameters."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr <= 0.0)):
+        raise ValidationError(f"{name} must be finite and > 0, got {values!r}")
+    return arr
+
+
+def beta_pdf_batch(x, a, b) -> np.ndarray:
+    """Beta density, vectorised over *x* **and** the shape parameters.
+
+    The scalar-parameter :func:`beta_pdf` serves one posterior at a time;
+    this variant broadcasts ``(x, a, b)`` together so the batch interval
+    engine can evaluate one density per posterior in a single call.
+    """
+    a = _check_positive_array(a, "a")
+    b = _check_positive_array(b, "b")
+    x = np.asarray(x, dtype=float)
+    inside = (x >= 0.0) & (x <= 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_density = (
+            special.xlogy(a - 1.0, x)
+            + special.xlog1py(b - 1.0, -x)
+            - special.betaln(a, b)
+        )
+    return np.where(inside, np.exp(log_density), 0.0)
+
+
+def beta_cdf_batch(x, a, b) -> np.ndarray:
+    """Beta CDF, vectorised over *x* **and** the shape parameters."""
+    a = _check_positive_array(a, "a")
+    b = _check_positive_array(b, "b")
+    clipped = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
+    return np.asarray(special.betainc(a, b, clipped), dtype=float)
+
+
+def beta_ppf_batch(q, a, b) -> np.ndarray:
+    """Beta quantile function, vectorised over *q* **and** the shapes."""
+    a = _check_positive_array(a, "a")
+    b = _check_positive_array(b, "b")
+    q_arr = np.asarray(q, dtype=float)
+    if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+        raise ValidationError(f"quantile levels must be in [0, 1], got {q!r}")
+    return np.asarray(special.betaincinv(a, b, q_arr), dtype=float)
 
 
 def beta_mean(a: float, b: float) -> float:

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.estimators.base import Evidence
 from repro.evaluation.coverage import coverage_profile, empirical_coverage
 from repro.exceptions import ValidationError
+from repro.intervals.ahpd import AdaptiveHPD
 from repro.intervals.hpd import HPDCredibleInterval
 from repro.intervals.wald import WaldInterval
 from repro.intervals.wilson import WilsonInterval
+from repro.stats.rng import spawn_rng
 
 
 class TestEmpiricalCoverage:
@@ -48,6 +52,39 @@ class TestEmpiricalCoverage:
             empirical_coverage(WilsonInterval(), mu=1.5, n=30)
         with pytest.raises(ValidationError):
             empirical_coverage(WilsonInterval(), mu=0.5, n=0)
+
+
+    def test_unique_outcome_solve_budget(self):
+        # The acceptance bar of the batch engine: 2,000 repetitions at
+        # n = 30 must trigger at most 31 interval solves (one per
+        # distinct binomial outcome), routed through compute_batch.
+        method = AdaptiveHPD()
+        solved = []
+        original = method.compute_batch
+
+        def counting(evidences, alpha):
+            solved.append(len(evidences))
+            return original(evidences, alpha)
+
+        method.compute_batch = counting
+        empirical_coverage(method, mu=0.9, n=30, repetitions=2_000, rng=0)
+        assert len(solved) == 1
+        assert solved[0] <= 31
+
+    def test_matches_per_repetition_loop(self):
+        # The unique-outcome aggregation must reproduce the naive
+        # per-repetition loop exactly (same draws, same statistics).
+        method = WilsonInterval()
+        result = empirical_coverage(method, mu=0.9, n=30, repetitions=1_000, rng=3)
+        taus = spawn_rng(3).binomial(30, 0.9, size=1_000)
+        hits = 0
+        widths = []
+        for tau in taus:
+            interval = method.compute(Evidence.from_counts(int(tau), 30), 0.05)
+            hits += interval.contains(0.9)
+            widths.append(interval.width)
+        assert result.coverage == hits / 1_000
+        assert result.mean_width == pytest.approx(float(np.mean(widths)), abs=1e-12)
 
 
 class TestCoverageProfile:

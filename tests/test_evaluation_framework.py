@@ -149,6 +149,57 @@ class TestBudget:
         assert result.moe > 0.001
 
 
+class TestIntervalMemoCache:
+    def test_replays_share_solves(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), AdaptiveHPD()
+        )
+        first = evaluator.run(rng=0)
+        misses_after_first = evaluator.cache_misses
+        assert misses_after_first > 0
+        # An identical replay walks through the same evidence states:
+        # every stop-rule consultation must be a cache hit.
+        second = evaluator.run(rng=0)
+        assert evaluator.cache_misses == misses_after_first
+        assert evaluator.cache_hits >= second.iterations
+        assert second.interval == first.interval
+
+    def test_cached_intervals_match_direct_compute(self, medium_kg):
+        method = WilsonInterval()
+        evaluator = KGAccuracyEvaluator(medium_kg, SimpleRandomSampling(), method)
+        result = evaluator.run(rng=1)
+        from repro.estimators.base import Evidence
+
+        direct = method.compute(
+            Evidence.from_counts(
+                round(result.mu_hat * result.n_annotated), result.n_annotated
+            ),
+            evaluator.config.alpha,
+        )
+        assert result.interval.lower == pytest.approx(direct.lower, abs=1e-12)
+        assert result.interval.upper == pytest.approx(direct.upper, abs=1e-12)
+
+    def test_method_reassignment_never_serves_stale_intervals(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        evaluator.run(rng=0)
+        evaluator.method = WaldInterval()
+        result = evaluator.run(rng=0)
+        assert result.interval.method == "Wald"
+
+    def test_clear_interval_cache(self, medium_kg):
+        evaluator = KGAccuracyEvaluator(
+            medium_kg, SimpleRandomSampling(), WilsonInterval()
+        )
+        evaluator.run(rng=0)
+        assert evaluator.cache_misses > 0
+        evaluator.clear_interval_cache()
+        assert evaluator.cache_hits == 0
+        assert evaluator.cache_misses == 0
+        assert not evaluator._interval_cache
+
+
 class TestAnnotatorIntegration:
     def test_noisy_annotator_biases_estimate(self, medium_kg):
         # A worker who flips 30% of labels pulls the estimate toward 0.5.
