@@ -89,7 +89,13 @@ def test_bench_coverage_per_repetition_loop(benchmark):
 
 
 def test_record_batch_engine_summary():
-    """Measure and persist the headline batch-engine speedups."""
+    """Measure the headline batch-engine speedups.
+
+    The persisted results file carries only deterministic fields
+    (problem sizes, solve budgets, threshold verdicts); the wall-clock
+    measurements print to stdout, so re-running the benchmarks never
+    commits timing noise.
+    """
 
     def clock(fn, repeats: int = 3) -> float:
         best = float("inf")
@@ -125,24 +131,34 @@ def test_record_batch_engine_summary():
 
     legacy = clock(legacy_loop, repeats=1)
 
-    lines = [
+    timing_lines = [
         "batch-engine micro-benchmarks (best-of-N wall clock)",
         "====================================================",
         f"HPD solve, 1k posteriors,  batch engine : {batch_1k * 1e3:9.2f} ms",
         f"HPD solve, 1k posteriors,  scalar loop  : {scalar_1k * 1e3:9.2f} ms"
         f"  ({scalar_1k / batch_1k:5.1f}x slower)",
         f"HPD solve, 10k posteriors, batch engine : {batch_10k * 1e3:9.2f} ms",
-        f"coverage cell (n=30, 2000 reps, aHPD):",
+        "coverage cell (n=30, 2000 reps, aHPD):",
         f"  unique-outcome batch audit            : {unique_outcome * 1e3:9.2f} ms",
         f"  legacy per-repetition loop            : {legacy * 1e3:9.2f} ms"
         f"  ({legacy / unique_outcome:5.1f}x slower)",
-        "",
-        "The unique-outcome audit performs <= n+1 solves per cell",
-        "(31 at n=30) regardless of the repetition count.",
+        "speedup floors (asserted, not persisted):",
+        f"  batch faster than scalar loop         : {'yes' if batch_1k < scalar_1k else 'NO'}",
+        f"  unique-outcome faster than legacy     : {'yes' if unique_outcome < legacy else 'NO'}",
+    ]
+    # Only machine-independent facts go to disk; every wall-clock
+    # number and wall-clock-derived verdict stays on stdout.
+    file_lines = [
+        "batch-engine summary (deterministic fields only; timings on stdout)",
+        "===================================================================",
+        "HPD solves, batch engine vs scalar loop : 1,000 and 10,000 posteriors",
+        "coverage cell                           : n=30, 2,000 repetitions, aHPD",
+        "unique-outcome solve budget             : <= 31 solves per cell",
+        "speedup assertions                      : batch < scalar, unique-outcome < legacy",
     ]
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "batch-engine.txt"
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-    print("\n" + "\n".join(lines) + f"\n[written to {path}]")
+    path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
+    print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")
     assert batch_1k < scalar_1k
     assert unique_outcome < legacy

@@ -1,0 +1,110 @@
+"""Benchmarks: the parallel study-execution runtime.
+
+The acceptance scenario for the runtime layer: a representative
+multi-cell study (the Table 3 grid at reduced repetitions) run through
+``ParallelExecutor`` with 4 workers must be bit-identical to the serial
+path, show a parallel speedup when the hardware can provide one, and be
+served entirely from the ``ResultStore`` cache on a second invocation.
+
+The persisted results file records only deterministic facts (cell
+counts, identity and cache verdicts); wall-clock numbers and the
+measured speedup print to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.table3 import table3_plan
+from repro.runtime import ParallelExecutor, ResultStore
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Cores needed before a hard >= 2x wall-clock assertion is meaningful.
+_SPEEDUP_CORES = 4
+
+
+def _studies_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.triples, b.triples)
+        and np.array_equal(a.cost_hours, b.cost_hours)
+        and np.array_equal(a.estimates, b.estimates)
+        and np.array_equal(a.entities, b.entities)
+        and np.array_equal(a.converged, b.converged)
+    )
+
+
+def test_bench_runtime_parallel_cache(tmp_path, bench_settings):
+    settings = ExperimentSettings(
+        repetitions=max(10, bench_settings.repetitions // 3),
+        datasets=("YAGO", "NELL"),
+    )
+    plan = table3_plan(settings)  # 2 datasets x 2 strategies x 3 methods
+
+    start = time.perf_counter()
+    serial = ParallelExecutor(workers=1).run(plan)
+    serial_wall = time.perf_counter() - start
+
+    store = ResultStore(tmp_path / "cache")
+    start = time.perf_counter()
+    parallel = ParallelExecutor(workers=4, store=store).run(plan)
+    parallel_wall = time.perf_counter() - start
+
+    identical = all(
+        _studies_equal(serial.results[key], parallel.results[key])
+        for key in serial.results
+    )
+    assert identical
+    assert parallel.cache_misses == len(plan)
+
+    start = time.perf_counter()
+    cached = ParallelExecutor(workers=4, store=store).run(plan)
+    cached_wall = time.perf_counter() - start
+    assert cached.cache_hits == len(plan)
+    assert cached.cache_misses == 0
+    cached_identical = all(
+        _studies_equal(serial.results[key], cached.results[key])
+        for key in serial.results
+    )
+    assert cached_identical
+    assert cached_wall < serial_wall
+
+    speedup = serial_wall / parallel_wall
+    cores = os.cpu_count() or 1
+    if cores >= _SPEEDUP_CORES:
+        # The acceptance bar; only meaningful with real parallelism.
+        assert speedup >= 2.0, f"speedup {speedup:.2f}x on {cores} cores"
+
+    timing_lines = [
+        "runtime benchmark (Table 3 grid, "
+        f"{len(plan)} cells x {settings.repetitions} reps, {cores} cores)",
+        f"  serial (1 worker)        : {serial_wall:7.2f} s",
+        f"  parallel (4 workers)     : {parallel_wall:7.2f} s"
+        f"  ({speedup:.2f}x)",
+        f"  cached re-run            : {cached_wall:7.2f} s",
+        "  speedup >= 2x asserted   : "
+        + ("yes" if cores >= _SPEEDUP_CORES else f"skipped ({cores} cores < {_SPEEDUP_CORES})"),
+    ]
+    # Only machine-independent facts go to disk; wall-clock numbers,
+    # the measured speedup, and the core-count-dependent assertion
+    # status stay on stdout.
+    file_lines = [
+        "runtime acceptance (deterministic fields only; timings on stdout)",
+        "=================================================================",
+        f"grid                                    : table3, {len(plan)} cells",
+        "parallel (4 workers) == serial          : "
+        + ("yes" if identical else "NO"),
+        "second invocation served from cache     : "
+        + (f"yes ({cached.cache_hits}/{len(plan)} cells)" if cached.cache_hits == len(plan) else "NO"),
+        "cached re-run == serial                 : "
+        + ("yes" if cached_identical else "NO"),
+    ]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "runtime.txt"
+    path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
+    print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")

@@ -32,6 +32,14 @@ HPD solver for the credible ones.  Coverage audits aggregate the
 outcome exactly once, and :class:`KGAccuracyEvaluator` memoises interval
 solves across the iterative stop rule and its Monte-Carlo replays.
 Batch and scalar paths agree to ~1e-8.
+
+Above the evaluators, the **study-execution runtime**
+(:mod:`repro.runtime`) describes every experiment grid as seeded,
+picklable cells and executes them through a
+:class:`ParallelExecutor` — fanned out over worker processes with
+bit-identical results, cached in a content-addressed
+:class:`ResultStore` so re-runs skip completed cells and interrupted
+grids resume (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``).
 """
 
 from .annotation import (
@@ -122,6 +130,16 @@ from .kg import (
     load_yago,
     save_kg,
 )
+from .runtime import (
+    CellSpec,
+    CoverageCell,
+    ParallelExecutor,
+    PlanOutcome,
+    ResultStore,
+    SequentialCoverageCell,
+    StudyCell,
+    StudyPlan,
+)
 from .sampling import (
     SamplingStrategy,
     StratifiedPredicateSampling,
@@ -207,6 +225,15 @@ __all__ = [
     "SampleSizePlanner",
     "sequential_coverage",
     "audit_by_predicate",
+    # Runtime (parallel study execution)
+    "CellSpec",
+    "StudyCell",
+    "CoverageCell",
+    "SequentialCoverageCell",
+    "StudyPlan",
+    "ParallelExecutor",
+    "PlanOutcome",
+    "ResultStore",
     "InferenceEngine",
     "InferenceAssistedEvaluator",
     "generate_inferable_kg",

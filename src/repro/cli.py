@@ -1,4 +1,4 @@
-"""User-facing command line: audit, inspect, generate, and plan.
+"""User-facing command line: audit, inspect, generate, plan, and study.
 
 Subcommands::
 
@@ -6,11 +6,18 @@ Subcommands::
     python -m repro generate --dataset NELL -o f.tsv   write a profiled KG
     python -m repro audit <kg.tsv> [options]       run one accuracy audit
     python -m repro plan --mu 0.9 [options]        predict the budget
+    python -m repro study [options]                Monte-Carlo study grid
 
 The audit subcommand reads the labelled-TSV format of
 :mod:`repro.kg.io`, treats the recorded labels as the (oracle)
 annotator, and reports the estimate, interval, and modelled cost; an
 optional ledger file records every judgement for suspend/resume.
+
+The study subcommand runs a (dataset x strategy x method) Monte-Carlo
+grid through the runtime layer: ``--workers`` fans cells out over
+processes with bit-identical results, and ``--cache-dir`` persists
+completed cells so re-runs are served from disk and interrupted grids
+resume.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from .intervals.wilson import WilsonInterval
 from .kg.datasets import PROFILES, load_dataset
 from .kg.io import load_kg, save_kg
 from .kg.stats import describe_kg
+from .runtime import ParallelExecutor, StudyCell, StudyPlan
 from .sampling.srs import SimpleRandomSampling
 from .sampling.stratified import StratifiedPredicateSampling
 from .sampling.twcs import TwoStageWeightedClusterSampling
@@ -104,6 +112,46 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="distinct-entity fraction of the sample (1.0 ~ SRS, 1/m ~ TWCS)",
     )
+
+    study = sub.add_parser(
+        "study", help="run a Monte-Carlo study grid (parallel, cached, resumable)"
+    )
+    study.add_argument(
+        "--datasets",
+        default="NELL",
+        help="comma-separated profile names (default: NELL); "
+        f"known: {', '.join(sorted(PROFILES))}",
+    )
+    study.add_argument(
+        "--strategies",
+        default="srs,twcs",
+        help="comma-separated strategies from srs,twcs,wcs,strat (default: srs,twcs)",
+    )
+    study.add_argument(
+        "--methods",
+        default="wald,wilson,ahpd",
+        help="comma-separated interval methods (default: wald,wilson,ahpd)",
+    )
+    study.add_argument("--reps", type=int, default=100, help="repetitions per cell")
+    study.add_argument("--m", type=int, default=3, help="TWCS stage-2 cap")
+    study.add_argument("--alpha", type=float, default=0.05)
+    study.add_argument("--epsilon", type=float, default=0.05)
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial)",
+    )
+    study.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store directory for caching / resume "
+        "(default: $REPRO_CACHE_DIR or no cache)",
+    )
+    study.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
     return parser
 
 
@@ -167,11 +215,85 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    # Imported here: the experiments layer is heavier than the rest of
+    # the CLI and only the study grid needs its settings object.
+    from .experiments.config import ExperimentSettings
+    from .experiments.report import render_table
+
+    datasets = [d.strip().upper() for d in args.datasets.split(",") if d.strip()]
+    strategies = [s.strip().lower() for s in args.strategies.split(",") if s.strip()]
+    methods = [m.strip().lower() for m in args.methods.split(",") if m.strip()]
+    if not datasets or not strategies or not methods:
+        raise ReproError("study needs at least one dataset, strategy, and method")
+    strategy_specs = {
+        "srs": "SRS",
+        "twcs": f"TWCS:{args.m}",
+        "wcs": "WCS",
+        "strat": "STRAT",
+    }
+    cells = []
+    for di, dataset in enumerate(datasets):
+        for si, strategy in enumerate(strategies):
+            spec = strategy_specs.get(strategy)
+            if spec is None:
+                raise ReproError(f"unknown strategy {strategy!r}")
+            for method in methods:
+                cells.append(
+                    StudyCell(
+                        key=(dataset, strategy, method),
+                        label=f"{dataset}/{strategy}/{method}",
+                        method=method,
+                        dataset=dataset,
+                        strategy=spec,
+                        # One stream per (dataset, strategy): methods are
+                        # paired on the same sample paths, as in the paper.
+                        seed_stream=(20_000 + 10 * di + si,),
+                    )
+                )
+    settings = ExperimentSettings(
+        repetitions=args.reps,
+        seed=args.seed,
+        alpha=args.alpha,
+        epsilon=args.epsilon,
+    )
+    plan = StudyPlan(settings=settings, cells=tuple(cells), name="study")
+    executor = ParallelExecutor(
+        workers=args.workers,
+        store=args.cache_dir,
+        progress=not args.quiet,
+    )
+    outcome = executor.run(plan)
+    results = outcome.results
+    rows = []
+    for dataset, strategy, method in (cell.key for cell in plan.cells):
+        study = results[(dataset, strategy, method)]
+        rows.append(
+            [
+                dataset,
+                strategy,
+                method,
+                study.triples_summary.format(0),
+                study.cost_summary.format(2),
+                f"{study.convergence_rate:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ("dataset", "strategy", "method", "triples", "cost_hours", "converged"),
+            rows,
+        )
+    )
+    print(outcome.summary())
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "audit": _cmd_audit,
     "plan": _cmd_plan,
+    "study": _cmd_study,
 }
 
 

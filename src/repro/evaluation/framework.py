@@ -32,7 +32,67 @@ from ..kg.base import TripleStore
 from ..sampling.base import SamplingStrategy
 from ..stats.rng import RandomSource, spawn_rng
 
-__all__ = ["EvaluationConfig", "IterationRecord", "EvaluationResult", "KGAccuracyEvaluator"]
+__all__ = [
+    "EvaluationConfig",
+    "IterationRecord",
+    "EvaluationResult",
+    "IntervalMemo",
+    "KGAccuracyEvaluator",
+]
+
+
+class IntervalMemo:
+    """Evidence-state interval memoisation shared by the evaluators.
+
+    Interval methods are deterministic functions of the evidence
+    summary, and iterative stop rules (and Monte-Carlo replays of them)
+    revisit the same evidence states constantly — so solves are memoised,
+    keyed on the method instance plus everything the methods read: tau
+    and n (effective), the design variance (Wald), and alpha.
+
+    The cache persists across runs of the host evaluator.  Because the
+    method instance is part of the key, *reassigning* ``self.method``
+    never serves another method's intervals; mutating a method's
+    configuration in place (e.g. swapping its ``prior`` attribute) is
+    not detectable here and requires :meth:`clear_interval_cache`.
+    """
+
+    #: Entries kept before the interval memo resets (a full reset is
+    #: cheaper and simpler than LRU bookkeeping at this hit rate).
+    _CACHE_LIMIT = 100_000
+
+    method: IntervalMethod
+
+    def _init_interval_cache(self) -> None:
+        self._interval_cache: dict[tuple, Interval] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _compute_interval(self, evidence, alpha: float) -> Interval:
+        """Memoised ``method.compute`` over already-seen evidence states."""
+        key = (
+            self.method,
+            evidence.tau_effective,
+            evidence.n_effective,
+            evidence.variance,
+            alpha,
+        )
+        interval = self._interval_cache.get(key)
+        if interval is None:
+            self.cache_misses += 1
+            if len(self._interval_cache) >= self._CACHE_LIMIT:
+                self._interval_cache.clear()
+            interval = self.method.compute(evidence, alpha)
+            self._interval_cache[key] = interval
+        else:
+            self.cache_hits += 1
+        return interval
+
+    def clear_interval_cache(self) -> None:
+        """Drop memoised solves (e.g. after mutating ``method``)."""
+        self._interval_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -146,7 +206,7 @@ class EvaluationResult:
         return self.cost.hours
 
 
-class KGAccuracyEvaluator:
+class KGAccuracyEvaluator(IntervalMemo):
     """Runs the paper's iterative evaluation on one KG.
 
     Parameters
@@ -186,15 +246,7 @@ class KGAccuracyEvaluator:
         #: Optional durable judgement record; every annotated batch is
         #: appended, enabling suspend/resume of real audits.
         self.ledger = ledger
-        # Interval methods are deterministic functions of the evidence
-        # summary, and the iterative stop rule (and Monte-Carlo replays
-        # of it) revisit the same evidence states constantly — memoise
-        # the solves.  Keyed on the method instance plus everything the
-        # methods read: tau and n (effective), the design variance
-        # (Wald), and alpha.
-        self._interval_cache: dict[tuple, Interval] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._init_interval_cache()
 
     def run(self, rng: RandomSource = None, keep_trace: bool = False) -> EvaluationResult:
         """Execute one full evaluation (phases 1-4 until convergence)."""
@@ -234,46 +286,6 @@ class KGAccuracyEvaluator:
                     )
                 return self._result(state, evidence.mu_hat, interval, iterations, False, trace)
             self._ingest(state, cfg.units_per_iteration, rng)
-
-    #: Entries kept before the interval memo resets (a full reset is
-    #: cheaper and simpler than LRU bookkeeping at this hit rate).
-    _CACHE_LIMIT = 100_000
-
-    def _compute_interval(self, evidence, alpha: float) -> Interval:
-        """Memoised ``method.compute`` over already-seen evidence states.
-
-        The cache persists across :meth:`run` calls, so Monte-Carlo
-        replays (e.g. sequential-coverage studies) share solves between
-        repetitions that walk through the same ``(tau, n)`` states.
-        The method instance is part of the key, so *reassigning*
-        ``self.method`` never serves another method's intervals;
-        mutating a method's configuration in place (e.g. swapping its
-        ``prior`` attribute) is not detectable here and requires
-        :meth:`clear_interval_cache`.
-        """
-        key = (
-            self.method,
-            evidence.tau_effective,
-            evidence.n_effective,
-            evidence.variance,
-            alpha,
-        )
-        interval = self._interval_cache.get(key)
-        if interval is None:
-            self.cache_misses += 1
-            if len(self._interval_cache) >= self._CACHE_LIMIT:
-                self._interval_cache.clear()
-            interval = self.method.compute(evidence, alpha)
-            self._interval_cache[key] = interval
-        else:
-            self.cache_hits += 1
-        return interval
-
-    def clear_interval_cache(self) -> None:
-        """Drop memoised solves (e.g. after mutating ``method``)."""
-        self._interval_cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
 
     def _ingest(self, state, units: int, rng) -> None:
         batch = self.strategy.draw(self.kg, state, units, rng)

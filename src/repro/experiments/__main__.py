@@ -17,6 +17,7 @@ import argparse
 import sys
 import time
 
+from ..runtime import configure
 from . import EXPERIMENTS, ExperimentSettings
 
 
@@ -44,6 +45,26 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each regenerated table as CSV under DIR",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for grid-shaped experiments "
+        "(default: $REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-store directory: completed cells are cached there, "
+        "re-runs and interrupted grids resume from it "
+        "(default: $REPRO_CACHE_DIR or no cache)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress/timing lines to stderr",
+    )
     return parser
 
 
@@ -54,6 +75,14 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         return 0
+    # Route every grid-shaped experiment through the runtime layer with
+    # the requested parallelism / cache; unset values fall back to the
+    # REPRO_WORKERS / REPRO_CACHE_DIR environment at execution time.
+    configure(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=True if args.progress else None,
+    )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:

@@ -1,19 +1,35 @@
-"""Internal helpers shared by the study-based experiment modules."""
+"""Internal helpers shared by the study-based experiment modules.
+
+Experiment modules describe their Monte-Carlo grids as
+:class:`~repro.runtime.spec.StudyCell` tuples and execute them through
+:func:`run_cells`, which routes through the runtime layer — giving
+every grid-shaped workload worker-process parallelism, disk caching,
+and resume for free (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``, or an
+explicit executor).
+
+``run_configuration`` remains the serial single-cell primitive (the
+runtime's study runner reproduces it exactly), and ``build_strategy``
+the by-name strategy factory; both predate the runtime layer and stay
+for direct use.
+"""
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from ..evaluation.framework import KGAccuracyEvaluator
 from ..evaluation.runner import StudyResult, run_study
 from ..exceptions import ValidationError
 from ..intervals.base import IntervalMethod
 from ..kg.base import TripleStore
+from ..runtime import ParallelExecutor, StudyPlan, execute
 from ..sampling.base import SamplingStrategy
 from ..sampling.srs import SimpleRandomSampling
 from ..sampling.twcs import TwoStageWeightedClusterSampling
 from ..stats.rng import derive_seed
 from .config import TWCS_M, ExperimentSettings
 
-__all__ = ["build_strategy", "run_configuration"]
+__all__ = ["build_strategy", "run_configuration", "strategy_spec", "run_cells"]
 
 
 def build_strategy(kind: str, dataset: str) -> SamplingStrategy:
@@ -27,6 +43,31 @@ def build_strategy(kind: str, dataset: str) -> SamplingStrategy:
             raise ValidationError(f"no TWCS second-stage size configured for {dataset!r}")
         return TwoStageWeightedClusterSampling(m=m)
     raise ValidationError(f"unknown sampling strategy {kind!r}")
+
+
+def strategy_spec(kind: str, dataset: str) -> str:
+    """The runtime spec string for *kind* on *dataset*.
+
+    Resolves the paper's per-dataset TWCS stage-2 cap at plan-build
+    time so cells stay self-contained (``"TWCS:3"``, not ``"TWCS"``).
+    """
+    kind = kind.upper()
+    if kind == "TWCS":
+        m = TWCS_M.get(dataset.upper())
+        if m is None:
+            raise ValidationError(f"no TWCS second-stage size configured for {dataset!r}")
+        return f"TWCS:{m}"
+    if kind in ("SRS", "WCS", "STRAT"):
+        return kind
+    raise ValidationError(f"unknown sampling strategy {kind!r}")
+
+
+def run_cells(
+    plan: StudyPlan,
+    executor: ParallelExecutor | None = None,
+) -> Mapping[tuple, StudyResult]:
+    """Execute *plan* through the runtime; results keyed by cell key."""
+    return execute(plan, executor=executor).results
 
 
 def run_configuration(

@@ -17,23 +17,43 @@ positively-correlated KGs.
 
 from __future__ import annotations
 
-from ..intervals.ahpd import AdaptiveHPD
-from ..kg.datasets import load_dataset
-from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import run_configuration
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_m_ablation"]
+__all__ = ["run_m_ablation", "m_ablation_plan"]
+
+
+def m_ablation_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    dataset: str = "DBPEDIA",
+    ms: tuple[int, ...] = (1, 2, 3, 5, 8, 12),
+) -> StudyPlan:
+    """The stage-2 cap sweep as a study grid (one cell per m)."""
+    cells = tuple(
+        StudyCell(
+            key=(dataset, m),
+            label=f"{dataset}/TWCS(m={m})/aHPD",
+            method="aHPD",
+            dataset=dataset,
+            strategy=f"TWCS:{m}",
+            seed_stream=(11_000 + i,),
+        )
+        for i, m in enumerate(ms)
+    )
+    return StudyPlan(settings=settings, cells=cells, name="ablation-m")
 
 
 def run_m_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     dataset: str = "DBPEDIA",
     ms: tuple[int, ...] = (1, 2, 3, 5, 8, 12),
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentReport:
     """Sweep the TWCS stage-2 cap on one dataset under aHPD."""
-    kg = load_dataset(dataset, seed=settings.dataset_seed)
+    plan = m_ablation_plan(settings, dataset=dataset, ms=ms)
+    studies = run_cells(plan, executor=executor)
     report = ExperimentReport(
         experiment_id="ablation-m",
         title=(
@@ -44,15 +64,8 @@ def run_m_ablation(
     )
     best_cost = None
     best_m = None
-    for i, m in enumerate(ms):
-        study = run_configuration(
-            kg,
-            TwoStageWeightedClusterSampling(m=m),
-            AdaptiveHPD(solver=settings.solver),
-            settings,
-            label=f"{dataset}/TWCS(m={m})/aHPD",
-            seed_stream=11_000 + i,
-        )
+    for m in ms:
+        study = studies[(dataset, m)]
         mean_cost = float(study.cost_hours.mean())
         if best_cost is None or mean_cost < best_cost:
             best_cost, best_m = mean_cost, m

@@ -17,26 +17,28 @@ import time
 
 import numpy as np
 
-from ..evaluation.framework import EvaluationConfig, KGAccuracyEvaluator
-from ..evaluation.runner import run_study
-from ..intervals.ahpd import AdaptiveHPD
 from ..intervals.hpd import HPD_SOLVERS, hpd_bounds
 from ..intervals.posterior import BetaPosterior
 from ..intervals.priors import JEFFREYS
-from ..kg.datasets import load_dataset
-from ..sampling.srs import SimpleRandomSampling
-from ..stats.rng import derive_seed
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_hpd_solver_ablation", "run_batch_size_ablation"]
+__all__ = ["run_hpd_solver_ablation", "run_batch_size_ablation", "batch_size_plan"]
 
 
 def run_hpd_solver_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     n: int = 50,
 ) -> ExperimentReport:
-    """Agreement and runtime of the three interior-mode HPD solvers."""
+    """Agreement and runtime of the three interior-mode HPD solvers.
+
+    The per-solve timing column is marked volatile: it still prints
+    with the table (and drives the benchmark's newton-vs-slsqp
+    assertion) but is excluded from the persisted results file, which
+    must carry only run-to-run deterministic fields.
+    """
     outcomes = [(tau, n) for tau in range(1, n)]
     posteriors = [
         BetaPosterior.from_counts(JEFFREYS, float(tau), float(total))
@@ -47,6 +49,7 @@ def run_hpd_solver_ablation(
         experiment_id="ablation-hpd",
         title=f"HPD solver ablation over {len(posteriors)} Jeffreys posteriors (n={n})",
         headers=("solver", "max_dev_vs_slsqp", "mean_width", "usec_per_solve"),
+        volatile=("usec_per_solve",),
     )
     for solver in ("slsqp", "newton", "scalar"):
         assert solver in HPD_SOLVERS
@@ -77,13 +80,36 @@ def run_hpd_solver_ablation(
     return report
 
 
+def batch_size_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    dataset: str = "NELL",
+    batch_sizes: tuple[int, ...] = (1, 5, 10, 30),
+) -> StudyPlan:
+    """The batch-granularity sweep as a study grid (one cell per size)."""
+    cells = tuple(
+        StudyCell(
+            key=(dataset, batch),
+            label=f"batch={batch}",
+            method="aHPD",
+            dataset=dataset,
+            strategy="SRS",
+            seed_stream=(8_000, i),
+            units_per_iteration=batch,
+        )
+        for i, batch in enumerate(batch_sizes)
+    )
+    return StudyPlan(settings=settings, cells=cells, name="ablation-batch")
+
+
 def run_batch_size_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     dataset: str = "NELL",
     batch_sizes: tuple[int, ...] = (1, 5, 10, 30),
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentReport:
     """Sensitivity of the converged sample size to batch granularity."""
-    kg = load_dataset(dataset, seed=settings.dataset_seed)
+    plan = batch_size_plan(settings, dataset=dataset, batch_sizes=batch_sizes)
+    studies = run_cells(plan, executor=executor)
     report = ExperimentReport(
         experiment_id="ablation-batch",
         title=(
@@ -93,24 +119,8 @@ def run_batch_size_ablation(
         headers=("batch_size", "triples", "cost_hours", "overshoot_vs_1"),
     )
     baseline_mean = None
-    for i, batch in enumerate(batch_sizes):
-        config = EvaluationConfig(
-            alpha=settings.alpha,
-            epsilon=settings.epsilon,
-            units_per_iteration=batch,
-        )
-        evaluator = KGAccuracyEvaluator(
-            kg=kg,
-            strategy=SimpleRandomSampling(),
-            method=AdaptiveHPD(solver=settings.solver),
-            config=config,
-        )
-        study = run_study(
-            evaluator,
-            repetitions=settings.repetitions,
-            seed=derive_seed(settings.seed, 8_000, i),
-            label=f"batch={batch}",
-        )
+    for batch in batch_sizes:
+        study = studies[(dataset, batch)]
         mean_triples = float(study.triples.mean())
         if baseline_mean is None:
             baseline_mean = mean_triples

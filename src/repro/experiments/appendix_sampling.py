@@ -17,48 +17,45 @@ triples and cost so the designs' cost/precision trade-offs are visible:
 from __future__ import annotations
 
 from ..evaluation.runner import StudyResult
-from ..intervals.ahpd import AdaptiveHPD
-from ..kg.datasets import load_dataset
-from ..sampling.srs import SimpleRandomSampling
-from ..sampling.stratified import StratifiedPredicateSampling
-from ..sampling.twcs import TwoStageWeightedClusterSampling
-from ..sampling.wcs import WeightedClusterSampling
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import run_configuration
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_appendix_sampling", "appendix_sampling_studies"]
+__all__ = ["run_appendix_sampling", "appendix_sampling_plan", "appendix_sampling_studies"]
 
 _STRATEGY_ORDER = ("SRS", "TWCS", "WCS", "STRAT")
+#: The appendix fixes m=3 for TWCS on every real profile.
+_STRATEGY_SPECS = {"SRS": "SRS", "TWCS": "TWCS:3", "WCS": "WCS", "STRAT": "STRAT"}
 
 
-def _make_strategy(name: str):
-    if name == "SRS":
-        return SimpleRandomSampling()
-    if name == "TWCS":
-        return TwoStageWeightedClusterSampling(m=3)
-    if name == "WCS":
-        return WeightedClusterSampling()
-    return StratifiedPredicateSampling()
+def appendix_sampling_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> StudyPlan:
+    """The appendix grid: the full strategy family under aHPD."""
+    cells: list[StudyCell] = []
+    for dataset_index, dataset in enumerate(settings.datasets):
+        for strategy_name in _STRATEGY_ORDER:
+            cells.append(
+                StudyCell(
+                    key=(dataset, strategy_name),
+                    label=f"{dataset}/{strategy_name}/aHPD",
+                    method="aHPD",
+                    dataset=dataset,
+                    strategy=_STRATEGY_SPECS[strategy_name],
+                    seed_stream=(9_000 + dataset_index,),
+                )
+            )
+    return StudyPlan(settings=settings, cells=tuple(cells), name="appendix-sampling")
 
 
 def appendix_sampling_studies(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    executor: ParallelExecutor | None = None,
 ) -> dict[tuple[str, str], StudyResult]:
     """Studies keyed by ``(dataset, strategy)`` under aHPD."""
-    studies: dict[tuple[str, str], StudyResult] = {}
-    for dataset_index, dataset in enumerate(settings.datasets):
-        kg = load_dataset(dataset, seed=settings.dataset_seed)
-        for strategy_name in _STRATEGY_ORDER:
-            studies[(dataset, strategy_name)] = run_configuration(
-                kg,
-                _make_strategy(strategy_name),
-                AdaptiveHPD(solver=settings.solver),
-                settings,
-                label=f"{dataset}/{strategy_name}/aHPD",
-                seed_stream=9_000 + dataset_index,
-            )
-    return studies
+    plan = appendix_sampling_plan(settings)
+    return dict(run_cells(plan, executor=executor))
 
 
 def run_appendix_sampling(

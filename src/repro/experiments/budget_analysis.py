@@ -18,15 +18,12 @@ from typing import Sequence
 import numpy as np
 
 from ..evaluation.runner import StudyResult
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.wald import WaldInterval
-from ..intervals.wilson import WilsonInterval
-from ..kg.datasets import load_dataset
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import build_strategy, run_configuration
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_budget_analysis", "completion_probability"]
+__all__ = ["run_budget_analysis", "budget_plan", "completion_probability"]
 
 
 def completion_probability(study: StudyResult, budget_hours: float) -> float:
@@ -34,11 +31,33 @@ def completion_probability(study: StudyResult, budget_hours: float) -> float:
     return float(np.mean(study.cost_hours <= budget_hours))
 
 
+def budget_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    dataset: str = "YAGO",
+    alpha: float = 0.01,
+) -> StudyPlan:
+    """The budget-feasibility grid: three methods, paired seeds."""
+    cells = tuple(
+        StudyCell(
+            key=(name,),
+            label=f"{dataset}/budget/{name}",
+            method=name,
+            alpha=alpha,
+            dataset=dataset,
+            strategy="SRS",
+            seed_stream=(12_000,),  # paired across methods
+        )
+        for name in ("Wald", "Wilson", "aHPD")
+    )
+    return StudyPlan(settings=settings, cells=cells, name="budget")
+
+
 def run_budget_analysis(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     dataset: str = "YAGO",
     alpha: float = 0.01,
     budgets: Sequence[float] | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentReport:
     """Completion probability per budget for Wald / Wilson / aHPD.
 
@@ -51,24 +70,10 @@ def run_budget_analysis(
         Budget grid in hours; defaults to quantiles spanning the two
         methods' cost ranges.
     """
-    kg = load_dataset(dataset, seed=settings.dataset_seed)
-    methods = {
-        "Wald": WaldInterval(),
-        "Wilson": WilsonInterval(),
-        "aHPD": AdaptiveHPD(solver=settings.solver),
-    }
-    studies = {
-        name: run_configuration(
-            kg,
-            build_strategy("SRS", dataset),
-            method,
-            settings,
-            alpha=alpha,
-            label=f"{dataset}/budget/{name}",
-            seed_stream=12_000,  # paired across methods
-        )
-        for name, method in methods.items()
-    }
+    plan = budget_plan(settings, dataset=dataset, alpha=alpha)
+    by_key = run_cells(plan, executor=executor)
+    methods = ("Wald", "Wilson", "aHPD")
+    studies = {name: by_key[(name,)] for name in methods}
     if budgets is None:
         pooled = np.concatenate([s.cost_hours for s in studies.values()])
         budgets = [round(float(q), 2) for q in np.quantile(pooled, (0.1, 0.25, 0.5, 0.75, 0.9))]

@@ -15,40 +15,50 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..evaluation.coverage import empirical_coverage
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.clopper_pearson import ClopperPearsonInterval
-from ..intervals.et import ETCredibleInterval
-from ..intervals.hpd import HPDCredibleInterval
-from ..intervals.transforms import ArcsineInterval, LogitInterval
-from ..intervals.wald import WaldInterval
-from ..intervals.wilson import WilsonInterval
+from ..runtime import CoverageCell, ParallelExecutor, StudyPlan, execute
 from ..stats.rng import derive_seed
 from .config import DEFAULT_SETTINGS, ExperimentSettings
 from .report import ExperimentReport
 
-__all__ = ["run_coverage_audit", "COVERAGE_MUS"]
+__all__ = ["run_coverage_audit", "coverage_audit_plan", "COVERAGE_MUS"]
 
 #: The accuracy sweep: boundary-adjacent, skewed, and central values.
 COVERAGE_MUS: tuple[float, ...] = (0.99, 0.95, 0.91, 0.85, 0.70, 0.54, 0.50)
+
+#: Method specs in display order (display names come from the results).
+_METHOD_SPECS = ("Wald", "Wilson", "CP", "Arcsine", "Logit", "ET", "HPD", "aHPD")
+
+
+def coverage_audit_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    mus: Sequence[float] = COVERAGE_MUS,
+    n: int = 30,
+) -> StudyPlan:
+    """The coverage grid: every interval family x the accuracy sweep."""
+    cells = tuple(
+        CoverageCell(
+            key=(spec, mu),
+            label=f"coverage/{spec}/mu={mu:g}",
+            method=spec,
+            mu=mu,
+            n=n,
+            seed=derive_seed(settings.seed, 6_000, mi, ui),
+        )
+        for mi, spec in enumerate(_METHOD_SPECS)
+        for ui, mu in enumerate(mus)
+    )
+    return StudyPlan(settings=settings, cells=cells, name="coverage")
 
 
 def run_coverage_audit(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     mus: Sequence[float] = COVERAGE_MUS,
     n: int = 30,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentReport:
     """Empirical coverage of each method at sample size *n*."""
-    methods = (
-        WaldInterval(),
-        WilsonInterval(),
-        ClopperPearsonInterval(),
-        ArcsineInterval(),
-        LogitInterval(),
-        ETCredibleInterval(),
-        HPDCredibleInterval(solver=settings.solver),
-        AdaptiveHPD(solver=settings.solver),
-    )
+    plan = coverage_audit_plan(settings, mus=mus, n=n)
+    results = execute(plan, executor=executor).results
     report = ExperimentReport(
         experiment_id="coverage",
         title=(
@@ -58,18 +68,12 @@ def run_coverage_audit(
         ),
         headers=("method", *[f"mu={mu:g}" for mu in mus], "mean width @0.91"),
     )
-    for mi, method in enumerate(methods):
-        cells: dict[str, object] = {"method": method.name}
+    for spec in _METHOD_SPECS:
+        first = results[(spec, mus[0])]
+        cells: dict[str, object] = {"method": first.method}
         width_at_091 = None
-        for ui, mu in enumerate(mus):
-            result = empirical_coverage(
-                method,
-                mu,
-                n,
-                alpha=settings.alpha,
-                repetitions=settings.repetitions,
-                rng=derive_seed(settings.seed, 6_000, mi, ui),
-            )
+        for mu in mus:
+            result = results[(spec, mu)]
             cells[f"mu={mu:g}"] = f"{result.coverage:.1%}"
             if mu == 0.91:
                 width_at_091 = result.mean_width

@@ -9,14 +9,13 @@ triples / 2.55 ± 0.95 hours with the uninformative trio.
 
 from __future__ import annotations
 
-from ..intervals.ahpd import AdaptiveHPD
 from ..intervals.priors import BetaPrior
-from ..kg.datasets import load_dataset
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import build_strategy, run_configuration
+from ._studies import run_cells, strategy_spec
 from .report import ExperimentReport
 
-__all__ = ["run_example2", "EXAMPLE2_INFORMATIVE_PRIORS"]
+__all__ = ["run_example2", "example2_plan", "EXAMPLE2_INFORMATIVE_PRIORS"]
 
 #: The analyst's two similar-KG priors from the paper's Example 2.
 EXAMPLE2_INFORMATIVE_PRIORS: tuple[BetaPrior, ...] = (
@@ -25,15 +24,42 @@ EXAMPLE2_INFORMATIVE_PRIORS: tuple[BetaPrior, ...] = (
 )
 
 
-def run_example2(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
-    """Compare informative-prior aHPD with uninformative aHPD on DBPEDIA."""
-    kg = load_dataset("DBPEDIA", seed=settings.dataset_seed)
-    configurations = (
-        ("aHPD informative", AdaptiveHPD(
-            priors=EXAMPLE2_INFORMATIVE_PRIORS, solver=settings.solver
-        )),
-        ("aHPD uninformative", AdaptiveHPD(solver=settings.solver)),
+def example2_plan(settings: ExperimentSettings = DEFAULT_SETTINGS) -> StudyPlan:
+    """The Example 2 pair: informative vs uninformative aHPD."""
+    informative = tuple(
+        (prior.a, prior.b, prior.name) for prior in EXAMPLE2_INFORMATIVE_PRIORS
     )
+    twcs = strategy_spec("TWCS", "DBPEDIA")
+    cells = (
+        # Paired seeds: both configurations audit the same sample paths.
+        StudyCell(
+            key=("aHPD informative",),
+            label="aHPD informative",
+            method="aHPD",
+            dataset="DBPEDIA",
+            strategy=twcs,
+            seed_stream=(5_000,),
+            priors=informative,
+        ),
+        StudyCell(
+            key=("aHPD uninformative",),
+            label="aHPD uninformative",
+            method="aHPD",
+            dataset="DBPEDIA",
+            strategy=twcs,
+            seed_stream=(5_000,),
+        ),
+    )
+    return StudyPlan(settings=settings, cells=cells, name="example2")
+
+
+def run_example2(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    executor: ParallelExecutor | None = None,
+) -> ExperimentReport:
+    """Compare informative-prior aHPD with uninformative aHPD on DBPEDIA."""
+    plan = example2_plan(settings)
+    studies = run_cells(plan, executor=executor)
     report = ExperimentReport(
         experiment_id="example2",
         title=(
@@ -42,16 +68,8 @@ def run_example2(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentR
         ),
         headers=("configuration", "triples", "cost_hours"),
     )
-    for label, method in configurations:
-        # Paired seeds: both configurations audit the same sample paths.
-        study = run_configuration(
-            kg,
-            build_strategy("TWCS", "DBPEDIA"),
-            method,
-            settings,
-            label=label,
-            seed_stream=5_000,
-        )
+    for label in ("aHPD informative", "aHPD uninformative"):
+        study = studies[(label,)]
         report.add_row(
             configuration=label,
             triples=study.triples_summary.format(0),

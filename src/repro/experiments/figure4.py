@@ -12,28 +12,25 @@ from __future__ import annotations
 
 from ..evaluation.metrics import cost_reduction
 from ..evaluation.runner import StudyResult
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.wilson import WilsonInterval
-from ..kg.datasets import load_dataset
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import build_strategy, run_configuration
+from ._studies import run_cells, strategy_spec
 from .report import ExperimentReport
 
-__all__ = ["run_figure4", "figure4_studies", "FIGURE4_ALPHAS"]
+__all__ = ["run_figure4", "figure4_plan", "figure4_studies", "FIGURE4_ALPHAS"]
 
 #: The precision levels swept by the paper.
 FIGURE4_ALPHAS: tuple[float, ...] = (0.10, 0.05, 0.01)
 
 
-def figure4_studies(
+def figure4_plan(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     alphas: tuple[float, ...] = FIGURE4_ALPHAS,
     strategies: tuple[str, ...] = ("SRS", "TWCS"),
-) -> dict[tuple[str, str, float, str], StudyResult]:
-    """Studies keyed by ``(dataset, strategy, alpha, method)``."""
-    studies: dict[tuple[str, str, float, str], StudyResult] = {}
+) -> StudyPlan:
+    """The Figure 4 grid: datasets x strategies x alphas x {Wilson, aHPD}."""
+    cells: list[StudyCell] = []
     for dataset_index, dataset in enumerate(settings.datasets):
-        kg = load_dataset(dataset, seed=settings.dataset_seed)
         for strategy_index, strategy_name in enumerate(strategies):
             for alpha_index, alpha in enumerate(alphas):
                 # Paired seeds per (dataset, strategy, alpha) cell so the
@@ -41,26 +38,32 @@ def figure4_studies(
                 # comparison (see table3).
                 stream = 3_000 + 100 * dataset_index + 10 * strategy_index + alpha_index
                 for method_name in ("Wilson", "aHPD"):
-                    method = (
-                        WilsonInterval()
-                        if method_name == "Wilson"
-                        else AdaptiveHPD(solver=settings.solver)
-                    )
-                    studies[(dataset, strategy_name, alpha, method_name)] = (
-                        run_configuration(
-                            kg,
-                            build_strategy(strategy_name, dataset),
-                            method,
-                            settings,
-                            alpha=alpha,
+                    cells.append(
+                        StudyCell(
+                            key=(dataset, strategy_name, alpha, method_name),
                             label=(
                                 f"{dataset}/{strategy_name}/alpha={alpha:g}/"
                                 f"{method_name}"
                             ),
-                            seed_stream=stream,
+                            method=method_name,
+                            alpha=alpha,
+                            dataset=dataset,
+                            strategy=strategy_spec(strategy_name, dataset),
+                            seed_stream=(stream,),
                         )
                     )
-    return studies
+    return StudyPlan(settings=settings, cells=tuple(cells), name="figure4")
+
+
+def figure4_studies(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    alphas: tuple[float, ...] = FIGURE4_ALPHAS,
+    strategies: tuple[str, ...] = ("SRS", "TWCS"),
+    executor: ParallelExecutor | None = None,
+) -> dict[tuple[str, str, float, str], StudyResult]:
+    """Studies keyed by ``(dataset, strategy, alpha, method)``."""
+    plan = figure4_plan(settings, alphas=alphas, strategies=strategies)
+    return dict(run_cells(plan, executor=executor))
 
 
 def run_figure4(

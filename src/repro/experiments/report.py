@@ -65,6 +65,11 @@ class ExperimentReport:
         One mapping per table row, keyed by header name.
     notes:
         Free-form annotations (significance outcomes, paper references).
+    volatile:
+        Headers whose values vary run to run on identical inputs
+        (wall-clock timings).  They render normally on stdout but are
+        excluded from persisted artifacts (``render(volatile=False)``)
+        so committed results files stay deterministic.
     """
 
     experiment_id: str
@@ -72,6 +77,7 @@ class ExperimentReport:
     headers: tuple[str, ...]
     rows: list[Mapping[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    volatile: tuple[str, ...] = ()
 
     def add_row(self, **cells: object) -> None:
         """Append a row; every header must be present in *cells*."""
@@ -101,11 +107,20 @@ class ExperimentReport:
                 writer.writerow([row[h] for h in self.headers])
         return path
 
-    def render(self) -> str:
-        """The full text rendering: title, table, notes."""
-        body = render_table(
-            self.headers, [[row[h] for h in self.headers] for row in self.rows]
+    def render(self, volatile: bool = True) -> str:
+        """The text rendering: title, table, notes.
+
+        ``volatile=False`` drops the columns listed in
+        :attr:`volatile` — the form persisted under
+        ``benchmarks/results/`` so that re-runs only diff when the
+        numbers themselves change.
+        """
+        headers = (
+            self.headers
+            if volatile
+            else tuple(h for h in self.headers if h not in self.volatile)
         )
+        body = render_table(headers, [[row[h] for h in headers] for row in self.rows])
         parts = [f"== {self.experiment_id}: {self.title} ==", "", body]
         if self.notes:
             parts.append("")

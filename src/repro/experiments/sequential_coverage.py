@@ -11,30 +11,46 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..evaluation.sequential import sequential_coverage
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.wald import WaldInterval
-from ..intervals.wilson import WilsonInterval
+from ..runtime import ParallelExecutor, SequentialCoverageCell, StudyPlan, execute
 from ..stats.rng import derive_seed
 from .config import DEFAULT_SETTINGS, ExperimentSettings
 from .report import ExperimentReport
 
-__all__ = ["run_sequential_coverage", "SEQUENTIAL_MUS"]
+__all__ = ["run_sequential_coverage", "sequential_coverage_plan", "SEQUENTIAL_MUS"]
 
 #: Accuracy regimes mirroring the paper's datasets.
 SEQUENTIAL_MUS: tuple[float, ...] = (0.99, 0.91, 0.85, 0.54)
+
+_METHOD_SPECS = ("Wald", "Wilson", "aHPD")
+
+
+def sequential_coverage_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    mus: Sequence[float] = SEQUENTIAL_MUS,
+) -> StudyPlan:
+    """The stopped-interval coverage grid: methods x accuracy regimes."""
+    cells = tuple(
+        SequentialCoverageCell(
+            key=(spec, mu),
+            label=f"sequential/{spec}/mu={mu:g}",
+            method=spec,
+            mu=mu,
+            seed=derive_seed(settings.seed, 10_000, mi, ui),
+        )
+        for mi, spec in enumerate(_METHOD_SPECS)
+        for ui, mu in enumerate(mus)
+    )
+    return StudyPlan(settings=settings, cells=cells, name="sequential-coverage")
 
 
 def run_sequential_coverage(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     mus: Sequence[float] = SEQUENTIAL_MUS,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentReport:
     """Coverage of the stopped interval per method and accuracy."""
-    methods = (
-        WaldInterval(),
-        WilsonInterval(),
-        AdaptiveHPD(solver=settings.solver),
-    )
+    plan = sequential_coverage_plan(settings, mus=mus)
+    results = execute(plan, executor=executor).results
     report = ExperimentReport(
         experiment_id="sequential-coverage",
         title=(
@@ -48,18 +64,11 @@ def run_sequential_coverage(
             "mean n @0.91",
         ),
     )
-    config = settings.evaluation_config()
-    for mi, method in enumerate(methods):
-        cells: dict[str, object] = {"method": method.name}
+    for spec in _METHOD_SPECS:
+        cells: dict[str, object] = {"method": results[(spec, mus[0])].method}
         mean_n = None
-        for ui, mu in enumerate(mus):
-            result = sequential_coverage(
-                method,
-                mu,
-                config=config,
-                repetitions=settings.repetitions,
-                seed=derive_seed(settings.seed, 10_000, mi, ui),
-            )
+        for mu in mus:
+            result = results[(spec, mu)]
             cells[f"mu={mu:g}"] = f"{result.coverage:.1%}"
             if mu == 0.91:
                 mean_n = result.mean_stopping_n

@@ -14,48 +14,50 @@ datasets, sampled with SRS.  The paper's findings to reproduce:
 from __future__ import annotations
 
 from ..evaluation.runner import StudyResult
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.et import ETCredibleInterval
-from ..intervals.hpd import HPDCredibleInterval
 from ..intervals.priors import UNINFORMATIVE_PRIORS
-from ..kg.datasets import load_dataset
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import build_strategy, run_configuration
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_table2", "table2_studies"]
+__all__ = ["run_table2", "table2_plan", "table2_studies"]
 
 
-def table2_studies(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-) -> dict[tuple[str, str], StudyResult]:
-    """All Table 2 studies keyed by ``(dataset, method-label)``."""
-    methods = []
-    for prior in UNINFORMATIVE_PRIORS:
-        methods.append(("ET", prior.name, ETCredibleInterval(prior=prior)))
-    for prior in UNINFORMATIVE_PRIORS:
-        methods.append(
-            ("HPD", prior.name, HPDCredibleInterval(prior=prior, solver=settings.solver))
-        )
-    methods.append(("aHPD", "{K, J, U}", AdaptiveHPD(solver=settings.solver)))
+def table2_plan(settings: ExperimentSettings = DEFAULT_SETTINGS) -> StudyPlan:
+    """The Table 2 grid: 7 interval methods x the real-profile datasets."""
+    methods = [("ET", prior.name, f"ET:{prior.name}") for prior in UNINFORMATIVE_PRIORS]
+    methods += [
+        ("HPD", prior.name, f"HPD:{prior.name}") for prior in UNINFORMATIVE_PRIORS
+    ]
+    methods.append(("aHPD", "{K, J, U}", "aHPD"))
 
-    studies: dict[tuple[str, str], StudyResult] = {}
+    cells: list[StudyCell] = []
     for dataset_index, dataset in enumerate(settings.datasets):
-        kg = load_dataset(dataset, seed=settings.dataset_seed)
-        for family, prior_name, method in methods:
+        for family, prior_name, method_spec in methods:
             label = f"{family}[{prior_name}]"
             # Paired seeds: every method replays the same sample paths,
             # so the theorem-backed orderings (HPD <= ET per prior, aHPD
             # <= every HPD) hold run by run, not just in expectation.
-            studies[(dataset, label)] = run_configuration(
-                kg,
-                build_strategy("SRS", dataset),
-                method,
-                settings,
-                label=f"{dataset}/{label}",
-                seed_stream=dataset_index,
+            cells.append(
+                StudyCell(
+                    key=(dataset, label),
+                    label=f"{dataset}/{label}",
+                    method=method_spec,
+                    dataset=dataset,
+                    strategy="SRS",
+                    seed_stream=(dataset_index,),
+                )
             )
-    return studies
+    return StudyPlan(settings=settings, cells=tuple(cells), name="table2")
+
+
+def table2_studies(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    executor: ParallelExecutor | None = None,
+) -> dict[tuple[str, str], StudyResult]:
+    """All Table 2 studies keyed by ``(dataset, method-label)``."""
+    plan = table2_plan(settings)
+    return dict(run_cells(plan, executor=executor))
 
 
 def run_table2(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:

@@ -14,27 +14,23 @@ from __future__ import annotations
 
 from ..evaluation.runner import StudyResult
 from ..evaluation.significance import significance_markers
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.wald import WaldInterval
-from ..intervals.wilson import WilsonInterval
-from ..kg.datasets import load_dataset
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, ExperimentSettings
-from ._studies import build_strategy, run_configuration
+from ._studies import run_cells, strategy_spec
 from .report import ExperimentReport
 
-__all__ = ["run_table3", "table3_studies"]
+__all__ = ["run_table3", "table3_plan", "table3_studies"]
 
 _METHOD_ORDER = ("Wald", "Wilson", "aHPD")
 
 
-def table3_studies(
+def table3_plan(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     strategies: tuple[str, ...] = ("SRS", "TWCS"),
-) -> dict[tuple[str, str, str], StudyResult]:
-    """All Table 3 studies keyed by ``(dataset, strategy, method)``."""
-    studies: dict[tuple[str, str, str], StudyResult] = {}
+) -> StudyPlan:
+    """The Table 3 grid: datasets x strategies x {Wald, Wilson, aHPD}."""
+    cells: list[StudyCell] = []
     for dataset_index, dataset in enumerate(settings.datasets):
-        kg = load_dataset(dataset, seed=settings.dataset_seed)
         for strategy_index, strategy_name in enumerate(strategies):
             # Paired seeds per (dataset, strategy) cell: all three
             # interval methods replay the same sample paths, which makes
@@ -42,24 +38,27 @@ def table3_studies(
             # the independent t-test conservative).
             stream = 1_000 + 10 * dataset_index + strategy_index
             for method_name in _METHOD_ORDER:
-                method = _make_method(method_name, settings)
-                studies[(dataset, strategy_name, method_name)] = run_configuration(
-                    kg,
-                    build_strategy(strategy_name, dataset),
-                    method,
-                    settings,
-                    label=f"{dataset}/{strategy_name}/{method_name}",
-                    seed_stream=stream,
+                cells.append(
+                    StudyCell(
+                        key=(dataset, strategy_name, method_name),
+                        label=f"{dataset}/{strategy_name}/{method_name}",
+                        method=method_name,
+                        dataset=dataset,
+                        strategy=strategy_spec(strategy_name, dataset),
+                        seed_stream=(stream,),
+                    )
                 )
-    return studies
+    return StudyPlan(settings=settings, cells=tuple(cells), name="table3")
 
 
-def _make_method(name: str, settings: ExperimentSettings):
-    if name == "Wald":
-        return WaldInterval()
-    if name == "Wilson":
-        return WilsonInterval()
-    return AdaptiveHPD(solver=settings.solver)
+def table3_studies(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    strategies: tuple[str, ...] = ("SRS", "TWCS"),
+    executor: ParallelExecutor | None = None,
+) -> dict[tuple[str, str, str], StudyResult]:
+    """All Table 3 studies keyed by ``(dataset, strategy, method)``."""
+    plan = table3_plan(settings, strategies=strategies)
+    return dict(run_cells(plan, executor=executor))
 
 
 def run_table3(

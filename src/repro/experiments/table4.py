@@ -12,57 +12,54 @@ from __future__ import annotations
 
 from ..evaluation.runner import StudyResult
 from ..evaluation.significance import significance_markers
-from ..intervals.ahpd import AdaptiveHPD
-from ..intervals.wald import WaldInterval
-from ..intervals.wilson import WilsonInterval
-from ..kg.datasets import SYN100M_ACCURACIES, load_syn100m
-from ..sampling.srs import SimpleRandomSampling
-from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..kg.datasets import SYN100M_ACCURACIES
+from ..runtime import ParallelExecutor, StudyCell, StudyPlan
 from .config import DEFAULT_SETTINGS, TWCS_M, ExperimentSettings
-from ._studies import run_configuration
+from ._studies import run_cells
 from .report import ExperimentReport
 
-__all__ = ["run_table4", "table4_studies"]
+__all__ = ["run_table4", "table4_plan", "table4_studies"]
 
 _METHOD_ORDER = ("Wald", "Wilson", "aHPD")
+
+
+def table4_plan(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    accuracies: tuple[float, ...] = SYN100M_ACCURACIES,
+    strategies: tuple[str, ...] = ("SRS", "TWCS"),
+) -> StudyPlan:
+    """The Table 4 grid on SYN 100M: accuracies x strategies x methods."""
+    cells: list[StudyCell] = []
+    for mu_index, mu in enumerate(accuracies):
+        for strategy_index, strategy_name in enumerate(strategies):
+            strategy = (
+                "SRS" if strategy_name == "SRS" else f"TWCS:{TWCS_M['SYN100M']}"
+            )
+            # Paired seeds per (mu, strategy) cell (see table3).
+            stream = 2_000 + 10 * mu_index + strategy_index
+            for method_name in _METHOD_ORDER:
+                cells.append(
+                    StudyCell(
+                        key=(mu, strategy_name, method_name),
+                        label=f"SYN100M(mu={mu})/{strategy_name}/{method_name}",
+                        method=method_name,
+                        dataset=f"SYN100M:{mu}",
+                        strategy=strategy,
+                        seed_stream=(stream,),
+                    )
+                )
+    return StudyPlan(settings=settings, cells=tuple(cells), name="table4")
 
 
 def table4_studies(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     accuracies: tuple[float, ...] = SYN100M_ACCURACIES,
     strategies: tuple[str, ...] = ("SRS", "TWCS"),
+    executor: ParallelExecutor | None = None,
 ) -> dict[tuple[float, str, str], StudyResult]:
     """All Table 4 studies keyed by ``(mu, strategy, method)``."""
-    studies: dict[tuple[float, str, str], StudyResult] = {}
-    for mu_index, mu in enumerate(accuracies):
-        kg = load_syn100m(accuracy=mu, seed=settings.dataset_seed)
-        for strategy_index, strategy_name in enumerate(strategies):
-            strategy = (
-                SimpleRandomSampling()
-                if strategy_name == "SRS"
-                else TwoStageWeightedClusterSampling(m=TWCS_M["SYN100M"])
-            )
-            # Paired seeds per (mu, strategy) cell (see table3).
-            stream = 2_000 + 10 * mu_index + strategy_index
-            for method_name in _METHOD_ORDER:
-                method = _make_method(method_name, settings)
-                studies[(mu, strategy_name, method_name)] = run_configuration(
-                    kg,
-                    strategy,
-                    method,
-                    settings,
-                    label=f"SYN100M(mu={mu})/{strategy_name}/{method_name}",
-                    seed_stream=stream,
-                )
-    return studies
-
-
-def _make_method(name: str, settings: ExperimentSettings):
-    if name == "Wald":
-        return WaldInterval()
-    if name == "Wilson":
-        return WilsonInterval()
-    return AdaptiveHPD(solver=settings.solver)
+    plan = table4_plan(settings, accuracies=accuracies, strategies=strategies)
+    return dict(run_cells(plan, executor=executor))
 
 
 def run_table4(

@@ -26,7 +26,7 @@ from ..intervals.base import Interval, IntervalMethod
 from ..kg.graph import KnowledgeGraph
 from ..sampling.base import SamplingStrategy
 from ..stats.rng import RandomSource, spawn_rng
-from ..evaluation.framework import EvaluationConfig
+from ..evaluation.framework import EvaluationConfig, IntervalMemo
 from .engine import InferenceEngine
 
 __all__ = ["AssistedEvaluationResult", "InferenceAssistedEvaluator"]
@@ -69,7 +69,7 @@ class AssistedEvaluationResult:
         return self.n_inferred_used / self.n_annotated
 
 
-class InferenceAssistedEvaluator:
+class InferenceAssistedEvaluator(IntervalMemo):
     """The Fig. 1 loop with a rule engine short-circuiting annotations.
 
     Parameters
@@ -98,6 +98,10 @@ class InferenceAssistedEvaluator:
         self.annotator = annotator if annotator is not None else OracleAnnotator()
         self.cost_model = cost_model
         self.config = config
+        # Same evidence-state interval memo as KGAccuracyEvaluator (the
+        # shared IntervalMemo base): the stop rule and its Monte-Carlo
+        # replays revisit the same (tau, n) states constantly.
+        self._init_interval_cache()
 
     def run(self, rng: RandomSource = None) -> AssistedEvaluationResult:
         """Execute one inference-assisted evaluation."""
@@ -143,7 +147,7 @@ class InferenceAssistedEvaluator:
         while True:
             iterations += 1
             evidence = strategy.evidence(state)
-            interval = self.method.compute(evidence, cfg.alpha)
+            interval = self._compute_interval(evidence, cfg.alpha)
             if interval.moe <= cfg.epsilon:
                 converged = True
                 break

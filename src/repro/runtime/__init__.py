@@ -1,0 +1,63 @@
+"""Study-execution runtime: parallel grids, caching, resume.
+
+The layer between the evaluators and the experiment scripts.  A grid of
+Monte-Carlo cells is described as data (:class:`StudyPlan` /
+:class:`CellSpec`), executed serially or across worker processes with
+bit-identical results (:class:`ParallelExecutor`), cached and resumed
+through a content-addressed disk store (:class:`ResultStore`), and
+reported cell by cell (:class:`ProgressReporter`).
+
+Environment knobs (read when :func:`execute` builds the default
+executor): ``REPRO_WORKERS`` sets the worker count, ``REPRO_CACHE_DIR``
+roots a result store.
+"""
+
+from .cells import (
+    build_kg,
+    build_method,
+    build_strategy,
+    register_cell_runner,
+    runner_for,
+)
+from .executor import (
+    CellResult,
+    ParallelExecutor,
+    PlanOutcome,
+    configure,
+    default_executor,
+    execute,
+)
+from .progress import ProgressReporter
+from .spec import (
+    CACHE_VERSION,
+    CellSpec,
+    CoverageCell,
+    SequentialCoverageCell,
+    StudyCell,
+    StudyPlan,
+    cache_token,
+)
+from .store import ResultStore
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellSpec",
+    "StudyCell",
+    "CoverageCell",
+    "SequentialCoverageCell",
+    "StudyPlan",
+    "cache_token",
+    "CellResult",
+    "PlanOutcome",
+    "ParallelExecutor",
+    "ProgressReporter",
+    "ResultStore",
+    "build_kg",
+    "build_method",
+    "build_strategy",
+    "register_cell_runner",
+    "runner_for",
+    "configure",
+    "default_executor",
+    "execute",
+]

@@ -1,0 +1,262 @@
+"""Cell runners: turn picklable cell specs into computed results.
+
+Workers (or the serial fallback) receive a :class:`~.spec.CellSpec`
+plus the plan settings and nothing else, so everything a cell needs —
+the KG, the sampling strategy, the interval method — is rebuilt from
+spec strings here.  Builders are deterministic: the same spec and
+settings always construct identical objects, which is what makes
+parallel execution bit-identical to serial and cache keys meaningful.
+
+The runner registry is open: downstream code (and the test suite) can
+register additional cell types with :func:`register_cell_runner`
+without touching the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..evaluation.coverage import CoverageResult, empirical_coverage
+from ..evaluation.framework import KGAccuracyEvaluator
+from ..evaluation.runner import StudyResult, run_study
+from ..evaluation.sequential import SequentialCoverageResult, sequential_coverage
+from ..exceptions import ValidationError
+from ..intervals.agresti_coull import AgrestiCoullInterval
+from ..intervals.ahpd import AdaptiveHPD
+from ..intervals.base import IntervalMethod
+from ..intervals.clopper_pearson import ClopperPearsonInterval
+from ..intervals.et import ETCredibleInterval
+from ..intervals.hpd import HPDCredibleInterval
+from ..intervals.priors import JEFFREYS, KERMAN, UNIFORM, BetaPrior
+from ..intervals.transforms import ArcsineInterval, LogitInterval
+from ..intervals.wald import WaldInterval
+from ..intervals.wilson import WilsonInterval
+from ..kg.base import TripleStore
+from ..kg.datasets import load_dataset, load_syn100m
+from ..kg.io import load_kg
+from ..sampling.base import SamplingStrategy
+from ..sampling.srs import SimpleRandomSampling
+from ..sampling.stratified import StratifiedPredicateSampling
+from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..sampling.wcs import WeightedClusterSampling
+from ..stats.rng import derive_seed
+from .spec import CellSpec, CoverageCell, SequentialCoverageCell, StudyCell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import ExperimentSettings
+
+__all__ = [
+    "build_kg",
+    "build_method",
+    "build_strategy",
+    "register_cell_runner",
+    "runner_for",
+    "run_study_cell",
+    "run_coverage_cell",
+    "run_sequential_coverage_cell",
+]
+
+_PRIORS = {"kerman": KERMAN, "jeffreys": JEFFREYS, "uniform": UNIFORM}
+
+#: Per-process KG memo: workers (and serial runs) load each dataset
+#: once, not once per cell.  Capped because the SYN 100M backends hold
+#: ~100 MB each; eviction is FIFO — grids sweep datasets in order, so
+#: recency tracking buys nothing.
+_KG_CACHE: dict[tuple[str, int], TripleStore] = {}
+_KG_CACHE_LIMIT = 4
+
+
+def build_kg(spec: str, dataset_seed: int) -> TripleStore:
+    """Load the KG described by *spec*, memoised per process.
+
+    Accepted forms: a profiled-dataset name (``"NELL"``),
+    ``"SYN100M:<mu>"`` for the synthetic 100M-triple KG at accuracy
+    ``mu``, or ``"file:<path>"`` for a labelled-TSV file.
+    """
+    key = (spec, dataset_seed)
+    cached = _KG_CACHE.get(key)
+    if cached is not None:
+        return cached
+    upper = spec.upper()
+    if upper.startswith("SYN100M:"):
+        kg: TripleStore = load_syn100m(
+            accuracy=float(spec.split(":", 1)[1]), seed=dataset_seed
+        )
+    elif spec.startswith("file:"):
+        kg = load_kg(spec.split(":", 1)[1])
+    else:
+        kg = load_dataset(spec, seed=dataset_seed)
+    if len(_KG_CACHE) >= _KG_CACHE_LIMIT:
+        _KG_CACHE.pop(next(iter(_KG_CACHE)))
+    _KG_CACHE[key] = kg
+    return kg
+
+
+def build_strategy(spec: str) -> SamplingStrategy:
+    """Instantiate the sampling design described by *spec*.
+
+    Accepted forms: ``"SRS"``, ``"TWCS:<m>"`` (the stage-2 cap is
+    explicit — plan builders resolve the per-dataset default),
+    ``"WCS"``, and ``"STRAT"``.
+    """
+    head, _, arg = spec.partition(":")
+    head = head.upper()
+    if head == "SRS":
+        return SimpleRandomSampling()
+    if head == "TWCS":
+        if not arg:
+            raise ValidationError(
+                "TWCS cell specs must carry an explicit stage-2 cap, "
+                'e.g. "TWCS:3"'
+            )
+        return TwoStageWeightedClusterSampling(m=int(arg))
+    if head == "WCS":
+        return WeightedClusterSampling()
+    if head == "STRAT":
+        return StratifiedPredicateSampling()
+    raise ValidationError(f"unknown sampling strategy spec {spec!r}")
+
+
+def _prior(name: str) -> BetaPrior:
+    prior = _PRIORS.get(name.strip().lower())
+    if prior is None:
+        known = ", ".join(sorted(_PRIORS))
+        raise ValidationError(f"unknown prior {name!r}; expected one of: {known}")
+    return prior
+
+
+def build_method(
+    spec: str,
+    solver: str = "newton",
+    priors: tuple[tuple[float, float, str], ...] | None = None,
+) -> IntervalMethod:
+    """Instantiate the interval method described by *spec*.
+
+    Accepted forms (case-insensitive): ``Wald``, ``Wilson``, ``AC``,
+    ``CP``, ``Arcsine``, ``Logit``, ``ET[:prior]``, ``HPD[:prior]``,
+    and ``aHPD``.  *priors* (``(a, b, name)`` triples) equips aHPD with
+    informative candidates instead of the uninformative trio.
+    """
+    head, _, arg = spec.partition(":")
+    name = head.strip().lower()
+    if name == "wald":
+        return WaldInterval()
+    if name == "wilson":
+        return WilsonInterval()
+    if name in ("ac", "agresti-coull"):
+        return AgrestiCoullInterval()
+    if name in ("cp", "clopper-pearson"):
+        return ClopperPearsonInterval()
+    if name == "arcsine":
+        return ArcsineInterval()
+    if name == "logit":
+        return LogitInterval()
+    if name == "et":
+        return ETCredibleInterval(prior=_prior(arg)) if arg else ETCredibleInterval()
+    if name == "hpd":
+        if arg:
+            return HPDCredibleInterval(prior=_prior(arg), solver=solver)
+        return HPDCredibleInterval(solver=solver)
+    if name == "ahpd":
+        if priors is not None:
+            candidates = tuple(BetaPrior(a, b, name=label) for a, b, label in priors)
+            return AdaptiveHPD(priors=candidates, solver=solver)
+        return AdaptiveHPD(solver=solver)
+    raise ValidationError(f"unknown interval method spec {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# Runner registry
+# ----------------------------------------------------------------------
+
+_RUNNERS: dict[type, Callable[[Any, "ExperimentSettings"], Any]] = {}
+
+
+def register_cell_runner(cell_type: type):
+    """Class decorator-style registration of a cell runner.
+
+    The executor dispatches on the cell's type (walking the MRO, so
+    subclasses inherit their parent's runner unless they register their
+    own).
+    """
+
+    def decorate(fn: Callable[[Any, "ExperimentSettings"], Any]):
+        _RUNNERS[cell_type] = fn
+        return fn
+
+    return decorate
+
+
+def runner_for(cell: CellSpec) -> Callable[[Any, "ExperimentSettings"], Any]:
+    """The registered runner for *cell*'s type."""
+    for klass in type(cell).__mro__:
+        runner = _RUNNERS.get(klass)
+        if runner is not None:
+            return runner
+    raise ValidationError(f"no runner registered for cell type {type(cell)!r}")
+
+
+# ----------------------------------------------------------------------
+# Built-in runners
+# ----------------------------------------------------------------------
+
+
+@register_cell_runner(StudyCell)
+def run_study_cell(cell: StudyCell, settings: "ExperimentSettings") -> StudyResult:
+    """One (dataset, strategy, method) Monte-Carlo study.
+
+    Mirrors the pre-runtime ``run_configuration`` path exactly: the
+    evaluator configuration, the per-cell ``derive_seed`` stream, and
+    the per-repetition seeding are unchanged, so routed experiments
+    reproduce their serial numbers bit for bit.
+    """
+    kg = build_kg(cell.dataset, settings.dataset_seed)
+    config = settings.evaluation_config(alpha=cell.alpha)
+    if cell.units_per_iteration is not None:
+        config = replace(config, units_per_iteration=cell.units_per_iteration)
+    evaluator = KGAccuracyEvaluator(
+        kg=kg,
+        strategy=build_strategy(cell.strategy),
+        method=build_method(cell.method, solver=settings.solver, priors=cell.priors),
+        config=config,
+    )
+    return run_study(
+        evaluator,
+        repetitions=settings.repetitions,
+        seed=derive_seed(settings.seed, *cell.seed_stream),
+        label=cell.label,
+    )
+
+
+@register_cell_runner(CoverageCell)
+def run_coverage_cell(cell: CoverageCell, settings: "ExperimentSettings") -> CoverageResult:
+    """One fixed-n empirical coverage cell."""
+    method = build_method(cell.method, solver=settings.solver)
+    alpha = settings.alpha if cell.alpha is None else cell.alpha
+    repetitions = settings.repetitions if cell.repetitions is None else cell.repetitions
+    return empirical_coverage(
+        method,
+        cell.mu,
+        cell.n,
+        alpha=alpha,
+        repetitions=repetitions,
+        rng=cell.seed,
+    )
+
+
+@register_cell_runner(SequentialCoverageCell)
+def run_sequential_coverage_cell(
+    cell: SequentialCoverageCell, settings: "ExperimentSettings"
+) -> SequentialCoverageResult:
+    """One stopped-interval coverage cell (full iterative procedure)."""
+    method = build_method(cell.method, solver=settings.solver)
+    config = settings.evaluation_config(alpha=cell.alpha)
+    repetitions = settings.repetitions if cell.repetitions is None else cell.repetitions
+    return sequential_coverage(
+        method,
+        cell.mu,
+        config=config,
+        repetitions=repetitions,
+        seed=cell.seed,
+    )

@@ -1,0 +1,292 @@
+"""Parallel study execution with caching, resume, and progress.
+
+:class:`ParallelExecutor` runs a :class:`~repro.runtime.spec.StudyPlan`
+either serially (``workers=1``, the default) or fanned out over a
+``ProcessPoolExecutor``.  Because every cell is seeded at plan-build
+time and runners rebuild their inputs from specs, the two paths are
+bit-identical — parallelism changes wall-clock, never numbers.
+
+Cells completed earlier — in this run, a previous run, or a run that
+was interrupted — are served from the optional
+:class:`~repro.runtime.store.ResultStore`; fresh results are persisted
+the moment they arrive in the parent process, so a grid killed halfway
+resumes from its last completed cell.
+
+The module-level :func:`execute` is the convenience entry point the
+experiment modules use: it builds a default executor from
+:func:`configure` overrides and the ``REPRO_WORKERS`` /
+``REPRO_CACHE_DIR`` environment variables, read at call time so CI can
+flip the whole suite to parallel execution without code changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Union
+
+from ..exceptions import ValidationError
+from .cells import runner_for
+from .progress import ProgressReporter
+from .spec import CellSpec, StudyPlan, cache_token
+from .store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import ExperimentSettings
+
+__all__ = [
+    "CellResult",
+    "PlanOutcome",
+    "ParallelExecutor",
+    "configure",
+    "default_executor",
+    "execute",
+]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed (or cache-served) cell.
+
+    ``seconds`` is the compute time of the cell itself (0.0 for cache
+    hits); ``cached`` records whether the value came from the store.
+    """
+
+    cell: CellSpec
+    value: Any
+    seconds: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Everything a plan execution produced, in plan order."""
+
+    plan: StudyPlan
+    cells: tuple[CellResult, ...]
+    workers: int
+    seconds: float
+
+    @property
+    def results(self) -> dict[tuple, Any]:
+        """Cell values keyed by each cell's plan key."""
+        return {entry.cell.key: entry.value for entry in self.cells}
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the result store."""
+        return sum(1 for entry in self.cells if entry.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells that had to compute."""
+        return len(self.cells) - self.cache_hits
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed per-cell compute time (serial-equivalent work)."""
+        return sum(entry.seconds for entry in self.cells)
+
+    def summary(self) -> str:
+        """One-line execution summary for logs and CLIs."""
+        name = self.plan.name or "plan"
+        return (
+            f"{name}: {len(self.cells)} cells in {self.seconds:.2f}s "
+            f"wall ({self.compute_seconds:.2f}s compute, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.cache_hits} cached)"
+        )
+
+
+def _resolve_workers(workers: int | None) -> int:
+    """Explicit worker count, or the ``REPRO_WORKERS`` default (1)."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValidationError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _run_cell(cell: CellSpec, settings: "ExperimentSettings") -> tuple[Any, float]:
+    """Execute one cell; module-level so it pickles into workers."""
+    start = time.perf_counter()
+    value = runner_for(cell)(cell, settings)
+    return value, time.perf_counter() - start
+
+
+def _pool_context():
+    """Fork where available: cheap start-up, and runners registered at
+    runtime (e.g. custom cell types) are inherited by workers."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
+
+
+class ParallelExecutor:
+    """Executes study plans over a process pool with a result cache.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` reads ``REPRO_WORKERS`` (default 1).
+        ``1`` executes serially in-process — the fallback path, also
+        used automatically when a plan has at most one uncached cell.
+    store:
+        A :class:`~repro.runtime.store.ResultStore`, a directory path
+        to root one at, or ``None`` to disable caching.
+    progress:
+        ``True`` for the default stderr reporter, a callable
+        ``(done, total, CellResult) -> None`` for custom reporting, or
+        ``None``/``False`` for silence.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        store: Union[ResultStore, str, Path, None] = None,
+        progress: Union[bool, Callable[[int, int, CellResult], None], None] = None,
+    ):
+        self.workers = _resolve_workers(workers)
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store = store
+        if progress is True:
+            progress = ProgressReporter()
+        elif progress is False:
+            progress = None
+        self.progress: Callable[[int, int, CellResult], None] | None = progress
+
+    def run(self, plan: StudyPlan) -> PlanOutcome:
+        """Execute *plan*; returns results for every cell, plan-ordered.
+
+        Cache lookups happen first, then pending cells execute (pool or
+        serial).  Each fresh result is persisted to the store from the
+        parent process as soon as it completes, so interruption at any
+        point loses at most the cells still in flight.
+        """
+        start = time.perf_counter()
+        total = len(plan.cells)
+        entries: dict[int, CellResult] = {}
+        pending: list[tuple[int, CellSpec, str | None]] = []
+        done = 0
+
+        def report(result: CellResult) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, result)
+
+        for index, cell in enumerate(plan.cells):
+            # Explicit None check: an empty ResultStore has len() == 0
+            # and would read as falsy.
+            token = cache_token(cell, plan.settings) if self.store is not None else None
+            if token is not None:
+                payload = self.store.load(token)
+                if payload is not None:
+                    entries[index] = CellResult(
+                        cell=cell, value=payload["value"], seconds=0.0, cached=True
+                    )
+                    report(entries[index])
+                    continue
+            pending.append((index, cell, token))
+
+        def finish(index: int, cell: CellSpec, token: str | None, value, seconds) -> None:
+            if token is not None:
+                self.store.save(
+                    token, {"value": value, "label": cell.label, "seconds": seconds}
+                )
+            entries[index] = CellResult(
+                cell=cell, value=value, seconds=seconds, cached=False
+            )
+            report(entries[index])
+
+        if len(pending) > 1 and self.workers > 1:
+            max_workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=_pool_context()
+            ) as pool:
+                futures = {
+                    pool.submit(_run_cell, cell, plan.settings): (index, cell, token)
+                    for index, cell, token in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    ready, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in ready:
+                        index, cell, token = futures[future]
+                        value, seconds = future.result()
+                        finish(index, cell, token, value, seconds)
+        else:
+            for index, cell, token in pending:
+                value, seconds = _run_cell(cell, plan.settings)
+                finish(index, cell, token, value, seconds)
+
+        ordered = tuple(entries[index] for index in range(total))
+        return PlanOutcome(
+            plan=plan,
+            cells=ordered,
+            workers=self.workers,
+            seconds=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"store={self.store!r}, progress={self.progress is not None})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level defaults used by the experiment modules
+# ----------------------------------------------------------------------
+
+_UNSET = object()
+_defaults: dict[str, Any] = {"workers": None, "cache_dir": None, "progress": None}
+
+
+def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET) -> None:
+    """Set process-wide defaults for :func:`execute`.
+
+    Used by CLIs to route every subsequently-run experiment through a
+    configured executor without threading parameters through each
+    ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``
+    and ``REPRO_CACHE_DIR`` at call time.
+    """
+    if workers is not _UNSET:
+        _defaults["workers"] = workers
+    if cache_dir is not _UNSET:
+        _defaults["cache_dir"] = cache_dir
+    if progress is not _UNSET:
+        _defaults["progress"] = progress
+
+
+def default_executor() -> ParallelExecutor:
+    """An executor from :func:`configure` defaults and the environment."""
+    cache_dir = _defaults["cache_dir"]
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    return ParallelExecutor(
+        workers=_defaults["workers"],
+        store=cache_dir,
+        progress=_defaults["progress"],
+    )
+
+
+def execute(plan: StudyPlan, executor: ParallelExecutor | None = None) -> PlanOutcome:
+    """Run *plan* on *executor* (or the configured/env default)."""
+    if executor is None:
+        executor = default_executor()
+    return executor.run(plan)

@@ -1,0 +1,45 @@
+"""Per-cell progress and timing reporting for plan executions.
+
+The default reporter prints one line per completed cell to stderr —
+enough to watch a long grid converge, see which cells dominate the
+wall-clock, and confirm that a resumed run is being served from cache —
+without polluting stdout, which the experiment CLIs reserve for the
+regenerated tables themselves.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import CellResult
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Prints ``[done/total] label seconds`` lines as cells complete.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``sys.stderr`` (resolved at call
+        time so pytest capture and redirection behave).
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream
+
+    def __call__(self, done: int, total: int, result: "CellResult") -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        width = len(str(total))
+        if result.cached:
+            timing = "cache"
+        else:
+            timing = f"{result.seconds:.2f}s"
+        print(
+            f"[{done:>{width}}/{total}] {result.cell.label}  ({timing})",
+            file=stream,
+            flush=True,
+        )

@@ -1,0 +1,213 @@
+"""Study grids as data: cell specifications and execution plans.
+
+The paper's evidence is a grid of independent, seeded Monte-Carlo
+cells — one (dataset, strategy, method, alpha) configuration per table
+row or figure point.  The runtime layer turns that structure into an
+explicit value: experiment modules *describe* their grid as a tuple of
+:class:`CellSpec` objects collected in a :class:`StudyPlan`, and the
+:class:`~repro.runtime.executor.ParallelExecutor` decides how to run
+them (serially, or fanned out over worker processes) and whether a cell
+can be served from the :class:`~repro.runtime.store.ResultStore`.
+
+Cells are frozen dataclasses of primitives only — strings, numbers,
+tuples — so they pickle across process boundaries and hash stably into
+cache keys.  Everything stochastic is pinned at plan-build time: a
+study cell carries the ``derive_seed(settings.seed, *seed_stream)``
+stream indices of the existing seeding scheme, and audit cells carry
+their concrete base seed, so parallel and serial execution (and any
+completion order) produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..experiments.config import ExperimentSettings
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellSpec",
+    "StudyCell",
+    "CoverageCell",
+    "SequentialCoverageCell",
+    "StudyPlan",
+    "cache_token",
+]
+
+#: Version tag mixed into every cache key.  Bump whenever a change to
+#: the evaluators, interval solvers, or cell semantics makes previously
+#: cached payloads stale.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of work in a study grid.
+
+    Attributes
+    ----------
+    key:
+        Hashable identity of the cell inside its plan; becomes the key
+        of the executor's results mapping (e.g. ``("YAGO", "SRS",
+        "aHPD")``).  Must be unique within a plan.
+    label:
+        Human-readable cell name used in progress lines and stored on
+        the produced result.
+    method:
+        Interval-method spec string (see
+        :func:`repro.runtime.cells.build_method`), e.g. ``"Wilson"``,
+        ``"HPD:Kerman"``.
+    alpha:
+        Significance-level override; ``None`` uses the plan settings'
+        alpha.
+    """
+
+    key: tuple
+    label: str
+    method: str
+    alpha: float | None = None
+
+
+@dataclass(frozen=True)
+class StudyCell(CellSpec):
+    """A full Monte-Carlo study: repeated evaluation runs on one KG.
+
+    Attributes
+    ----------
+    dataset:
+        KG spec string (see :func:`repro.runtime.cells.build_kg`):
+        a profile name (``"NELL"``), ``"SYN100M:<mu>"``, or
+        ``"file:<path>"``.
+    strategy:
+        Sampling-design spec string: ``"SRS"``, ``"TWCS:<m>"``,
+        ``"WCS"``, or ``"STRAT"``.
+    seed_stream:
+        Indices fed to ``derive_seed(settings.seed, *seed_stream)`` —
+        the existing per-configuration stream scheme, preserved so that
+        routed experiments reproduce their pre-runtime numbers exactly.
+    units_per_iteration:
+        Optional override of the evaluation loop's batch granularity
+        (used by the batch-size ablation).
+    priors:
+        Optional ``(a, b, name)`` triples for an informative-prior
+        aHPD (paper Example 2); kept as plain tuples so the cell stays
+        picklable and cache-hashable.
+    """
+
+    dataset: str = "NELL"
+    strategy: str = "SRS"
+    seed_stream: tuple[int, ...] = (0,)
+    units_per_iteration: int | None = None
+    priors: tuple[tuple[float, float, str], ...] | None = None
+
+
+@dataclass(frozen=True)
+class CoverageCell(CellSpec):
+    """A fixed-n empirical coverage measurement (one method, mu, n).
+
+    ``seed`` is the concrete RNG seed (already derived at plan-build
+    time), so the cell is self-contained and order-independent.
+    ``repetitions`` of ``None`` uses the plan settings' count.
+    """
+
+    mu: float = 0.5
+    n: int = 30
+    seed: int = 0
+    repetitions: int | None = None
+
+
+@dataclass(frozen=True)
+class SequentialCoverageCell(CellSpec):
+    """A stopped-interval coverage measurement under the full procedure."""
+
+    mu: float = 0.5
+    seed: int = 0
+    repetitions: int | None = None
+
+
+@dataclass(frozen=True)
+class StudyPlan:
+    """An executable description of a study grid.
+
+    Attributes
+    ----------
+    settings:
+        The shared :class:`~repro.experiments.config.ExperimentSettings`
+        (repetitions, seeds, alpha/epsilon, HPD solver).
+    cells:
+        The grid, in deterministic plan order.  Keys must be unique.
+    name:
+        Plan identifier used in progress output (e.g. ``"table3"``).
+    """
+
+    settings: "ExperimentSettings"
+    cells: tuple[CellSpec, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[tuple] = set()
+        for cell in self.cells:
+            if cell.key in seen:
+                raise ValidationError(f"duplicate cell key in plan: {cell.key!r}")
+            seen.add(cell.key)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+#: Settings fields that feed the execution of a cell (and therefore the
+#: cache identity of its result).  ``datasets`` is deliberately absent:
+#: it shapes plan construction, not cell execution.
+_SETTINGS_TOKEN_FIELDS = (
+    "repetitions",
+    "seed",
+    "dataset_seed",
+    "alpha",
+    "epsilon",
+    "solver",
+)
+
+
+def cache_token(cell: CellSpec, settings: "ExperimentSettings") -> str:
+    """Content hash identifying *cell*'s result under *settings*.
+
+    The token covers every input of the computation: the cell fields,
+    the settings fields the runners read, and :data:`CACHE_VERSION` as
+    a stand-in for the code revision of the numerical kernels.  Two
+    invocations with the same token are guaranteed to produce the same
+    payload, so the :class:`~repro.runtime.store.ResultStore` can serve
+    re-runs and resume interrupted grids safely.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "kind": type(cell).__name__,
+        "cell": asdict(cell),
+        "settings": {
+            name: getattr(settings, name) for name in _SETTINGS_TOKEN_FIELDS
+        },
+    }
+    dataset = getattr(cell, "dataset", "")
+    if dataset.startswith("file:"):
+        # Profiled/synthetic KGs are pure functions of (spec, seed), but
+        # a file-backed KG can change on disk under an unchanged spec —
+        # fold its size and mtime into the token so edits invalidate
+        # cached results instead of silently serving stale ones.
+        payload["dataset_file"] = _file_fingerprint(dataset.split(":", 1)[1])
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _file_fingerprint(path: str) -> tuple:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        # The runner will surface the missing file as a load error.
+        return ("missing",)
+    return (stat.st_size, stat.st_mtime_ns)

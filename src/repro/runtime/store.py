@@ -1,0 +1,98 @@
+"""Content-addressed disk cache for computed study cells.
+
+Each cell result is stored in its own file named by the cell's
+:func:`~repro.runtime.spec.cache_token` — a hash of the cell spec, the
+settings it ran under, and the cache version.  That gives three
+properties the execution layer relies on:
+
+* **re-run skipping** — an unchanged grid is served entirely from disk;
+* **resume after interruption** — cells are persisted one by one as
+  they complete, so a killed grid continues where it stopped;
+* **safety** — any input change (seed, repetitions, solver, code
+  version) changes the token, so stale payloads are unreachable rather
+  than wrong.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+leaves no corrupt entry; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Pickle-per-entry result cache rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.  Entries are sharded
+        by the first two hex digits of the token to keep directories
+        small on large grids.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _path(self, token: str) -> Path:
+        return self.root / token[:2] / f"{token}.pkl"
+
+    def load(self, token: str) -> Any | None:
+        """The stored payload for *token*, or ``None`` on any miss.
+
+        Corrupt or truncated entries (e.g. from a pre-atomic-write
+        crash of a foreign writer) are misses, not errors — the cell
+        simply recomputes and overwrites.
+        """
+        path = self._path(token)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return None
+
+    def save(self, token: str, payload: Any) -> Path:
+        """Atomically persist *payload* under *token*; returns the path."""
+        path = self._path(token)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, token: str) -> bool:
+        """Whether an entry exists for *token* (without reading it)."""
+        return self._path(token).exists()
+
+    def discard(self, token: str) -> bool:
+        """Remove the entry for *token*; returns whether one existed."""
+        try:
+            self._path(token).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.pkl")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -10,6 +10,14 @@ The size-proportional draw is implemented by picking a uniform triple
 index and mapping it to its owning cluster through the offsets array —
 O(log N) per draw with no per-draw normalisation, which is what makes
 the 5M-cluster synthetic KG workable.
+
+Both stages are array-level: stage 1 is one ``searchsorted`` over the
+anchors, and stage 2 materialises every unit at once — whole clusters
+through offset arithmetic, capped clusters through a batched
+random-keys subset (the ``m`` smallest of iid uniform keys per row is
+a uniform ``m``-subset without replacement).  The evidence reduction
+aggregates per-cluster means with one ``reduceat`` instead of a
+per-unit Python loop.
 """
 
 from __future__ import annotations
@@ -58,6 +66,11 @@ class TwoStageWeightedClusterSampling(SamplingStrategy):
     def new_state(self) -> TWCSState:
         return TWCSState()
 
+    #: Upper bound on the (capped clusters x widest cluster) key matrix
+    #: of the batched stage-2 subset; pathological draws beyond it fall
+    #: back to per-cluster sampling rather than allocating gigabytes.
+    _KEYS_BUDGET = 8_000_000
+
     def draw(
         self,
         kg: TripleStore,
@@ -72,36 +85,67 @@ class TwoStageWeightedClusterSampling(SamplingStrategy):
         # cluster i with probability M_i / M.
         anchors = rng.integers(0, kg.num_triples, size=units)
         cluster_ids = np.searchsorted(offsets, anchors, side="right") - 1
+        lo = np.asarray(offsets[cluster_ids], dtype=np.int64)
+        sizes = np.asarray(offsets[cluster_ids + 1], dtype=np.int64) - lo
 
-        all_indices: list[np.ndarray] = []
-        unit_slices: list[slice] = []
-        cursor = 0
-        for cluster_id in cluster_ids:
-            lo = int(offsets[cluster_id])
-            hi = int(offsets[cluster_id + 1])
-            size = hi - lo
-            if self.m is None or size <= self.m:
-                picked = np.arange(lo, hi, dtype=np.int64)
+        # Stage 2, all units at once.  Units at or under the cap take
+        # the whole cluster (pure offset arithmetic, no randomness);
+        # larger units take a uniform m-subset via random keys.
+        take = sizes if self.m is None else np.minimum(sizes, self.m)
+        bounds = np.concatenate(([0], np.cumsum(take)))
+        total = int(bounds[-1])
+        indices = np.empty(total, dtype=np.int64)
+        within = np.arange(total, dtype=np.int64) - np.repeat(bounds[:-1], take)
+        whole = sizes == take
+        whole_rows = np.repeat(whole, take)
+        indices[whole_rows] = np.repeat(lo[whole], take[whole]) + within[whole_rows]
+        if not whole.all():
+            capped = ~whole
+            sub_lo = lo[capped]
+            sub_sizes = sizes[capped]
+            width = int(sub_sizes.max())
+            if sub_sizes.size * width <= self._KEYS_BUDGET:
+                # One uniform key per candidate position; the m smallest
+                # keys of each row are a uniform m-subset without
+                # replacement.  Invalid positions get +inf keys.
+                keys = rng.random((sub_sizes.size, width))
+                keys[np.arange(width) >= sub_sizes[:, None]] = np.inf
+                cols = np.argpartition(keys, self.m - 1, axis=1)[:, : self.m]
+                picked = (sub_lo[:, None] + cols).ravel()
             else:
-                picked = lo + rng.choice(size, size=self.m, replace=False).astype(np.int64)
-            all_indices.append(picked)
-            unit_slices.append(slice(cursor, cursor + picked.size))
-            cursor += picked.size
-        indices = np.concatenate(all_indices)
-        subjects = kg.subjects(indices)
+                picked = np.concatenate(
+                    [
+                        start + rng.choice(int(size), size=self.m, replace=False)
+                        for start, size in zip(sub_lo, sub_sizes)
+                    ]
+                )
+            indices[np.repeat(capped, take)] = picked
+        unit_slices = tuple(
+            slice(int(start), int(stop))
+            for start, stop in zip(bounds[:-1], bounds[1:])
+        )
         return Batch(
             indices=indices,
-            unit_slices=tuple(unit_slices),
-            subjects=subjects,
+            unit_slices=unit_slices,
+            subjects=kg.subjects(indices),
         )
 
     def update(self, state: SampleState, batch: Batch, labels: np.ndarray) -> None:
         if not isinstance(state, TWCSState):
             raise SamplingError("TWCS update requires a TWCSState")
         labels = np.asarray(labels, dtype=bool)
-        for unit in batch.unit_slices:
-            unit_labels = labels[unit]
-            state.cluster_means.append(float(unit_labels.mean()))
+        if batch.num_units:
+            # Unit slices are contiguous by construction, so one
+            # reduceat replaces the per-unit mean loop; bool sums are
+            # exact in float64, keeping the means bit-identical.
+            starts = np.fromiter(
+                (unit.start for unit in batch.unit_slices),
+                dtype=np.int64,
+                count=batch.num_units,
+            )
+            counts = np.diff(np.append(starts, labels.size))
+            sums = np.add.reduceat(labels.astype(np.float64), starts)
+            state.cluster_means.extend((sums / counts).tolist())
         state._record(batch, labels)
 
     def evidence(self, state: SampleState) -> Evidence:

@@ -10,6 +10,8 @@ from repro.inference.engine import InferenceEngine
 from repro.inference.evaluation import InferenceAssistedEvaluator
 from repro.inference.generators import default_rules, generate_inferable_kg
 from repro.inference.rules import FunctionalPredicateRule, InversePredicateRule
+from repro.intervals.ahpd import AdaptiveHPD
+from repro.sampling.twcs import TwoStageWeightedClusterSampling
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 
@@ -193,3 +195,41 @@ class TestAssistedEvaluator:
         kg, evaluator = setup
         result = evaluator.run(rng=2)
         assert 0.0 <= result.inference_share <= 1.0
+
+
+class TestIntervalMemoisation:
+    def _evaluator(self, kg):
+        return InferenceAssistedEvaluator(
+            kg=kg,
+            strategy=TwoStageWeightedClusterSampling(m=3),
+            method=AdaptiveHPD(),
+            engine_factory=lambda: InferenceEngine(kg, default_rules()),
+        )
+
+    def test_replays_hit_the_cache(self):
+        kg = generate_inferable_kg(accuracy=0.8, seed=0)
+        evaluator = self._evaluator(kg)
+        evaluator.run(rng=1)
+        misses_after_first = evaluator.cache_misses
+        assert misses_after_first > 0
+        evaluator.run(rng=1)  # same path: every stop-rule solve memoised
+        assert evaluator.cache_misses == misses_after_first
+        assert evaluator.cache_hits >= misses_after_first
+
+    def test_memoised_result_identical(self):
+        kg = generate_inferable_kg(accuracy=0.8, seed=0)
+        cold = self._evaluator(kg).run(rng=5)
+        warm_evaluator = self._evaluator(kg)
+        warm_evaluator.run(rng=5)
+        warm = warm_evaluator.run(rng=5)  # second run replays via cache
+        assert warm.mu_hat == cold.mu_hat
+        assert warm.interval == cold.interval
+        assert warm.cost_hours == cold.cost_hours
+
+    def test_clear_resets_counters(self):
+        kg = generate_inferable_kg(accuracy=0.8, seed=0)
+        evaluator = self._evaluator(kg)
+        evaluator.run(rng=2)
+        evaluator.clear_interval_cache()
+        assert evaluator.cache_hits == 0
+        assert evaluator.cache_misses == 0

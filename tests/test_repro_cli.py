@@ -74,3 +74,43 @@ class TestPlan:
     def test_twcs_style_entities(self, capsys):
         assert main(["plan", "--mu", "0.9", "--entities-per-triple", "0.4"]) == 0
         capsys.readouterr()
+
+
+class TestStudy:
+    def test_grid_runs_and_prints_table(self, capsys):
+        assert main(
+            [
+                "study",
+                "--datasets", "YAGO",
+                "--strategies", "srs",
+                "--methods", "wald,ahpd",
+                "--reps", "3",
+                "--quiet",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dataset" in out and "cost_hours" in out
+        assert "wald" in out and "ahpd" in out
+        assert "2 cells" in out
+
+    def test_parallel_matches_serial_and_caches(self, tmp_path, capsys):
+        args = [
+            "study",
+            "--datasets", "YAGO",
+            "--strategies", "srs,twcs",
+            "--methods", "ahpd",
+            "--reps", "3",
+            "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--workers", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # serial re-run, served from cache
+        second = capsys.readouterr().out
+        # identical numbers, fully cached second time
+        assert first.splitlines()[:3] == second.splitlines()[:3]
+        assert "2 cached" in second
+
+    def test_unknown_strategy_errors(self, capsys):
+        assert main(["study", "--strategies", "bogus", "--reps", "2"]) == 1
+        assert "unknown strategy" in capsys.readouterr().err

@@ -1,0 +1,250 @@
+"""Executor tests: parallel-vs-serial determinism, caching, resume."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.evaluation.coverage import coverage_profile
+from repro.evaluation.runner import StudyResult
+from repro.experiments.config import ExperimentSettings
+from repro.intervals.wilson import WilsonInterval
+from repro.runtime import (
+    CellSpec,
+    ParallelExecutor,
+    ResultStore,
+    StudyCell,
+    StudyPlan,
+    cache_token,
+    default_executor,
+    register_cell_runner,
+)
+
+
+def small_plan(
+    seed: int = 0,
+    repetitions: int = 3,
+    datasets: tuple[str, ...] = ("YAGO", "NELL"),
+) -> StudyPlan:
+    """A small but heterogeneous grid: 2 datasets x 2 strategies x 2 methods."""
+    settings = ExperimentSettings(repetitions=repetitions, seed=seed)
+    cells = []
+    for di, dataset in enumerate(datasets):
+        for si, strategy in enumerate(("SRS", "TWCS:3")):
+            for method in ("Wilson", "aHPD"):
+                cells.append(
+                    StudyCell(
+                        key=(dataset, strategy, method),
+                        label=f"{dataset}/{strategy}/{method}",
+                        method=method,
+                        dataset=dataset,
+                        strategy=strategy,
+                        seed_stream=(100 + 10 * di + si,),
+                    )
+                )
+    return StudyPlan(settings=settings, cells=tuple(cells), name="test-grid")
+
+
+def assert_studies_equal(a: StudyResult, b: StudyResult) -> None:
+    assert a.label == b.label
+    assert np.array_equal(a.triples, b.triples)
+    assert np.array_equal(a.cost_hours, b.cost_hours)
+    assert np.array_equal(a.estimates, b.estimates)
+    assert np.array_equal(a.entities, b.entities)
+    assert np.array_equal(a.converged, b.converged)
+
+
+class TestParallelSerialDeterminism:
+    def test_four_workers_bit_identical(self):
+        plan = small_plan()
+        serial = ParallelExecutor(workers=1).run(plan)
+        parallel = ParallelExecutor(workers=4).run(plan)
+        assert serial.results.keys() == parallel.results.keys()
+        for key in serial.results:
+            assert_studies_equal(serial.results[key], parallel.results[key])
+
+    @given(seed=st.integers(0, 2**16), repetitions=st.integers(2, 5))
+    @hyp_settings(max_examples=5, deadline=None)
+    def test_property_any_seed_and_size(self, seed, repetitions):
+        # Property form of the guarantee: whatever the base seed and
+        # repetition count, fan-out over processes never changes a bit.
+        plan = small_plan(seed=seed, repetitions=repetitions, datasets=("YAGO",))
+        serial = ParallelExecutor(workers=1).run(plan)
+        parallel = ParallelExecutor(workers=2).run(plan)
+        for key in serial.results:
+            assert_studies_equal(serial.results[key], parallel.results[key])
+
+    def test_outcome_order_is_plan_order(self):
+        plan = small_plan()
+        outcome = ParallelExecutor(workers=4).run(plan)
+        assert tuple(entry.cell.key for entry in outcome.cells) == tuple(
+            cell.key for cell in plan.cells
+        )
+
+
+class TestResultStoreIntegration:
+    def test_second_run_served_from_cache(self, tmp_path):
+        plan = small_plan()
+        executor = ParallelExecutor(workers=1, store=tmp_path / "cache")
+        first = executor.run(plan)
+        second = executor.run(plan)
+        assert first.cache_misses == len(plan)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(plan)
+        assert second.cache_misses == 0
+        for key in first.results:
+            assert_studies_equal(first.results[key], second.results[key])
+
+    def test_resume_after_interrupt(self, tmp_path):
+        # Interruption model: only a prefix of the grid completed (each
+        # cell is persisted the moment it finishes, so a kill leaves
+        # exactly this state).  The re-run must recompute only the
+        # missing cells and agree with an uninterrupted run.
+        plan = small_plan()
+        store = ResultStore(tmp_path / "cache")
+        interrupted = StudyPlan(
+            settings=plan.settings, cells=plan.cells[:3], name="prefix"
+        )
+        ParallelExecutor(workers=1, store=store).run(interrupted)
+        assert len(store) == 3
+
+        resumed = ParallelExecutor(workers=2, store=store).run(plan)
+        assert resumed.cache_hits == 3
+        assert resumed.cache_misses == len(plan) - 3
+
+        reference = ParallelExecutor(workers=1).run(plan)
+        for key in reference.results:
+            assert_studies_equal(reference.results[key], resumed.results[key])
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        plan = small_plan()
+        store = ResultStore(tmp_path / "cache")
+        executor = ParallelExecutor(workers=1, store=store)
+        executor.run(plan)
+        token = cache_token(plan.cells[0], plan.settings)
+        store._path(token).write_bytes(b"not a pickle")
+        outcome = executor.run(plan)
+        assert outcome.cache_misses == 1
+        assert outcome.cache_hits == len(plan) - 1
+
+    def test_settings_change_misses(self, tmp_path):
+        plan = small_plan(repetitions=3)
+        store = ResultStore(tmp_path / "cache")
+        ParallelExecutor(workers=1, store=store).run(plan)
+        changed = small_plan(repetitions=4)
+        outcome = ParallelExecutor(workers=1, store=store).run(changed)
+        assert outcome.cache_hits == 0
+
+    def test_store_utilities(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert len(store) == 0
+        store.save("ab" + "0" * 62, {"value": 1})
+        assert store.contains("ab" + "0" * 62)
+        assert store.load("ab" + "0" * 62) == {"value": 1}
+        assert store.discard("ab" + "0" * 62)
+        assert not store.discard("ab" + "0" * 62)
+        store.save("cd" + "0" * 62, {"value": 2})
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+@dataclass(frozen=True)
+class SleepCell(CellSpec):
+    """Test-only cell: sleeps, then returns its key (pure wall-clock)."""
+
+    duration: float = 0.1
+
+
+@register_cell_runner(SleepCell)
+def _run_sleep_cell(cell: SleepCell, settings) -> tuple:
+    time.sleep(cell.duration)
+    return cell.key
+
+
+class TestExecutionOverlap:
+    def test_parallel_overlaps_cells(self):
+        # Sleeping cells release the CPU, so overlap shows even on a
+        # single-core machine: 6 x 0.15s serially is ~0.9s, but three
+        # workers finish in a third of that (plus pool start-up).
+        settings = ExperimentSettings(repetitions=1)
+        cells = tuple(
+            SleepCell(key=(i,), label=f"sleep-{i}", method="-", duration=0.15)
+            for i in range(6)
+        )
+        plan = StudyPlan(settings=settings, cells=cells, name="sleep")
+        t0 = time.perf_counter()
+        serial = ParallelExecutor(workers=1).run(plan)
+        serial_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = ParallelExecutor(workers=3).run(plan)
+        parallel_wall = time.perf_counter() - t0
+        assert serial.results == parallel.results
+        assert parallel_wall < serial_wall / 1.5
+
+    def test_custom_cell_runner_dispatch(self):
+        settings = ExperimentSettings(repetitions=1)
+        cell = SleepCell(key=("x",), label="x", method="-", duration=0.0)
+        plan = StudyPlan(settings=settings, cells=(cell,), name="one")
+        outcome = ParallelExecutor(workers=1).run(plan)
+        assert outcome.results[("x",)] == ("x",)
+
+
+class TestConfiguration:
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_executor().workers == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_executor().workers == 1
+
+    def test_env_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        executor = default_executor()
+        assert executor.store is not None
+        assert executor.store.root == tmp_path / "c"
+
+    def test_invalid_workers(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            ParallelExecutor(workers=0)
+
+    def test_progress_callback(self):
+        plan = small_plan(datasets=("YAGO",))
+        seen = []
+        executor = ParallelExecutor(
+            workers=1, progress=lambda done, total, result: seen.append((done, total, result.cached))
+        )
+        executor.run(plan)
+        assert [done for done, _, _ in seen] == list(range(1, len(plan) + 1))
+        assert all(total == len(plan) for _, total, _ in seen)
+
+    def test_summary_mentions_cells_and_cache(self, tmp_path):
+        plan = small_plan(datasets=("YAGO",))
+        executor = ParallelExecutor(workers=1, store=tmp_path / "cache")
+        executor.run(plan)
+        summary = executor.run(plan).summary()
+        assert "4 cells" in summary
+        assert "4 cached" in summary
+
+
+class TestCoverageProfileRouting:
+    def test_executor_path_matches_serial(self):
+        method = WilsonInterval()
+        serial = coverage_profile(
+            method, mus=[0.5, 0.9], n=30, repetitions=200, seed=11
+        )
+        routed = coverage_profile(
+            method,
+            mus=[0.5, 0.9],
+            n=30,
+            repetitions=200,
+            seed=11,
+            executor=ParallelExecutor(workers=2),
+        )
+        assert [r.coverage for r in routed] == [r.coverage for r in serial]
+        assert [r.mean_width for r in routed] == [r.mean_width for r in serial]

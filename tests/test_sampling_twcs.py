@@ -117,3 +117,50 @@ class TestWCS:
         wcs = WeightedClusterSampling()
         assert wcs.m is None
         assert wcs.name == "WCS"
+
+
+class TestVectorisedStageTwo:
+    def test_capped_members_uniform(self, medium_kg):
+        # Every triple of an oversized cluster must be equally likely in
+        # the random-keys m-subset.  Find a cluster larger than m and
+        # count member appearances over repeated conditional draws.
+        twcs = TwoStageWeightedClusterSampling(m=2)
+        sizes = medium_kg.cluster_sizes
+        target = int(np.argmax(sizes))
+        size = int(sizes[target])
+        assert size > 2
+        counts = np.zeros(size)
+        lo = int(medium_kg.cluster_offsets[target])
+        rng = np.random.default_rng(9)
+        hits = 0
+        while hits < 400:
+            batch = twcs.draw(medium_kg, twcs.new_state(), units=8, rng=rng)
+            for unit in batch.unit_slices:
+                chunk = batch.indices[unit]
+                if int(medium_kg.subjects(chunk[:1])[0]) == target:
+                    hits += 1
+                    for index in chunk:
+                        counts[int(index) - lo] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 1.0 / size, atol=0.035)
+
+    def test_memory_fallback_equivalent_invariants(self, medium_kg, rng):
+        # Force the per-cluster fallback path and check it obeys the
+        # same cap/no-dup/one-cluster invariants as the batched path.
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        twcs._KEYS_BUDGET = 0
+        batch = twcs.draw(medium_kg, twcs.new_state(), units=25, rng=rng)
+        for unit in batch.unit_slices:
+            chunk = batch.indices[unit]
+            assert 1 <= chunk.size <= 3
+            assert len(set(chunk.tolist())) == chunk.size
+            assert len(set(batch.subjects[unit].tolist())) == 1
+
+    def test_update_means_match_slice_recompute(self, medium_kg, rng):
+        twcs = TwoStageWeightedClusterSampling(m=3)
+        state = twcs.new_state()
+        batch = twcs.draw(medium_kg, state, units=30, rng=rng)
+        labels = medium_kg.labels(batch.indices)
+        twcs.update(state, batch, labels)
+        reference = [float(labels[unit].mean()) for unit in batch.unit_slices]
+        assert state.cluster_means == reference
