@@ -1,14 +1,20 @@
 """Benchmarks: the parallel study-execution runtime.
 
-The acceptance scenario for the runtime layer: a representative
-multi-cell study (the Table 3 grid at reduced repetitions) run through
-``ParallelExecutor`` with 4 workers must be bit-identical to the serial
-path, show a parallel speedup when the hardware can provide one, and be
-served entirely from the ``ResultStore`` cache on a second invocation.
+Two acceptance scenarios:
+
+* **cell fan-out** — a representative multi-cell study (the Table 3
+  grid at reduced repetitions) run through ``ParallelExecutor`` with 4
+  workers must be bit-identical to the serial path, show a parallel
+  speedup when the hardware can provide one, and be served entirely
+  from the ``ResultStore`` cache on a second invocation;
+* **repetition sharding** — a *single* 1,000-repetition coverage cell
+  (the shape cell fan-out cannot help: one cell, one worker) run with
+  4 workers and ``chunk_size=50`` must be bit-identical to the serial
+  run and at least 2x faster when >= 4 cores are available.
 
 The persisted results file records only deterministic facts (cell
 counts, identity and cache verdicts); wall-clock numbers and the
-measured speedup print to stdout.
+measured speedups print to stdout.
 """
 
 from __future__ import annotations
@@ -21,7 +27,12 @@ import numpy as np
 
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.table3 import table3_plan
-from repro.runtime import ParallelExecutor, ResultStore
+from repro.runtime import (
+    ParallelExecutor,
+    ResultStore,
+    SequentialCoverageCell,
+    StudyPlan,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -39,7 +50,11 @@ def _studies_equal(a, b) -> bool:
     )
 
 
-def test_bench_runtime_parallel_cache(tmp_path, bench_settings):
+def test_bench_runtime_parallel_cache(tmp_path, bench_settings, monkeypatch):
+    # The serial baseline must be genuinely serial and unsharded even
+    # under the CI matrix legs that export these knobs suite-wide.
+    monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
     settings = ExperimentSettings(
         repetitions=max(10, bench_settings.repetitions // 3),
         datasets=("YAGO", "NELL"),
@@ -106,5 +121,79 @@ def test_bench_runtime_parallel_cache(tmp_path, bench_settings):
     ]
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "runtime.txt"
+    path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
+    print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")
+
+
+def test_bench_runtime_repetition_sharding(monkeypatch):
+    """The acceptance scenario: one 1,000-repetition coverage cell.
+
+    Cell-level fan-out is powerless here — the plan has a single cell —
+    so any speedup must come from repetition sharding.  With 4 workers
+    and ``chunk_size=50`` (20 shards) the merged result must be
+    bit-identical to the serial run; the >= 2x wall-clock bar is
+    asserted only when the hardware has >= 4 cores (timings go to
+    stdout, never into the results file).
+    """
+    # Pin the baseline serial and unsharded regardless of the CI leg's
+    # suite-wide env knobs.
+    monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    repetitions = 1_000
+    chunk_size = 50
+    settings = ExperimentSettings(repetitions=repetitions, seed=0)
+    cell = SequentialCoverageCell(
+        key=("seq-coverage", "Wilson", 0.9),
+        label="seq-coverage/Wilson/mu=0.9",
+        method="Wilson",
+        mu=0.9,
+        seed=7,
+        repetitions=repetitions,
+    )
+    plan = StudyPlan(settings=settings, cells=(cell,), name="sharding")
+
+    start = time.perf_counter()
+    serial = ParallelExecutor(workers=1).run(plan)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = ParallelExecutor(workers=4, chunk_size=chunk_size).run(plan)
+    sharded_wall = time.perf_counter() - start
+
+    identical = serial.results[cell.key] == sharded.results[cell.key]
+    assert identical
+    assert sharded.cells[0].shards == repetitions // chunk_size
+
+    # A ragged chunking (non-divisor of 1,000) must merge identically too.
+    ragged = ParallelExecutor(workers=4, chunk_size=33).run(plan)
+    ragged_identical = serial.results[cell.key] == ragged.results[cell.key]
+    assert ragged_identical
+
+    speedup = serial_wall / sharded_wall
+    cores = os.cpu_count() or 1
+    if cores >= _SPEEDUP_CORES:
+        # The acceptance bar; only meaningful with real parallelism.
+        assert speedup >= 2.0, f"sharded speedup {speedup:.2f}x on {cores} cores"
+
+    timing_lines = [
+        "repetition-sharding benchmark "
+        f"(1 cell x {repetitions} reps, chunk_size={chunk_size}, {cores} cores)",
+        f"  serial (1 worker, unsharded)      : {serial_wall:7.2f} s",
+        f"  sharded (4 workers, 20 shards)    : {sharded_wall:7.2f} s"
+        f"  ({speedup:.2f}x)",
+        "  speedup >= 2x asserted            : "
+        + ("yes" if cores >= _SPEEDUP_CORES else f"skipped ({cores} cores < {_SPEEDUP_CORES})"),
+    ]
+    file_lines = [
+        "repetition sharding (deterministic fields only; timings on stdout)",
+        "==================================================================",
+        f"grid                                    : 1 cell x {repetitions} reps",
+        f"sharded (chunk=50, 4 workers) == serial : "
+        + ("yes (20 shards)" if identical else "NO"),
+        "ragged chunking (chunk=33) == serial    : "
+        + ("yes (31 shards)" if ragged_identical else "NO"),
+    ]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "runtime-sharding.txt"
     path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
     print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")

@@ -24,6 +24,7 @@ __all__ = [
     "check_counts",
     "check_fraction_pair",
     "check_not_empty",
+    "check_rep_range",
 ]
 
 
@@ -112,6 +113,33 @@ def check_fraction_pair(lower: float, upper: float) -> tuple[float, float]:
             f"lower ({lower}) cannot exceed upper ({upper})"
         )
     return lower, upper
+
+
+def check_rep_range(
+    rep_range: Any, repetitions: int, name: str = "rep_range"
+) -> tuple[int, int]:
+    """Validate a half-open repetition window against a total count.
+
+    ``None`` means the full range ``(0, repetitions)``; otherwise the
+    pair must satisfy ``0 <= start < stop <= repetitions``.  Returns the
+    resolved ``(start, stop)``.
+    """
+    if rep_range is None:
+        return 0, repetitions
+    try:
+        start, stop = rep_range
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"{name} must be a (start, stop) pair or None, got {rep_range!r}"
+        ) from exc
+    start = check_non_negative_int(start, f"{name} start")
+    stop = check_positive_int(stop, f"{name} stop")
+    if start >= stop or stop > repetitions:
+        raise ValidationError(
+            f"{name} must satisfy 0 <= start < stop <= repetitions "
+            f"({repetitions}), got ({start}, {stop})"
+        )
+    return start, stop
 
 
 def check_not_empty(items: Sequence | Iterable, name: str = "items") -> Any:

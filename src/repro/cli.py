@@ -150,6 +150,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_CACHE_DIR or no cache)",
     )
     study.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="repetition-sharding granularity: split each cell's "
+        "repetitions into chunks of at most this many and fan the "
+        "chunks out over the workers, merging bit-identically "
+        "(default: $REPRO_CHUNK_SIZE or no sharding)",
+    )
+    study.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
     return parser
@@ -262,6 +271,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=args.cache_dir,
         progress=not args.quiet,
+        chunk_size=args.chunk_size,
     )
     outcome = executor.run(plan)
     results = outcome.results

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import check_positive_int
+from .._validation import check_positive_int, check_rep_range
 from ..stats.describe import Summary, summarize
 from ..stats.rng import derive_seed, spawn_rng
 from .framework import EvaluationResult, KGAccuracyEvaluator
@@ -78,6 +78,7 @@ def run_study(
     repetitions: int = 1_000,
     seed: int = 0,
     label: str = "",
+    rep_range: tuple[int, int] | None = None,
 ) -> StudyResult:
     """Repeat *evaluator* runs with independent derived seeds.
 
@@ -91,21 +92,29 @@ def run_study(
         Base seed; repetition ``i`` runs on ``derive_seed(seed, i)``.
     label:
         Display label stored on the result.
+    rep_range:
+        Optional half-open ``(start, stop)`` window of repetitions to
+        execute.  Per-repetition seeds stay keyed on the *global*
+        repetition index, so the windows of any partition concatenate to
+        exactly the full run — the contract repetition sharding builds
+        on.
     """
     repetitions = check_positive_int(repetitions, "repetitions")
-    triples = np.empty(repetitions, dtype=np.int64)
-    cost_hours = np.empty(repetitions, dtype=float)
-    estimates = np.empty(repetitions, dtype=float)
-    entities = np.empty(repetitions, dtype=np.int64)
-    converged = np.empty(repetitions, dtype=bool)
-    for i in range(repetitions):
+    start, stop = check_rep_range(rep_range, repetitions)
+    count = stop - start
+    triples = np.empty(count, dtype=np.int64)
+    cost_hours = np.empty(count, dtype=float)
+    estimates = np.empty(count, dtype=float)
+    entities = np.empty(count, dtype=np.int64)
+    converged = np.empty(count, dtype=bool)
+    for slot, i in enumerate(range(start, stop)):
         rng = spawn_rng(derive_seed(seed, i))
         result: EvaluationResult = evaluator.run(rng=rng)
-        triples[i] = result.n_triples
-        cost_hours[i] = result.cost_hours
-        estimates[i] = result.mu_hat
-        entities[i] = result.n_entities
-        converged[i] = result.converged
+        triples[slot] = result.n_triples
+        cost_hours[slot] = result.cost_hours
+        estimates[slot] = result.mu_hat
+        entities[slot] = result.n_entities
+        converged[slot] = result.converged
     if not label:
         label = f"{evaluator.strategy.name}/{evaluator.method.name}"
     return StudyResult(

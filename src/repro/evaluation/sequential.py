@@ -21,14 +21,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import check_positive_int, check_probability
+from .._validation import check_positive_int, check_probability, check_rep_range
 from ..intervals.base import IntervalMethod
 from ..kg.synthetic import SyntheticKG
 from ..sampling.srs import SimpleRandomSampling
 from ..stats.rng import derive_seed, spawn_rng
 from .framework import EvaluationConfig, KGAccuracyEvaluator
 
-__all__ = ["SequentialCoverageResult", "sequential_coverage"]
+__all__ = [
+    "SequentialCoverageResult",
+    "sequential_coverage",
+    "sequential_replays",
+    "sequential_from_replays",
+]
 
 #: Size of the synthetic population used for the replays.  Large enough
 #: that without-replacement effects are negligible at the stopping
@@ -61,35 +66,35 @@ class SequentialCoverageResult:
         return self.nominal - self.coverage
 
 
-def sequential_coverage(
+def sequential_replays(
     method: IntervalMethod,
     mu: float,
     config: EvaluationConfig = EvaluationConfig(),
     repetitions: int = 500,
     seed: int = 0,
-) -> SequentialCoverageResult:
-    """Coverage of the *stopped* interval under the full procedure.
+    rep_range: tuple[int, int] | None = None,
+) -> tuple[int, np.ndarray]:
+    """Raw replay outcomes over a repetition window: ``(hits, stopping)``.
 
-    All replays share one :class:`KGAccuracyEvaluator`, whose interval
-    memo persists across runs: replays walk through largely overlapping
-    ``(tau, n)`` evidence states, so most stop-rule consultations after
-    the first few replays are cache hits rather than fresh solves.
+    Each replay ``i`` of the window runs the full procedure on the
+    stream ``derive_seed(seed, i)`` — keyed on the *global* repetition
+    index — against the same realised synthetic population (its seed is
+    derived from *seed* alone), so the windows of any partition of
+    ``[0, repetitions)`` are exactly the corresponding slice of the full
+    run.  Hit counts are integers and stopping sizes are per-replay
+    values, so partitions merge into the full run loss-free — the basis
+    of repetition sharding for sequential-coverage cells.
 
-    Parameters
-    ----------
-    method:
-        Interval method driving the stop rule.
-    mu:
-        True accuracy of the synthetic population.
-    config:
-        Evaluation loop parameters (alpha, epsilon, minimum sample).
-    repetitions:
-        Independent full-procedure replays.
-    seed:
-        Base seed; replays derive independent streams.
+    All replays of a window share one :class:`KGAccuracyEvaluator`,
+    whose interval memo persists across runs: replays walk through
+    largely overlapping ``(tau, n)`` evidence states, so most stop-rule
+    consultations after the first few replays are cache hits rather than
+    fresh solves (the memo is exact, so sharing it never changes a
+    replay's outcome).
     """
     mu = check_probability(mu, "mu")
     repetitions = check_positive_int(repetitions, "repetitions")
+    start, stop = check_rep_range(rep_range, repetitions)
     kg = SyntheticKG(
         num_triples=_POPULATION_SIZE,
         num_clusters=_POPULATION_CLUSTERS,
@@ -106,13 +111,26 @@ def sequential_coverage(
         config=config,
     )
     hits = 0
-    stopping = np.empty(repetitions, dtype=float)
-    for i in range(repetitions):
+    stopping = np.empty(stop - start, dtype=float)
+    for slot, i in enumerate(range(start, stop)):
         result = evaluator.run(rng=spawn_rng(derive_seed(seed, i)))
         hits += result.interval.contains(realised_mu)
-        stopping[i] = result.n_annotated
+        stopping[slot] = result.n_annotated
+    return int(hits), stopping
+
+
+def sequential_from_replays(
+    method_name: str,
+    mu: float,
+    config: EvaluationConfig,
+    hits: int,
+    stopping: np.ndarray,
+) -> SequentialCoverageResult:
+    """Assemble the coverage result from raw replay outcomes."""
+    stopping = np.asarray(stopping, dtype=float)
+    repetitions = int(stopping.size)
     return SequentialCoverageResult(
-        method=method.name,
+        method=method_name,
         mu=mu,
         alpha=config.alpha,
         epsilon=config.epsilon,
@@ -121,3 +139,35 @@ def sequential_coverage(
         std_stopping_n=float(stopping.std(ddof=1)) if repetitions > 1 else 0.0,
         repetitions=repetitions,
     )
+
+
+def sequential_coverage(
+    method: IntervalMethod,
+    mu: float,
+    config: EvaluationConfig = EvaluationConfig(),
+    repetitions: int = 500,
+    seed: int = 0,
+    rep_range: tuple[int, int] | None = None,
+) -> SequentialCoverageResult:
+    """Coverage of the *stopped* interval under the full procedure.
+
+    Parameters
+    ----------
+    method:
+        Interval method driving the stop rule.
+    mu:
+        True accuracy of the synthetic population.
+    config:
+        Evaluation loop parameters (alpha, epsilon, minimum sample).
+    repetitions:
+        Independent full-procedure replays.
+    seed:
+        Base seed; replays derive independent streams.
+    rep_range:
+        Optional half-open replay window (see :func:`sequential_replays`).
+    """
+    hits, stopping = sequential_replays(
+        method, mu, config=config, repetitions=repetitions, seed=seed,
+        rep_range=rep_range,
+    )
+    return sequential_from_replays(method.name, mu, config, hits, stopping)

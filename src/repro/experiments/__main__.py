@@ -61,6 +61,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_CACHE_DIR or no cache)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="REPS",
+        help="repetition-sharding granularity: cells with more "
+        "repetitions split into chunks of at most this many, executed "
+        "in parallel and merged bit-identically "
+        "(default: $REPRO_CHUNK_SIZE or no sharding)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/timing lines to stderr",
@@ -82,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=True if args.progress else None,
+        chunk_size=args.chunk_size,
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

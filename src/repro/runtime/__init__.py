@@ -7,17 +7,29 @@ bit-identical results (:class:`ParallelExecutor`), cached and resumed
 through a content-addressed disk store (:class:`ResultStore`), and
 reported cell by cell (:class:`ProgressReporter`).
 
+Cells themselves shard: with a chunk size configured, a cell's
+repetitions split into independent sub-cell windows (:class:`CellShard`)
+that fan out across workers and merge back bit-identically, so one
+1,000-repetition cell no longer serialises on a single worker.
+
 Environment knobs (read when :func:`execute` builds the default
 executor): ``REPRO_WORKERS`` sets the worker count, ``REPRO_CACHE_DIR``
-roots a result store.
+roots a result store, ``REPRO_CHUNK_SIZE`` turns on repetition
+sharding at that granularity.
 """
 
 from .cells import (
     build_kg,
     build_method,
     build_strategy,
+    cell_repetitions,
+    is_shardable,
     register_cell_runner,
+    register_shard_reducer,
+    register_shard_runner,
     runner_for,
+    shard_reducer_for,
+    shard_runner_for,
 )
 from .executor import (
     CellResult,
@@ -30,23 +42,29 @@ from .executor import (
 from .progress import ProgressReporter
 from .spec import (
     CACHE_VERSION,
+    CellShard,
     CellSpec,
     CoverageCell,
     SequentialCoverageCell,
     StudyCell,
     StudyPlan,
     cache_token,
+    shard_ranges,
+    shard_token,
 )
 from .store import ResultStore
 
 __all__ = [
     "CACHE_VERSION",
     "CellSpec",
+    "CellShard",
     "StudyCell",
     "CoverageCell",
     "SequentialCoverageCell",
     "StudyPlan",
     "cache_token",
+    "shard_ranges",
+    "shard_token",
     "CellResult",
     "PlanOutcome",
     "ParallelExecutor",
@@ -55,8 +73,14 @@ __all__ = [
     "build_kg",
     "build_method",
     "build_strategy",
+    "cell_repetitions",
+    "is_shardable",
     "register_cell_runner",
+    "register_shard_runner",
+    "register_shard_reducer",
     "runner_for",
+    "shard_runner_for",
+    "shard_reducer_for",
     "configure",
     "default_executor",
     "execute",

@@ -17,10 +17,22 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Callable
 
-from ..evaluation.coverage import CoverageResult, empirical_coverage
+import numpy as np
+
+from ..evaluation.coverage import (
+    CoverageResult,
+    coverage_from_counts,
+    empirical_coverage,
+    tau_counts,
+)
 from ..evaluation.framework import KGAccuracyEvaluator
 from ..evaluation.runner import StudyResult, run_study
-from ..evaluation.sequential import SequentialCoverageResult, sequential_coverage
+from ..evaluation.sequential import (
+    SequentialCoverageResult,
+    sequential_coverage,
+    sequential_from_replays,
+    sequential_replays,
+)
 from ..exceptions import ValidationError
 from ..intervals.agresti_coull import AgrestiCoullInterval
 from ..intervals.ahpd import AdaptiveHPD
@@ -50,8 +62,14 @@ __all__ = [
     "build_kg",
     "build_method",
     "build_strategy",
+    "cell_repetitions",
+    "is_shardable",
     "register_cell_runner",
+    "register_shard_runner",
+    "register_shard_reducer",
     "runner_for",
+    "shard_runner_for",
+    "shard_reducer_for",
     "run_study_cell",
     "run_coverage_cell",
     "run_sequential_coverage_cell",
@@ -190,16 +208,129 @@ def register_cell_runner(cell_type: type):
 
 def runner_for(cell: CellSpec) -> Callable[[Any, "ExperimentSettings"], Any]:
     """The registered runner for *cell*'s type."""
+    runner = _lookup(_RUNNERS, cell)
+    if runner is None:
+        raise ValidationError(f"no runner registered for cell type {type(cell)!r}")
+    return runner
+
+
+# ----------------------------------------------------------------------
+# Repetition-sharding registry
+# ----------------------------------------------------------------------
+#
+# A cell type opts into repetition sharding by registering three pieces:
+# a repetition counter (how many independent repetitions the cell runs),
+# a shard runner (execute one half-open repetition window, returning a
+# picklable partial payload), and a reducer (merge the in-order partial
+# payloads into exactly the value the unsharded runner returns).  The
+# contract every implementation must honour — and the hypothesis suite
+# enforces — is *bit-identity*: for any chunking, reducing the shard
+# payloads reproduces the unsharded result exactly.  The built-in kinds
+# achieve that by keeping per-repetition seed streams keyed on global
+# repetition indices and merging via lossless operations only (integer
+# sums, array concatenation) before any shared float reduction.
+
+_SHARD_RUNNERS: dict[type, Callable[[Any, "ExperimentSettings", int, int], Any]] = {}
+_SHARD_REDUCERS: dict[type, Callable[[Any, "ExperimentSettings", list], Any]] = {}
+_REP_COUNTERS: dict[type, Callable[[Any, "ExperimentSettings"], int]] = {}
+
+
+def register_shard_runner(
+    cell_type: type, repetitions: Callable[[Any, "ExperimentSettings"], int]
+):
+    """Register a shard runner (and repetition counter) for *cell_type*.
+
+    The runner receives ``(cell, settings, rep_start, rep_stop)`` and
+    returns a picklable partial payload for that window; *repetitions*
+    maps ``(cell, settings)`` to the cell's total repetition count.
+    """
+
+    def decorate(fn: Callable[[Any, "ExperimentSettings", int, int], Any]):
+        _SHARD_RUNNERS[cell_type] = fn
+        _REP_COUNTERS[cell_type] = repetitions
+        return fn
+
+    return decorate
+
+
+def register_shard_reducer(cell_type: type):
+    """Register the merge step for *cell_type*'s shard payloads.
+
+    The reducer receives ``(cell, settings, partials)`` with partials in
+    shard order and must return exactly what the unsharded runner would.
+    """
+
+    def decorate(fn: Callable[[Any, "ExperimentSettings", list], Any]):
+        _SHARD_REDUCERS[cell_type] = fn
+        return fn
+
+    return decorate
+
+
+def _lookup(registry: dict, cell: CellSpec):
     for klass in type(cell).__mro__:
-        runner = _RUNNERS.get(klass)
-        if runner is not None:
-            return runner
-    raise ValidationError(f"no runner registered for cell type {type(cell)!r}")
+        entry = registry.get(klass)
+        if entry is not None:
+            return entry
+    return None
+
+
+def is_shardable(cell: CellSpec) -> bool:
+    """Whether *cell*'s type registered the full sharding triple."""
+    return (
+        _lookup(_SHARD_RUNNERS, cell) is not None
+        and _lookup(_SHARD_REDUCERS, cell) is not None
+        and _lookup(_REP_COUNTERS, cell) is not None
+    )
+
+
+def cell_repetitions(cell: CellSpec, settings: "ExperimentSettings") -> int:
+    """Total independent repetitions *cell* runs under *settings*."""
+    counter = _lookup(_REP_COUNTERS, cell)
+    if counter is None:
+        raise ValidationError(
+            f"cell type {type(cell)!r} has no registered repetition counter"
+        )
+    return int(counter(cell, settings))
+
+
+def shard_runner_for(cell: CellSpec) -> Callable[[Any, "ExperimentSettings", int, int], Any]:
+    """The registered shard runner for *cell*'s type."""
+    runner = _lookup(_SHARD_RUNNERS, cell)
+    if runner is None:
+        raise ValidationError(
+            f"no shard runner registered for cell type {type(cell)!r}"
+        )
+    return runner
+
+
+def shard_reducer_for(cell: CellSpec) -> Callable[[Any, "ExperimentSettings", list], Any]:
+    """The registered shard reducer for *cell*'s type."""
+    reducer = _lookup(_SHARD_REDUCERS, cell)
+    if reducer is None:
+        raise ValidationError(
+            f"no shard reducer registered for cell type {type(cell)!r}"
+        )
+    return reducer
 
 
 # ----------------------------------------------------------------------
 # Built-in runners
 # ----------------------------------------------------------------------
+
+
+def _study_evaluator(cell: StudyCell, settings: "ExperimentSettings") -> KGAccuracyEvaluator:
+    """The deterministic evaluator behind a study cell (or its shards)."""
+    kg = build_kg(cell.dataset, settings.dataset_seed)
+    config = settings.evaluation_config(alpha=cell.alpha)
+    if cell.units_per_iteration is not None:
+        config = replace(config, units_per_iteration=cell.units_per_iteration)
+    return KGAccuracyEvaluator(
+        kg=kg,
+        strategy=build_strategy(cell.strategy),
+        method=build_method(cell.method, solver=settings.solver, priors=cell.priors),
+        config=config,
+    )
 
 
 @register_cell_runner(StudyCell)
@@ -211,18 +342,8 @@ def run_study_cell(cell: StudyCell, settings: "ExperimentSettings") -> StudyResu
     the per-repetition seeding are unchanged, so routed experiments
     reproduce their serial numbers bit for bit.
     """
-    kg = build_kg(cell.dataset, settings.dataset_seed)
-    config = settings.evaluation_config(alpha=cell.alpha)
-    if cell.units_per_iteration is not None:
-        config = replace(config, units_per_iteration=cell.units_per_iteration)
-    evaluator = KGAccuracyEvaluator(
-        kg=kg,
-        strategy=build_strategy(cell.strategy),
-        method=build_method(cell.method, solver=settings.solver, priors=cell.priors),
-        config=config,
-    )
     return run_study(
-        evaluator,
+        _study_evaluator(cell, settings),
         repetitions=settings.repetitions,
         seed=derive_seed(settings.seed, *cell.seed_stream),
         label=cell.label,
@@ -260,3 +381,132 @@ def run_sequential_coverage_cell(
         repetitions=repetitions,
         seed=cell.seed,
     )
+
+
+# ----------------------------------------------------------------------
+# Built-in shard runners and reducers
+# ----------------------------------------------------------------------
+
+
+def _study_cell_repetitions(cell: StudyCell, settings: "ExperimentSettings") -> int:
+    return settings.repetitions
+
+
+def _audit_cell_repetitions(cell, settings: "ExperimentSettings") -> int:
+    return settings.repetitions if cell.repetitions is None else cell.repetitions
+
+
+@register_shard_runner(StudyCell, repetitions=_study_cell_repetitions)
+def run_study_cell_shard(
+    cell: StudyCell, settings: "ExperimentSettings", rep_start: int, rep_stop: int
+) -> StudyResult:
+    """Repetitions ``[rep_start, rep_stop)`` of a study cell.
+
+    Per-repetition seeds stay keyed on the global repetition index, so
+    the shard's arrays are exactly the corresponding slice of the
+    unsharded run's.
+    """
+    return run_study(
+        _study_evaluator(cell, settings),
+        repetitions=settings.repetitions,
+        seed=derive_seed(settings.seed, *cell.seed_stream),
+        label=cell.label,
+        rep_range=(rep_start, rep_stop),
+    )
+
+
+@register_shard_reducer(StudyCell)
+def merge_study_cell_shards(
+    cell: StudyCell, settings: "ExperimentSettings", partials: list
+) -> StudyResult:
+    """Concatenate in-order study shards back into the full-cell result.
+
+    Concatenation of the per-repetition arrays is lossless, and the
+    summaries on :class:`StudyResult` are derived lazily from them, so
+    the merged result is bit-identical to the unsharded run.
+    """
+    return StudyResult(
+        label=cell.label,
+        triples=np.concatenate([p.triples for p in partials]),
+        cost_hours=np.concatenate([p.cost_hours for p in partials]),
+        estimates=np.concatenate([p.estimates for p in partials]),
+        entities=np.concatenate([p.entities for p in partials]),
+        converged=np.concatenate([p.converged for p in partials]),
+    )
+
+
+@register_shard_runner(CoverageCell, repetitions=_audit_cell_repetitions)
+def run_coverage_cell_shard(
+    cell: CoverageCell, settings: "ExperimentSettings", rep_start: int, rep_stop: int
+) -> np.ndarray:
+    """Outcome histogram of one repetition window of a coverage cell.
+
+    The partial payload is the integer ``tau`` histogram of the window;
+    histograms of a partition sum exactly to the full histogram, and the
+    reducer performs the (cheap, deduplicated) interval solves once on
+    the merged counts — the identical computation the unsharded runner
+    does.
+    """
+    return tau_counts(
+        cell.mu,
+        cell.n,
+        _audit_cell_repetitions(cell, settings),
+        rng=cell.seed,
+        rep_range=(rep_start, rep_stop),
+    )
+
+
+@register_shard_reducer(CoverageCell)
+def merge_coverage_cell_shards(
+    cell: CoverageCell, settings: "ExperimentSettings", partials: list
+) -> CoverageResult:
+    """Sum shard histograms and solve the merged outcome set once."""
+    counts = np.sum(partials, axis=0)
+    method = build_method(cell.method, solver=settings.solver)
+    alpha = settings.alpha if cell.alpha is None else cell.alpha
+    return coverage_from_counts(
+        method,
+        cell.mu,
+        cell.n,
+        alpha,
+        counts,
+        repetitions=_audit_cell_repetitions(cell, settings),
+    )
+
+
+@register_shard_runner(SequentialCoverageCell, repetitions=_audit_cell_repetitions)
+def run_sequential_coverage_cell_shard(
+    cell: SequentialCoverageCell,
+    settings: "ExperimentSettings",
+    rep_start: int,
+    rep_stop: int,
+) -> tuple[int, np.ndarray]:
+    """Raw ``(hits, stopping)`` replay outcomes of one repetition window."""
+    method = build_method(cell.method, solver=settings.solver)
+    config = settings.evaluation_config(alpha=cell.alpha)
+    return sequential_replays(
+        method,
+        cell.mu,
+        config=config,
+        repetitions=_audit_cell_repetitions(cell, settings),
+        seed=cell.seed,
+        rep_range=(rep_start, rep_stop),
+    )
+
+
+@register_shard_reducer(SequentialCoverageCell)
+def merge_sequential_coverage_cell_shards(
+    cell: SequentialCoverageCell, settings: "ExperimentSettings", partials: list
+) -> SequentialCoverageResult:
+    """Sum hit counts, concatenate stopping sizes, summarise once.
+
+    Hit counts are integers and the stopping-size concatenation is the
+    unsharded run's array element for element, so the float summaries
+    (mean/std over the full array) are computed on identical input —
+    bit-identical output.
+    """
+    method = build_method(cell.method, solver=settings.solver)
+    config = settings.evaluation_config(alpha=cell.alpha)
+    hits = sum(int(h) for h, _ in partials)
+    stopping = np.concatenate([s for _, s in partials])
+    return sequential_from_replays(method.name, cell.mu, config, hits, stopping)

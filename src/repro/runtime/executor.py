@@ -6,17 +6,29 @@ either serially (``workers=1``, the default) or fanned out over a
 time and runners rebuild their inputs from specs, the two paths are
 bit-identical — parallelism changes wall-clock, never numbers.
 
+Two levels of parallelism compose here.  Cells fan out across workers,
+and — when a chunk size is configured — a cell's *repetitions* are
+sharded into sub-cell windows that fan out the same way and merge
+through per-kind reducers (see :mod:`repro.runtime.cells`), so a single
+expensive 1,000-repetition cell no longer serialises on one worker.
+Chunking is pure scheduling: for any chunk size, the merged result is
+bit-identical to the unsharded run.
+
 Cells completed earlier — in this run, a previous run, or a run that
 was interrupted — are served from the optional
 :class:`~repro.runtime.store.ResultStore`; fresh results are persisted
 the moment they arrive in the parent process, so a grid killed halfway
-resumes from its last completed cell.
+resumes from its last completed cell.  Sharded cells persist *per
+shard*: a killed 1,000-repetition cell resumes at the boundary of its
+last finished shard, and the transient shard entries are dropped once
+the merged cell result is stored.
 
 The module-level :func:`execute` is the convenience entry point the
 experiment modules use: it builds a default executor from
 :func:`configure` overrides and the ``REPRO_WORKERS`` /
-``REPRO_CACHE_DIR`` environment variables, read at call time so CI can
-flip the whole suite to parallel execution without code changes.
+``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` environment variables, read
+at call time so CI can flip the whole suite to parallel, sharded
+execution without code changes.
 """
 
 from __future__ import annotations
@@ -25,14 +37,20 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ..exceptions import ValidationError
-from .cells import runner_for
+from .cells import (
+    cell_repetitions,
+    is_shardable,
+    runner_for,
+    shard_reducer_for,
+    shard_runner_for,
+)
 from .progress import ProgressReporter
-from .spec import CellSpec, StudyPlan, cache_token
+from .spec import CellShard, CellSpec, StudyPlan, cache_token, shard_ranges, shard_token
 from .store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,14 +70,20 @@ __all__ = [
 class CellResult:
     """One executed (or cache-served) cell.
 
-    ``seconds`` is the compute time of the cell itself (0.0 for cache
-    hits); ``cached`` records whether the value came from the store.
+    ``seconds`` is the compute time of the cell itself (summed across
+    its shards when it ran sharded; 0.0 for cache hits); ``cached``
+    records whether the value was assembled without computing anything.
+    ``shards`` is the number of repetition shards the cell was split
+    into (1 = unsharded) and ``shards_cached`` how many of those were
+    served from the store (resume).
     """
 
     cell: CellSpec
     value: Any
     seconds: float
     cached: bool
+    shards: int = 1
+    shards_cached: int = 0
 
 
 @dataclass(frozen=True)
@@ -94,11 +118,13 @@ class PlanOutcome:
     def summary(self) -> str:
         """One-line execution summary for logs and CLIs."""
         name = self.plan.name or "plan"
+        sharded = sum(1 for entry in self.cells if entry.shards > 1)
+        shard_note = f", {sharded} sharded" if sharded else ""
         return (
             f"{name}: {len(self.cells)} cells in {self.seconds:.2f}s "
             f"wall ({self.compute_seconds:.2f}s compute, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
-            f"{self.cache_hits} cached)"
+            f"{self.cache_hits} cached{shard_note})"
         )
 
 
@@ -121,10 +147,37 @@ def _resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def _resolve_chunk_size(chunk_size: int | None) -> int | None:
+    """Explicit chunk size, or the ``REPRO_CHUNK_SIZE`` default (off)."""
+    if chunk_size is None:
+        raw = os.environ.get("REPRO_CHUNK_SIZE", "").strip()
+        if not raw:
+            return None
+        try:
+            chunk_size = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"REPRO_CHUNK_SIZE must be an integer, got {raw!r}"
+            ) from None
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
 def _run_cell(cell: CellSpec, settings: "ExperimentSettings") -> tuple[Any, float]:
     """Execute one cell; module-level so it pickles into workers."""
     start = time.perf_counter()
     value = runner_for(cell)(cell, settings)
+    return value, time.perf_counter() - start
+
+
+def _run_shard(shard: CellShard, settings: "ExperimentSettings") -> tuple[Any, float]:
+    """Execute one repetition shard; module-level so it pickles."""
+    start = time.perf_counter()
+    value = shard_runner_for(shard.cell)(
+        shard.cell, settings, shard.rep_start, shard.rep_stop
+    )
     return value, time.perf_counter() - start
 
 
@@ -135,6 +188,33 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
 
 
+@dataclass
+class _ShardedCell:
+    """Merge-barrier bookkeeping for one sharded cell in flight."""
+
+    index: int
+    cell: CellSpec
+    token: str | None
+    repetitions: int
+    shards: tuple[CellShard, ...]
+    partials: dict[int, Any] = field(default_factory=dict)
+    shard_tokens: dict[int, str] = field(default_factory=dict)
+    seconds: float = 0.0
+    cached_shards: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.partials) == len(self.shards)
+
+    @property
+    def reps_done(self) -> int:
+        return sum(
+            shard.repetitions
+            for shard in self.shards
+            if shard.index in self.partials
+        )
+
+
 class ParallelExecutor:
     """Executes study plans over a process pool with a result cache.
 
@@ -143,7 +223,8 @@ class ParallelExecutor:
     workers:
         Worker processes; ``None`` reads ``REPRO_WORKERS`` (default 1).
         ``1`` executes serially in-process — the fallback path, also
-        used automatically when a plan has at most one uncached cell.
+        used automatically when a plan has at most one uncached unit of
+        work.
     store:
         A :class:`~repro.runtime.store.ResultStore`, a directory path
         to root one at, or ``None`` to disable caching.
@@ -151,6 +232,13 @@ class ParallelExecutor:
         ``True`` for the default stderr reporter, a callable
         ``(done, total, CellResult) -> None`` for custom reporting, or
         ``None``/``False`` for silence.
+    chunk_size:
+        Repetition-sharding granularity: shardable cells with more
+        repetitions than this are split into sub-cell windows of at
+        most ``chunk_size`` repetitions that fan out like cells and
+        merge bit-identically.  ``None`` reads ``REPRO_CHUNK_SIZE``
+        (default: no sharding).  A cell's own ``chunk_size`` field
+        overrides this value.
     """
 
     def __init__(
@@ -158,8 +246,10 @@ class ParallelExecutor:
         workers: int | None = None,
         store: Union[ResultStore, str, Path, None] = None,
         progress: Union[bool, Callable[[int, int, CellResult], None], None] = None,
+        chunk_size: int | None = None,
     ):
         self.workers = _resolve_workers(workers)
+        self.chunk_size = _resolve_chunk_size(chunk_size)
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
@@ -169,18 +259,53 @@ class ParallelExecutor:
             progress = None
         self.progress: Callable[[int, int, CellResult], None] | None = progress
 
+    def _shards_for(
+        self, cell: CellSpec, settings: "ExperimentSettings"
+    ) -> tuple[int, tuple[CellShard, ...]] | None:
+        """The shard decomposition of *cell*, or ``None`` to run whole.
+
+        A cell shards when its type registered the sharding triple and
+        the effective chunk size (cell override, else executor default)
+        splits its repetitions into more than one window.
+        """
+        chunk = cell.chunk_size if cell.chunk_size is not None else self.chunk_size
+        if chunk is None or not is_shardable(cell):
+            return None
+        if chunk < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk}")
+        repetitions = cell_repetitions(cell, settings)
+        ranges = shard_ranges(repetitions, chunk)
+        if len(ranges) < 2:
+            return None
+        shards = tuple(
+            CellShard(
+                cell=cell,
+                index=i,
+                shards=len(ranges),
+                rep_start=start,
+                rep_stop=stop,
+            )
+            for i, (start, stop) in enumerate(ranges)
+        )
+        return repetitions, shards
+
     def run(self, plan: StudyPlan) -> PlanOutcome:
         """Execute *plan*; returns results for every cell, plan-ordered.
 
-        Cache lookups happen first, then pending cells execute (pool or
-        serial).  Each fresh result is persisted to the store from the
-        parent process as soon as it completes, so interruption at any
-        point loses at most the cells still in flight.
+        Cache lookups happen first — merged cell entries, then per-shard
+        entries for sharded cells — and the remaining units of work
+        (whole cells and repetition shards alike) execute on the pool or
+        serially.  Each fresh result is persisted to the store from the
+        parent process as soon as it completes: whole cells and shards
+        one by one, so interruption at any point loses at most the work
+        still in flight, and a killed sharded cell resumes at its last
+        finished shard.
         """
         start = time.perf_counter()
+        settings = plan.settings
         total = len(plan.cells)
         entries: dict[int, CellResult] = {}
-        pending: list[tuple[int, CellSpec, str | None]] = []
+        pending: list[tuple] = []  # ("cell", index, cell, token) | ("shard", state, shard)
         done = 0
 
         def report(result: CellResult) -> None:
@@ -189,21 +314,7 @@ class ParallelExecutor:
             if self.progress is not None:
                 self.progress(done, total, result)
 
-        for index, cell in enumerate(plan.cells):
-            # Explicit None check: an empty ResultStore has len() == 0
-            # and would read as falsy.
-            token = cache_token(cell, plan.settings) if self.store is not None else None
-            if token is not None:
-                payload = self.store.load(token)
-                if payload is not None:
-                    entries[index] = CellResult(
-                        cell=cell, value=payload["value"], seconds=0.0, cached=True
-                    )
-                    report(entries[index])
-                    continue
-            pending.append((index, cell, token))
-
-        def finish(index: int, cell: CellSpec, token: str | None, value, seconds) -> None:
+        def finish_cell(index: int, cell: CellSpec, token: str | None, value, seconds) -> None:
             if token is not None:
                 self.store.save(
                     token, {"value": value, "label": cell.label, "seconds": seconds}
@@ -213,26 +324,142 @@ class ParallelExecutor:
             )
             report(entries[index])
 
+        def merge_cell(state: _ShardedCell) -> None:
+            partials = [state.partials[i] for i in range(len(state.shards))]
+            value = shard_reducer_for(state.cell)(state.cell, settings, partials)
+            if state.token is not None:
+                self.store.save(
+                    state.token,
+                    {
+                        "value": value,
+                        "label": state.cell.label,
+                        "seconds": state.seconds,
+                    },
+                )
+                # Shard entries are scaffolding for resume; once the
+                # merged result is durable they only cost disk.  The
+                # group is keyed by the chunking-independent cell token,
+                # so this also sweeps stale windows left by interrupted
+                # runs under a different chunk size.
+                self.store.discard_group(state.token)
+            entries[state.index] = CellResult(
+                cell=state.cell,
+                value=value,
+                seconds=state.seconds,
+                cached=len(state.partials) == state.cached_shards,
+                shards=len(state.shards),
+                shards_cached=state.cached_shards,
+            )
+            report(entries[state.index])
+
+        def shard_progress(state: _ShardedCell) -> None:
+            update = getattr(self.progress, "shard_update", None)
+            if update is not None:
+                update(
+                    state.cell,
+                    len(state.partials),
+                    len(state.shards),
+                    state.reps_done,
+                    state.repetitions,
+                )
+
+        def finish_shard(state: _ShardedCell, shard: CellShard, value, seconds) -> None:
+            token = state.shard_tokens.get(shard.index)
+            if token is not None:
+                self.store.save(
+                    token,
+                    {"value": value, "label": shard.label, "seconds": seconds},
+                    group=state.token,
+                )
+            state.partials[shard.index] = value
+            state.seconds += seconds
+            shard_progress(state)
+            if state.complete:
+                merge_cell(state)
+
+        for index, cell in enumerate(plan.cells):
+            # Explicit None check: an empty ResultStore has len() == 0
+            # and would read as falsy.
+            token = cache_token(cell, settings) if self.store is not None else None
+            if token is not None:
+                payload = self.store.load(token)
+                if payload is not None:
+                    entries[index] = CellResult(
+                        cell=cell, value=payload["value"], seconds=0.0, cached=True
+                    )
+                    report(entries[index])
+                    continue
+            decomposition = self._shards_for(cell, settings)
+            if decomposition is None:
+                pending.append(("cell", index, cell, token))
+                continue
+            repetitions, shards = decomposition
+            state = _ShardedCell(
+                index=index,
+                cell=cell,
+                token=token,
+                repetitions=repetitions,
+                shards=shards,
+            )
+            incomplete = []
+            for shard in shards:
+                if self.store is not None:
+                    stoken = shard_token(shard, settings, repetitions)
+                    state.shard_tokens[shard.index] = stoken
+                    payload = self.store.load(stoken, group=token)
+                    if payload is not None:
+                        # seconds stays at compute-performed-this-run:
+                        # resumed shards contribute their value, not
+                        # their historical wall-clock.
+                        state.partials[shard.index] = payload["value"]
+                        state.cached_shards += 1
+                        continue
+                incomplete.append(("shard", state, shard))
+            if state.cached_shards:
+                shard_progress(state)
+            if state.complete:
+                # Every shard was already on disk (an interrupted run
+                # that died between its last shard and the merge).
+                merge_cell(state)
+            else:
+                pending.extend(incomplete)
+
         if len(pending) > 1 and self.workers > 1:
             max_workers = min(self.workers, len(pending))
             with ProcessPoolExecutor(
                 max_workers=max_workers, mp_context=_pool_context()
             ) as pool:
-                futures = {
-                    pool.submit(_run_cell, cell, plan.settings): (index, cell, token)
-                    for index, cell, token in pending
-                }
+                futures = {}
+                for item in pending:
+                    if item[0] == "cell":
+                        _, index, cell, token = item
+                        future = pool.submit(_run_cell, cell, settings)
+                    else:
+                        _, state, shard = item
+                        future = pool.submit(_run_shard, shard, settings)
+                    futures[future] = item
                 outstanding = set(futures)
                 while outstanding:
                     ready, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                     for future in ready:
-                        index, cell, token = futures[future]
+                        item = futures[future]
                         value, seconds = future.result()
-                        finish(index, cell, token, value, seconds)
+                        if item[0] == "cell":
+                            _, index, cell, token = item
+                            finish_cell(index, cell, token, value, seconds)
+                        else:
+                            _, state, shard = item
+                            finish_shard(state, shard, value, seconds)
         else:
-            for index, cell, token in pending:
-                value, seconds = _run_cell(cell, plan.settings)
-                finish(index, cell, token, value, seconds)
+            for item in pending:
+                if item[0] == "cell":
+                    _, index, cell, token = item
+                    value, seconds = _run_cell(cell, settings)
+                    finish_cell(index, cell, token, value, seconds)
+                else:
+                    _, state, shard = item
+                    value, seconds = _run_shard(shard, settings)
+                    finish_shard(state, shard, value, seconds)
 
         ordered = tuple(entries[index] for index in range(total))
         return PlanOutcome(
@@ -245,7 +472,8 @@ class ParallelExecutor:
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor(workers={self.workers}, "
-            f"store={self.store!r}, progress={self.progress is not None})"
+            f"store={self.store!r}, progress={self.progress is not None}, "
+            f"chunk_size={self.chunk_size})"
         )
 
 
@@ -254,16 +482,21 @@ class ParallelExecutor:
 # ----------------------------------------------------------------------
 
 _UNSET = object()
-_defaults: dict[str, Any] = {"workers": None, "cache_dir": None, "progress": None}
+_defaults: dict[str, Any] = {
+    "workers": None,
+    "cache_dir": None,
+    "progress": None,
+    "chunk_size": None,
+}
 
 
-def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET) -> None:
+def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET, chunk_size=_UNSET) -> None:
     """Set process-wide defaults for :func:`execute`.
 
     Used by CLIs to route every subsequently-run experiment through a
     configured executor without threading parameters through each
-    ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``
-    and ``REPRO_CACHE_DIR`` at call time.
+    ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
+    ``REPRO_CACHE_DIR``, and ``REPRO_CHUNK_SIZE`` at call time.
     """
     if workers is not _UNSET:
         _defaults["workers"] = workers
@@ -271,6 +504,8 @@ def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET) -> None:
         _defaults["cache_dir"] = cache_dir
     if progress is not _UNSET:
         _defaults["progress"] = progress
+    if chunk_size is not _UNSET:
+        _defaults["chunk_size"] = chunk_size
 
 
 def default_executor() -> ParallelExecutor:
@@ -282,6 +517,7 @@ def default_executor() -> ParallelExecutor:
         workers=_defaults["workers"],
         store=cache_dir,
         progress=_defaults["progress"],
+        chunk_size=_defaults["chunk_size"],
     )
 
 

@@ -5,6 +5,12 @@ enough to watch a long grid converge, see which cells dominate the
 wall-clock, and confirm that a resumed run is being served from cache —
 without polluting stdout, which the experiment CLIs reserve for the
 regenerated tables themselves.
+
+Sharded cells report *aggregated*: a 1,000-repetition cell split into
+20 shards still produces exactly one completion line (annotated with
+its shard count), and the intermediate shard completions surface only
+as an in-place ``shards done / total reps`` ticker on interactive
+terminals — never as per-shard lines that would flood piped logs.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import IO, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import CellResult
+    from .spec import CellSpec
 
 __all__ = ["ProgressReporter"]
 
@@ -30,16 +37,57 @@ class ProgressReporter:
 
     def __init__(self, stream: IO[str] | None = None):
         self._stream = stream
+        self._ticking = False
+
+    def _resolve_stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stderr
 
     def __call__(self, done: int, total: int, result: "CellResult") -> None:
-        stream = self._stream if self._stream is not None else sys.stderr
+        stream = self._resolve_stream()
         width = len(str(total))
         if result.cached:
             timing = "cache"
         else:
             timing = f"{result.seconds:.2f}s"
+        if result.shards > 1:
+            resumed = (
+                f", {result.shards_cached} resumed" if result.shards_cached else ""
+            )
+            timing += f", {result.shards} shards{resumed}"
+        self._clear_ticker(stream)
         print(
             f"[{done:>{width}}/{total}] {result.cell.label}  ({timing})",
             file=stream,
             flush=True,
         )
+
+    def shard_update(
+        self,
+        cell: "CellSpec",
+        shards_done: int,
+        shards_total: int,
+        reps_done: int,
+        reps_total: int,
+    ) -> None:
+        """In-place ticker for a sharded cell's intermediate progress.
+
+        Written only to interactive terminals (carriage-return rewrite,
+        no newline), so piped logs and CI output see one line per cell
+        regardless of how many shards it split into.
+        """
+        stream = self._resolve_stream()
+        if not getattr(stream, "isatty", lambda: False)():
+            return
+        print(
+            f"\r\x1b[K  {cell.label}: {shards_done}/{shards_total} shards "
+            f"({reps_done}/{reps_total} reps)",
+            end="",
+            file=stream,
+            flush=True,
+        )
+        self._ticking = True
+
+    def _clear_ticker(self, stream: IO[str]) -> None:
+        if self._ticking:
+            print("\r\x1b[K", end="", file=stream, flush=True)
+            self._ticking = False

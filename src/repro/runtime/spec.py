@@ -34,11 +34,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "CACHE_VERSION",
     "CellSpec",
+    "CellShard",
     "StudyCell",
     "CoverageCell",
     "SequentialCoverageCell",
     "StudyPlan",
     "cache_token",
+    "shard_ranges",
+    "shard_token",
 ]
 
 #: Version tag mixed into every cache key.  Bump whenever a change to
@@ -67,12 +70,22 @@ class CellSpec:
     alpha:
         Significance-level override; ``None`` uses the plan settings'
         alpha.
+    chunk_size:
+        Repetition-sharding override for this cell: split its
+        repetitions into shards of at most this many, each executed as
+        an independent unit of work and merged bit-identically (see
+        :func:`repro.runtime.cells.shard_reducer_for`).  ``None`` defers
+        to the executor's chunk size (``REPRO_CHUNK_SIZE`` by default).
+        Deliberately excluded from :func:`cache_token`: chunking changes
+        scheduling, never numbers, so any chunking of a cell shares one
+        cache entry for its merged result.
     """
 
     key: tuple
     label: str
     method: str
     alpha: float | None = None
+    chunk_size: int | None = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +146,53 @@ class SequentialCoverageCell(CellSpec):
 
 
 @dataclass(frozen=True)
+class CellShard:
+    """One contiguous repetition window of a sharded cell.
+
+    Shards are fixed at plan-schedule time: the parent cell, the shard's
+    position, and its half-open ``[rep_start, rep_stop)`` window fully
+    determine the work, and the per-repetition seed sub-streams are the
+    *global* repetition indices of the parent cell's ``derive_seed``
+    stream — which is what makes the merged result bit-identical to the
+    unsharded run for any chunking.
+    """
+
+    cell: CellSpec
+    index: int
+    shards: int
+    rep_start: int
+    rep_stop: int
+
+    @property
+    def repetitions(self) -> int:
+        """Repetitions covered by this shard."""
+        return self.rep_stop - self.rep_start
+
+    @property
+    def label(self) -> str:
+        """Progress label: the parent label plus the rep window."""
+        return f"{self.cell.label}[{self.rep_start}:{self.rep_stop}]"
+
+
+def shard_ranges(repetitions: int, chunk_size: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``[start, stop)`` windows covering *repetitions*.
+
+    Every window holds *chunk_size* repetitions except a ragged final
+    one.  ``chunk_size >= repetitions`` yields the single full window.
+    """
+    repetitions = int(repetitions)
+    chunk_size = int(chunk_size)
+    if repetitions < 1:
+        raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return tuple(
+        (start, min(start + chunk_size, repetitions))
+        for start in range(0, repetitions, chunk_size)
+    )
+
+
+@dataclass(frozen=True)
 class StudyPlan:
     """An executable description of a study grid.
 
@@ -185,10 +245,15 @@ def cache_token(cell: CellSpec, settings: "ExperimentSettings") -> str:
     payload, so the :class:`~repro.runtime.store.ResultStore` can serve
     re-runs and resume interrupted grids safely.
     """
+    fields = asdict(cell)
+    # Chunking is pure scheduling: any sharding of a cell produces the
+    # same merged numbers, so the token must not depend on it — a cell
+    # computed under one chunk size is a cache hit under every other.
+    fields.pop("chunk_size", None)
     payload = {
         "version": CACHE_VERSION,
         "kind": type(cell).__name__,
-        "cell": asdict(cell),
+        "cell": fields,
         "settings": {
             name: getattr(settings, name) for name in _SETTINGS_TOKEN_FIELDS
         },
@@ -202,6 +267,22 @@ def cache_token(cell: CellSpec, settings: "ExperimentSettings") -> str:
         payload["dataset_file"] = _file_fingerprint(dataset.split(":", 1)[1])
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def shard_token(
+    shard: CellShard, settings: "ExperimentSettings", total_repetitions: int
+) -> str:
+    """Content hash identifying one shard's partial payload.
+
+    Derived from the parent cell's :func:`cache_token` plus the shard's
+    repetition window and the cell's total repetition count, so shard
+    entries are stable across runs of the same chunking and can never
+    collide with full-cell entries or with shards of a different
+    chunking/total.
+    """
+    base = cache_token(shard.cell, settings)
+    suffix = f":shard:{shard.rep_start}:{shard.rep_stop}:{int(total_repetitions)}"
+    return hashlib.sha256((base + suffix).encode("utf-8")).hexdigest()
 
 
 def _file_fingerprint(path: str) -> tuple:

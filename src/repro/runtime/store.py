@@ -12,6 +12,14 @@ properties the execution layer relies on:
   version) changes the token, so stale payloads are unreachable rather
   than wrong.
 
+Sharded cells additionally persist *per-shard* partial payloads.  Those
+are transient scaffolding for resume, so they live in a **group** — a
+subtree keyed by the parent cell's token — that the executor drops
+wholesale once the merged result is durable.  Grouping by the
+chunking-independent parent token means a resume under a *different*
+chunk size still sweeps the stale windows of the old chunking away at
+merge time instead of stranding them on disk.
+
 Writes are atomic (temp file + ``os.replace``), so a crash mid-write
 leaves no corrupt entry; unreadable entries are treated as misses.
 """
@@ -20,6 +28,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
 from pathlib import Path
 from typing import Any, Union
 
@@ -32,25 +41,31 @@ class ResultStore:
     Parameters
     ----------
     root:
-        Cache directory; created on first write.  Entries are sharded
-        by the first two hex digits of the token to keep directories
-        small on large grids.
+        Cache directory; created on first write.  Top-level entries are
+        sharded by the first two hex digits of the token to keep
+        directories small on large grids; grouped entries live under
+        ``shards/<prefix>/<group>/``.
     """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
 
-    def _path(self, token: str) -> Path:
-        return self.root / token[:2] / f"{token}.pkl"
+    def _path(self, token: str, group: str | None = None) -> Path:
+        if group is None:
+            return self.root / token[:2] / f"{token}.pkl"
+        return self._group_dir(group) / f"{token}.pkl"
 
-    def load(self, token: str) -> Any | None:
+    def _group_dir(self, group: str) -> Path:
+        return self.root / "shards" / group[:2] / group
+
+    def load(self, token: str, group: str | None = None) -> Any | None:
         """The stored payload for *token*, or ``None`` on any miss.
 
         Corrupt or truncated entries (e.g. from a pre-atomic-write
         crash of a foreign writer) are misses, not errors — the cell
         simply recomputes and overwrites.
         """
-        path = self._path(token)
+        path = self._path(token, group)
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
@@ -59,9 +74,9 @@ class ResultStore:
         except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
             return None
 
-    def save(self, token: str, payload: Any) -> Path:
+    def save(self, token: str, payload: Any, group: str | None = None) -> Path:
         """Atomically persist *payload* under *token*; returns the path."""
-        path = self._path(token)
+        path = self._path(token, group)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         with tmp.open("wb") as handle:
@@ -69,27 +84,50 @@ class ResultStore:
         os.replace(tmp, path)
         return path
 
-    def contains(self, token: str) -> bool:
+    def contains(self, token: str, group: str | None = None) -> bool:
         """Whether an entry exists for *token* (without reading it)."""
-        return self._path(token).exists()
+        return self._path(token, group).exists()
 
-    def discard(self, token: str) -> bool:
+    def discard(self, token: str, group: str | None = None) -> bool:
         """Remove the entry for *token*; returns whether one existed."""
         try:
-            self._path(token).unlink()
+            self._path(token, group).unlink()
             return True
         except FileNotFoundError:
             return False
 
+    def discard_group(self, group: str) -> int:
+        """Remove every entry of *group*; returns the number removed.
+
+        Used by the executor to drop a sharded cell's transient
+        per-shard entries — of the current chunking *and* any stale
+        chunking left by interrupted runs — once the merged cell result
+        has been persisted.
+        """
+        directory = self._group_dir(group)
+        if not directory.exists():
+            return 0
+        removed = sum(1 for _ in directory.glob("*.pkl"))
+        shutil.rmtree(directory, ignore_errors=True)
+        try:
+            # Prune the now-possibly-empty prefix directory (and the
+            # shards root after the last group) so swept scaffolding
+            # leaves no skeleton behind.
+            directory.parent.rmdir()
+            directory.parent.parent.rmdir()
+        except OSError:
+            pass
+        return removed
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self.root.rglob("*.pkl"))
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (grouped included); returns the number removed."""
         removed = 0
-        for path in list(self.root.glob("*/*.pkl")):
+        for path in list(self.root.rglob("*.pkl")):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -101,22 +101,15 @@ class StratifiedPredicateSampling(SamplingStrategy):
         if not isinstance(state, StratifiedState):
             raise SamplingError("stratified draw requires a StratifiedState")
         weights, members = self._strata(kg)
-        chosen: list[int] = []
-        strata_of_chosen: list[int] = []
-        pending: set[int] = set()
-        # Within-batch allocations must count toward the proportional
-        # targets, or every unit of a batch would chase the same
-        # (largest) stratum.
-        pending_per_stratum = np.zeros(weights.size, dtype=np.int64)
-        for _ in range(units):
-            stratum = self._most_underallocated(
-                weights, members, state, pending_per_stratum
-            )
-            index = self._draw_from_stratum(members[stratum], state, pending, rng)
-            chosen.append(index)
-            strata_of_chosen.append(stratum)
-            pending.add(index)
-            pending_per_stratum[stratum] += 1
+        strata_of_chosen = self._allocate(weights, members, state, units)
+        if units == 1:
+            # Scalar path: the evaluation framework draws one unit per
+            # iteration, and this path consumes the generator exactly as
+            # the historical per-unit loop did — routed experiment
+            # numbers are unchanged.
+            chosen = self._draw_scalar(members, state, strata_of_chosen, rng)
+        else:
+            chosen = self._draw_batched(members, state, strata_of_chosen, rng)
         indices = np.asarray(chosen, dtype=np.int64)
         return Batch(
             indices=indices,
@@ -125,29 +118,101 @@ class StratifiedPredicateSampling(SamplingStrategy):
             strata=tuple(strata_of_chosen),
         )
 
-    def _most_underallocated(
+    def _allocate(
         self,
         weights: np.ndarray,
         members: list[np.ndarray],
         state: StratifiedState,
-        pending_per_stratum: np.ndarray,
-    ) -> int:
-        counts = (
-            np.asarray(
-                [state.stratum_annotated.get(h, 0) for h in range(weights.size)],
-                dtype=float,
-            )
-            + pending_per_stratum
+        units: int,
+    ) -> list[int]:
+        """The proportional-allocation stratum sequence for *units* draws.
+
+        Deterministic greedy: each unit goes to the non-exhausted
+        stratum with the largest deficit against the proportional
+        target, counting within-batch allocations toward the targets
+        (or every unit of a batch would chase the same, largest,
+        stratum).  No randomness is consumed, so precomputing the whole
+        sequence is exactly equivalent to the historical
+        allocate-then-draw-per-unit interleaving.
+        """
+        counts = np.asarray(
+            [state.stratum_annotated.get(h, 0) for h in range(weights.size)],
+            dtype=float,
         )
+        capacity = np.asarray([m.size for m in members], dtype=np.int64)
         total = counts.sum()
-        target = weights * (total + 1)
-        deficit = target - counts
-        # Skip exhausted strata.
-        for h in np.argsort(-deficit):
-            capacity = members[h].size
-            if counts[h] < capacity:
-                return int(h)
-        raise InsufficientSampleError("all strata exhausted")
+        strata: list[int] = []
+        for _ in range(units):
+            deficit = weights * (total + 1) - counts
+            # Same selection (argsort tie-breaking included) as the
+            # historical per-unit loop, so allocation sequences — and
+            # therefore routed experiment numbers — are unchanged; only
+            # the per-unit counts rebuild became incremental.
+            for h in np.argsort(-deficit):
+                if counts[h] < capacity[h]:  # skip exhausted strata
+                    break
+            else:
+                raise InsufficientSampleError("all strata exhausted")
+            stratum = int(h)
+            strata.append(stratum)
+            counts[stratum] += 1.0
+            total += 1.0
+        return strata
+
+    def _draw_scalar(
+        self,
+        members: list[np.ndarray],
+        state: StratifiedState,
+        strata_of_chosen: list[int],
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Per-unit rejection sampling (historical RNG consumption)."""
+        chosen: list[int] = []
+        pending: set[int] = set()
+        for stratum in strata_of_chosen:
+            index = self._draw_from_stratum(members[stratum], state, pending, rng)
+            chosen.append(index)
+            pending.add(index)
+        return chosen
+
+    def _draw_batched(
+        self,
+        members: list[np.ndarray],
+        state: StratifiedState,
+        strata_of_chosen: list[int],
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """All strata at once via random keys (TWCS stage-2 idiom).
+
+        For each stratum needing ``k`` units, every member gets an iid
+        uniform key (already-annotated members get ``+inf``); the ``k``
+        smallest keys are a uniform ``k``-subset of the available
+        members without replacement — one vectorised pass instead of
+        ``k`` rejection loops, and immune to the rejection path's
+        degradation on nearly-drained strata.
+        """
+        needed: dict[int, int] = {}
+        for stratum in strata_of_chosen:
+            needed[stratum] = needed.get(stratum, 0) + 1
+        seen = state.seen_triples
+        seen_array = (
+            np.fromiter(seen, dtype=np.int64, count=len(seen)) if seen else None
+        )
+        picks: dict[int, list[int]] = {}
+        for stratum in sorted(needed):
+            member_indices = members[stratum]
+            k = needed[stratum]
+            keys = rng.random(member_indices.size)
+            if seen_array is not None:
+                keys[np.isin(member_indices, seen_array)] = np.inf
+            order = np.argpartition(keys, k - 1)[:k]
+            if not np.isfinite(keys[order]).all():
+                raise InsufficientSampleError("stratum exhausted")
+            # Sort the winning keys so pick order is deterministic
+            # regardless of argpartition's internal tie-breaking.
+            order = order[np.argsort(keys[order], kind="stable")]
+            picks[stratum] = [int(member_indices[i]) for i in order]
+        return [picks[stratum].pop(0) for stratum in strata_of_chosen]
 
     def _draw_from_stratum(
         self,

@@ -94,3 +94,53 @@ class TestCoverageProfile:
         )
         assert [r.mu for r in results] == [0.5, 0.9, 0.99]
         assert all(0.0 <= r.coverage <= 1.0 for r in results)
+
+
+class TestTauCountsAndRepRange:
+    def test_partition_histograms_sum_to_full(self):
+        from repro.evaluation.coverage import tau_counts
+
+        full = tau_counts(0.8, 25, 100, rng=7)
+        parts = [
+            tau_counts(0.8, 25, 100, rng=7, rep_range=window)
+            for window in ((0, 33), (33, 66), (66, 100))
+        ]
+        assert np.array_equal(np.sum(parts, axis=0), full)
+        assert full.sum() == 100
+
+    def test_coverage_from_counts_matches_empirical(self):
+        from repro.evaluation.coverage import coverage_from_counts, tau_counts
+
+        method = WilsonInterval()
+        counts = tau_counts(0.9, 30, 500, rng=3)
+        rebuilt = coverage_from_counts(method, 0.9, 30, 0.05, counts)
+        direct = empirical_coverage(method, mu=0.9, n=30, repetitions=500, rng=3)
+        assert rebuilt == direct
+
+    def test_rep_range_window_consumes_stream_identically(self):
+        # The window's histogram is the full stream's slice, so merging
+        # the windows of any partition reproduces the full measurement.
+        from repro.evaluation.coverage import coverage_from_counts, tau_counts
+
+        method = WilsonInterval()
+        full = empirical_coverage(method, mu=0.85, n=20, repetitions=60, rng=5)
+        parts = [
+            tau_counts(0.85, 20, 60, rng=5, rep_range=window)
+            for window in ((0, 7), (7, 14), (14, 60))
+        ]
+        merged = coverage_from_counts(
+            method, 0.85, 20, 0.05, np.sum(parts, axis=0), repetitions=60
+        )
+        assert merged == full
+
+    def test_windowed_empirical_coverage_repetitions(self):
+        result = empirical_coverage(
+            WilsonInterval(), mu=0.85, n=20, repetitions=60, rng=5, rep_range=(10, 25)
+        )
+        assert result.repetitions == 15
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_coverage(
+                WilsonInterval(), mu=0.85, n=20, repetitions=60, rep_range=(25, 10)
+            )

@@ -83,3 +83,40 @@ class TestRunStudy:
         text = str(nell_study)
         assert "nell/ahpd" in text
         assert "triples=" in text
+
+
+class TestRepRange:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        from repro.kg.datasets import load_dataset
+
+        kg = load_dataset("NELL", seed=42)
+        return KGAccuracyEvaluator(kg, SimpleRandomSampling(), WilsonInterval())
+
+    def test_windows_are_slices_of_the_full_run(self, evaluator):
+        full = run_study(evaluator, repetitions=8, seed=5)
+        for start, stop in ((0, 3), (3, 6), (6, 8), (2, 7)):
+            window = run_study(
+                evaluator, repetitions=8, seed=5, rep_range=(start, stop)
+            )
+            assert window.repetitions == stop - start
+            assert np.array_equal(window.triples, full.triples[start:stop])
+            assert np.array_equal(window.cost_hours, full.cost_hours[start:stop])
+            assert np.array_equal(window.estimates, full.estimates[start:stop])
+            assert np.array_equal(window.entities, full.entities[start:stop])
+            assert np.array_equal(window.converged, full.converged[start:stop])
+
+    def test_partition_concatenates_to_full(self, evaluator):
+        full = run_study(evaluator, repetitions=7, seed=9)
+        parts = [
+            run_study(evaluator, repetitions=7, seed=9, rep_range=window)
+            for window in ((0, 3), (3, 6), (6, 7))
+        ]
+        assert np.array_equal(
+            np.concatenate([p.estimates for p in parts]), full.estimates
+        )
+
+    def test_invalid_windows_rejected(self, evaluator):
+        for bad in ((3, 3), (5, 2), (0, 9), (-1, 2), "nope"):
+            with pytest.raises(ValidationError):
+                run_study(evaluator, repetitions=8, seed=0, rep_range=bad)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.evaluation.framework import EvaluationConfig
@@ -64,3 +65,39 @@ class TestSequentialCoverage:
     def test_rejects_bad_mu(self):
         with pytest.raises(ValidationError):
             sequential_coverage(WilsonInterval(), mu=1.5, repetitions=10)
+
+
+class TestRepRange:
+    def test_windows_merge_to_full(self):
+        from repro.evaluation.sequential import (
+            sequential_from_replays,
+            sequential_replays,
+        )
+
+        method = WilsonInterval()
+        config = EvaluationConfig()
+        full = sequential_coverage(method, mu=0.9, config=config, repetitions=6, seed=4)
+        parts = [
+            sequential_replays(
+                method, 0.9, config=config, repetitions=6, seed=4, rep_range=window
+            )
+            for window in ((0, 2), (2, 5), (5, 6))
+        ]
+        hits = sum(h for h, _ in parts)
+        stopping = np.concatenate([s for _, s in parts])
+        merged = sequential_from_replays(method.name, 0.9, config, hits, stopping)
+        assert merged == full
+
+    def test_window_result_matches_slice(self):
+        method = WilsonInterval()
+        config = EvaluationConfig()
+        window = sequential_coverage(
+            method, mu=0.9, config=config, repetitions=6, seed=4, rep_range=(1, 4)
+        )
+        assert window.repetitions == 3
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            sequential_coverage(
+                WilsonInterval(), mu=0.9, repetitions=5, rep_range=(4, 2)
+            )

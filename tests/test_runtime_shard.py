@@ -1,0 +1,398 @@
+"""Repetition-sharding tests: planning, bit-identical merge, resume.
+
+The contract under test is the one the executor's merge barrier relies
+on: for ANY chunking of a shardable cell's repetitions — including the
+degenerate chunking of one repetition per shard — reducing the in-order
+shard payloads reproduces the unsharded result bit for bit, and cache
+keys of the merged result do not depend on how it was chunked.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.evaluation.runner import StudyResult
+from repro.exceptions import ValidationError
+from repro.experiments.config import ExperimentSettings
+from repro.runtime import (
+    CellShard,
+    CoverageCell,
+    ParallelExecutor,
+    ProgressReporter,
+    ResultStore,
+    SequentialCoverageCell,
+    StudyCell,
+    StudyPlan,
+    cache_token,
+    cell_repetitions,
+    is_shardable,
+    shard_ranges,
+    shard_runner_for,
+    shard_token,
+)
+
+
+def study_cell(**overrides) -> StudyCell:
+    base = dict(
+        key=("NELL", "SRS", "Wilson"),
+        label="NELL/SRS/Wilson",
+        method="Wilson",
+        dataset="NELL",
+        strategy="SRS",
+        seed_stream=(5,),
+    )
+    base.update(overrides)
+    return StudyCell(**base)
+
+
+def coverage_cell(**overrides) -> CoverageCell:
+    base = dict(
+        key=("cov", "Wilson"),
+        label="cov/Wilson",
+        method="Wilson",
+        mu=0.8,
+        n=25,
+        seed=11,
+        repetitions=40,
+    )
+    base.update(overrides)
+    return CoverageCell(**base)
+
+
+def assert_studies_equal(a: StudyResult, b: StudyResult) -> None:
+    assert a.label == b.label
+    assert np.array_equal(a.triples, b.triples)
+    assert np.array_equal(a.cost_hours, b.cost_hours)
+    assert np.array_equal(a.estimates, b.estimates)
+    assert np.array_equal(a.entities, b.entities)
+    assert np.array_equal(a.converged, b.converged)
+
+
+def assert_results_equal(a, b) -> None:
+    if isinstance(a, StudyResult):
+        assert_studies_equal(a, b)
+    else:
+        assert a == b
+
+
+class TestShardPlanning:
+    def test_even_split(self):
+        assert shard_ranges(10, 5) == ((0, 5), (5, 10))
+
+    def test_ragged_final_chunk(self):
+        assert shard_ranges(10, 7) == ((0, 7), (7, 10))
+        assert shard_ranges(10, 3) == ((0, 3), (3, 6), (6, 9), (9, 10))
+
+    def test_chunk_of_one(self):
+        assert shard_ranges(3, 1) == ((0, 1), (1, 2), (2, 3))
+
+    def test_chunk_at_least_total_is_single_window(self):
+        assert shard_ranges(10, 10) == ((0, 10),)
+        assert shard_ranges(10, 99) == ((0, 10),)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            shard_ranges(0, 5)
+        with pytest.raises(ValidationError):
+            shard_ranges(5, 0)
+
+    def test_invalid_executor_chunk_size(self):
+        with pytest.raises(ValidationError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_env_chunk_size(self, monkeypatch):
+        from repro.runtime import default_executor
+
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "7")
+        assert default_executor().chunk_size == 7
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "nope")
+        with pytest.raises(ValidationError):
+            default_executor()
+        monkeypatch.delenv("REPRO_CHUNK_SIZE")
+        assert default_executor().chunk_size is None
+
+    def test_builtin_kinds_are_shardable(self):
+        settings = ExperimentSettings(repetitions=6)
+        assert is_shardable(study_cell())
+        assert is_shardable(coverage_cell())
+        assert is_shardable(
+            SequentialCoverageCell(key=("s",), label="s", method="Wilson")
+        )
+        assert cell_repetitions(study_cell(), settings) == 6
+        assert cell_repetitions(coverage_cell(), settings) == 40
+        assert cell_repetitions(coverage_cell(repetitions=None), settings) == 6
+
+
+class TestShardTokens:
+    def test_cache_token_ignores_chunk_size(self):
+        settings = ExperimentSettings(repetitions=5)
+        assert cache_token(study_cell(), settings) == cache_token(
+            study_cell(chunk_size=3), settings
+        )
+
+    def test_shard_tokens_distinct_per_window_and_total(self):
+        settings = ExperimentSettings(repetitions=10)
+        cell = study_cell()
+
+        def token(index, shards, start, stop, total):
+            shard = CellShard(
+                cell=cell, index=index, shards=shards, rep_start=start, rep_stop=stop
+            )
+            return shard_token(shard, settings, total)
+
+        base = token(0, 2, 0, 5, 10)
+        assert token(0, 2, 0, 5, 10) == base  # stable
+        assert token(1, 2, 5, 10, 10) != base  # window matters
+        assert token(0, 2, 0, 5, 20) != base  # total matters
+        assert base != cache_token(cell, settings)  # never the full cell
+
+
+def plan_of(cells, repetitions=6, seed=0):
+    settings = ExperimentSettings(repetitions=repetitions, seed=seed)
+    return StudyPlan(settings=settings, cells=tuple(cells), name="shard-test")
+
+
+class TestChunkedEqualsSerial:
+    @given(
+        seed=st.integers(0, 2**16),
+        repetitions=st.integers(2, 6),
+        chunk=st.integers(1, 8),
+    )
+    @hyp_settings(max_examples=6, deadline=None)
+    def test_property_any_chunking(self, seed, repetitions, chunk):
+        # The headline guarantee: whatever the seed, the repetition
+        # count, and the chunk size (divisor, ragged, oversized, or 1),
+        # sharded execution never changes a bit of any cell kind.
+        plan = plan_of(
+            [
+                study_cell(),
+                coverage_cell(repetitions=None),
+            ],
+            repetitions=repetitions,
+            seed=seed,
+        )
+        serial = ParallelExecutor(workers=1).run(plan)
+        chunked = ParallelExecutor(workers=1, chunk_size=chunk).run(plan)
+        for key in serial.results:
+            assert_results_equal(serial.results[key], chunked.results[key])
+
+    def test_parallel_chunked_matches_serial(self):
+        plan = plan_of([study_cell(), coverage_cell()], repetitions=10)
+        serial = ParallelExecutor(workers=1).run(plan)
+        parallel = ParallelExecutor(workers=4, chunk_size=3).run(plan)
+        for key in serial.results:
+            assert_results_equal(serial.results[key], parallel.results[key])
+
+    def test_sequential_cell_chunked(self):
+        cell = SequentialCoverageCell(
+            key=("seq",), label="seq", method="Wilson", mu=0.9, seed=2, repetitions=5
+        )
+        plan = plan_of([cell], repetitions=5)
+        serial = ParallelExecutor(workers=1).run(plan)
+        ragged = ParallelExecutor(workers=2, chunk_size=2).run(plan)
+        assert serial.results[cell.key] == ragged.results[cell.key]
+
+    def test_cell_level_chunk_size_overrides_executor(self):
+        plan = plan_of([study_cell(chunk_size=2)], repetitions=6)
+        outcome = ParallelExecutor(workers=1).run(plan)  # no executor chunking
+        assert outcome.cells[0].shards == 3
+        reference = ParallelExecutor(workers=1).run(
+            plan_of([study_cell()], repetitions=6)
+        )
+        assert_studies_equal(
+            outcome.results[("NELL", "SRS", "Wilson")],
+            reference.results[("NELL", "SRS", "Wilson")],
+        )
+
+    def test_oversized_chunk_runs_unsharded(self):
+        plan = plan_of([study_cell()], repetitions=3)
+        outcome = ParallelExecutor(workers=1, chunk_size=50).run(plan)
+        assert outcome.cells[0].shards == 1
+
+    def test_unshardable_cells_ignore_chunking(self):
+        # CellSpec subclasses without a registered sharding triple run
+        # whole even under an executor-wide chunk size.
+        from dataclasses import dataclass
+
+        from repro.runtime import CellSpec, register_cell_runner
+
+        @dataclass(frozen=True)
+        class PlainCell(CellSpec):
+            pass
+
+        @register_cell_runner(PlainCell)
+        def _run_plain(cell, settings):
+            return cell.key
+
+        settings = ExperimentSettings(repetitions=5)
+        cell = PlainCell(key=("s",), label="s", method="-")
+        plan = StudyPlan(settings=settings, cells=(cell,), name="plain")
+        outcome = ParallelExecutor(workers=1, chunk_size=1).run(plan)
+        assert outcome.cells[0].shards == 1
+        assert outcome.results[("s",)] == ("s",)
+
+
+class TestShardStoreIntegration:
+    def test_shard_entries_consolidated_after_merge(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        plan = plan_of([study_cell()], repetitions=6)
+        outcome = ParallelExecutor(workers=1, store=store, chunk_size=2).run(plan)
+        assert outcome.cells[0].shards == 3
+        # Only the merged cell entry survives; shard scaffolding is gone.
+        assert len(store) == 1
+        assert store.contains(cache_token(plan.cells[0], plan.settings))
+
+    def test_rerun_under_different_chunking_hits_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        plan = plan_of([study_cell(), coverage_cell()], repetitions=6)
+        first = ParallelExecutor(workers=1, store=store, chunk_size=2).run(plan)
+        assert first.cache_misses == 2
+        for chunk in (None, 1, 3, 50):
+            again = ParallelExecutor(workers=1, store=store, chunk_size=chunk).run(plan)
+            assert again.cache_hits == 2, chunk
+            for key in first.results:
+                assert_results_equal(first.results[key], again.results[key])
+
+    def test_resume_from_partial_shards(self, tmp_path):
+        # Interruption model: shards are persisted one by one, so a
+        # killed 1,000-rep cell leaves a prefix (any subset, in fact)
+        # of its shard entries.  The re-run must recompute only the
+        # missing shards and merge to the uninterrupted result.
+        store = ResultStore(tmp_path / "cache")
+        settings = ExperimentSettings(repetitions=10, seed=3)
+        cell = study_cell()
+        plan = StudyPlan(settings=settings, cells=(cell,), name="resume")
+        ranges = shard_ranges(10, 3)
+        shards = [
+            CellShard(
+                cell=cell, index=i, shards=len(ranges), rep_start=a, rep_stop=b
+            )
+            for i, (a, b) in enumerate(ranges)
+        ]
+        group = cache_token(cell, settings)
+        for shard in (shards[0], shards[2]):  # non-contiguous subset
+            value = shard_runner_for(cell)(
+                cell, settings, shard.rep_start, shard.rep_stop
+            )
+            store.save(
+                shard_token(shard, settings, 10),
+                {"value": value, "label": shard.label, "seconds": 1.0},
+                group=group,
+            )
+
+        outcome = ParallelExecutor(workers=1, store=store, chunk_size=3).run(plan)
+        entry = outcome.cells[0]
+        assert entry.shards == 4
+        assert entry.shards_cached == 2
+        assert not entry.cached  # two shards actually computed
+
+        reference = ParallelExecutor(workers=1).run(plan)
+        assert_studies_equal(reference.results[cell.key], outcome.results[cell.key])
+
+    def test_resume_when_all_shards_finished_before_merge(self, tmp_path):
+        # A run killed between its last shard and the merge leaves every
+        # shard entry but no cell entry; the re-run merges from cache
+        # without computing anything.
+        store = ResultStore(tmp_path / "cache")
+        settings = ExperimentSettings(repetitions=6, seed=1)
+        cell = study_cell()
+        plan = StudyPlan(settings=settings, cells=(cell,), name="merge-only")
+        ranges = shard_ranges(6, 2)
+        group = cache_token(cell, settings)
+        for i, (a, b) in enumerate(ranges):
+            shard = CellShard(
+                cell=cell, index=i, shards=len(ranges), rep_start=a, rep_stop=b
+            )
+            value = shard_runner_for(cell)(cell, settings, a, b)
+            store.save(
+                shard_token(shard, settings, 6),
+                {"value": value, "label": shard.label, "seconds": 1.0},
+                group=group,
+            )
+
+        outcome = ParallelExecutor(workers=1, store=store, chunk_size=2).run(plan)
+        entry = outcome.cells[0]
+        assert entry.cached  # nothing computed this run
+        assert entry.shards_cached == entry.shards == 3
+        reference = ParallelExecutor(workers=1).run(plan)
+        assert_studies_equal(reference.results[cell.key], outcome.results[cell.key])
+
+    def test_merge_sweeps_stale_chunkings_shard_entries(self, tmp_path):
+        # An interrupted run under chunk=3 leaves shard entries; the
+        # resume happens under chunk=2, which can reuse none of them.
+        # The merge must still sweep the stale windows (the group is
+        # keyed by the chunking-independent cell token), leaving only
+        # the merged entry on disk.
+        store = ResultStore(tmp_path / "cache")
+        settings = ExperimentSettings(repetitions=6, seed=1)
+        cell = study_cell()
+        plan = StudyPlan(settings=settings, cells=(cell,), name="stale")
+        group = cache_token(cell, settings)
+        stale = CellShard(cell=cell, index=0, shards=2, rep_start=0, rep_stop=3)
+        value = shard_runner_for(cell)(cell, settings, 0, 3)
+        store.save(
+            shard_token(stale, settings, 6),
+            {"value": value, "label": stale.label, "seconds": 1.0},
+            group=group,
+        )
+        assert len(store) == 1
+
+        outcome = ParallelExecutor(workers=1, store=store, chunk_size=2).run(plan)
+        assert outcome.cells[0].shards == 3
+        assert outcome.cells[0].shards_cached == 0  # stale windows unusable
+        assert len(store) == 1  # merged entry only; stale shard swept
+        assert store.contains(group)
+
+
+class _TtyStream(io.StringIO):
+    def isatty(self) -> bool:  # pragma: no cover - trivial
+        return True
+
+
+class TestShardProgress:
+    def test_one_callback_per_cell_not_per_shard(self):
+        plan = plan_of([study_cell(), coverage_cell()], repetitions=6)
+        seen = []
+        executor = ParallelExecutor(
+            workers=1,
+            chunk_size=2,
+            progress=lambda done, total, result: seen.append(
+                (done, total, result.shards)
+            ),
+        )
+        executor.run(plan)
+        assert [done for done, _, _ in seen] == [1, 2]
+        assert all(total == 2 for _, total, _ in seen)
+        assert [shards for _, _, shards in seen] == [3, 20]
+
+    def test_reporter_prints_one_line_per_sharded_cell(self):
+        stream = io.StringIO()  # not a tty: no shard ticker
+        plan = plan_of([study_cell()], repetitions=6)
+        ParallelExecutor(
+            workers=1, chunk_size=1, progress=ProgressReporter(stream=stream)
+        ).run(plan)
+        lines = [line for line in stream.getvalue().splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "6 shards" in lines[0]
+
+    def test_shard_ticker_only_on_tty(self):
+        plan = plan_of([study_cell()], repetitions=4)
+        plain = io.StringIO()
+        ParallelExecutor(
+            workers=1, chunk_size=2, progress=ProgressReporter(stream=plain)
+        ).run(plan)
+        assert "\r" not in plain.getvalue()
+
+        tty = _TtyStream()
+        ParallelExecutor(
+            workers=1, chunk_size=2, progress=ProgressReporter(stream=tty)
+        ).run(plan)
+        output = tty.getvalue()
+        assert "\r" in output
+        assert "shards" in output
+        assert "(2/4 reps)" in output

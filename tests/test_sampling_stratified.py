@@ -117,3 +117,92 @@ class TestEndToEnd:
         result = evaluator.run(rng=0)
         assert result.converged
         assert result.mu_hat == pytest.approx(predicate_kg.accuracy, abs=0.1)
+
+
+class TestBatchedDraw:
+    """The vectorised multi-unit path vs the scalar per-unit fallback."""
+
+    def test_allocation_identical_batch_vs_scalar(self, predicate_kg):
+        # The proportional-allocation stratum sequence is deterministic
+        # (no randomness), so the batched path must reproduce the
+        # scalar path's sequence exactly, whatever the batch size.
+        strat = StratifiedPredicateSampling()
+        state = strat.new_state()
+        batched = strat.draw(
+            predicate_kg, state, units=37, rng=np.random.default_rng(0)
+        )
+        scalar_strata = []
+        scalar_state = strat.new_state()
+        rng = np.random.default_rng(1)
+        for _ in range(37):
+            one = strat.draw(predicate_kg, scalar_state, units=1, rng=rng)
+            strat.update(scalar_state, one, predicate_kg.labels(one.indices))
+            scalar_strata.extend(one.strata)
+        assert list(batched.strata) == scalar_strata
+
+    def test_batch_indices_distinct_and_in_stratum(self, predicate_kg, rng):
+        strat = StratifiedPredicateSampling()
+        batch = strat.draw(predicate_kg, strat.new_state(), units=50, rng=rng)
+        indices = [int(i) for i in batch.indices]
+        assert len(set(indices)) == 50
+        _, members = strat._strata(predicate_kg)
+        for index, stratum in zip(indices, batch.strata):
+            assert index in set(int(i) for i in members[stratum])
+
+    def test_batch_avoids_already_annotated(self, predicate_kg, rng):
+        strat = StratifiedPredicateSampling()
+        state = strat.new_state()
+        for _ in range(4):
+            batch = strat.draw(predicate_kg, state, units=40, rng=rng)
+            strat.update(state, batch, predicate_kg.labels(batch.indices))
+        assert state.n_annotated == 160
+        assert len(state.seen_triples) == 160
+
+    def test_forced_agreement_on_drained_stratum(self):
+        # With exactly k available members per stratum, both paths have
+        # no freedom: the drawn sets must coincide.
+        from repro.kg.graph import KnowledgeGraph
+        from repro.kg.triple import Triple
+
+        triples = [Triple(f"e:{i}", "p", f"v:{i}") for i in range(4)]
+        triples += [Triple(f"f:{i}", "q", f"w:{i}") for i in range(4)]
+        kg = KnowledgeGraph(triples, [True] * 8)
+        strat = StratifiedPredicateSampling()
+        batched = strat.draw(
+            kg, strat.new_state(), units=8, rng=np.random.default_rng(0)
+        )
+        scalar_state = strat.new_state()
+        rng = np.random.default_rng(0)
+        scalar: set[int] = set()
+        for _ in range(8):
+            one = strat.draw(kg, scalar_state, units=1, rng=rng)
+            strat.update(scalar_state, one, kg.labels(one.indices))
+            scalar.update(int(i) for i in one.indices)
+        assert set(int(i) for i in batched.indices) == scalar == set(range(8))
+
+    def test_batch_exhaustion_raises(self):
+        from repro.exceptions import InsufficientSampleError
+        from repro.kg.graph import KnowledgeGraph
+        from repro.kg.triple import Triple
+
+        triples = [Triple(f"e:{i}", "p", f"v:{i}") for i in range(3)]
+        kg = KnowledgeGraph(triples, [True] * 3)
+        strat = StratifiedPredicateSampling()
+        with pytest.raises(InsufficientSampleError):
+            strat.draw(kg, strat.new_state(), units=5, rng=np.random.default_rng(0))
+
+    def test_batched_estimates_unbiased(self, predicate_kg):
+        # The random-keys subset is a uniform without-replacement draw,
+        # so the stratified estimator stays unbiased on the batch path.
+        strat_estimates = []
+        for seed in range(120):
+            strat = StratifiedPredicateSampling()
+            state = strat.new_state()
+            batch = strat.draw(
+                predicate_kg, state, units=100, rng=np.random.default_rng(seed)
+            )
+            strat.update(state, batch, predicate_kg.labels(batch.indices))
+            strat_estimates.append(strat.evidence(state).mu_hat)
+        assert np.mean(strat_estimates) == pytest.approx(
+            predicate_kg.accuracy, abs=0.015
+        )
