@@ -28,6 +28,7 @@ import numpy as np
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.table3 import table3_plan
 from repro.runtime import (
+    DynamicAuditCell,
     ParallelExecutor,
     ResultStore,
     SequentialCoverageCell,
@@ -54,6 +55,7 @@ def test_bench_runtime_parallel_cache(tmp_path, bench_settings, monkeypatch):
     # The serial baseline must be genuinely serial and unsharded even
     # under the CI matrix legs that export these knobs suite-wide.
     monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+    monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     settings = ExperimentSettings(
         repetitions=max(10, bench_settings.repetitions // 3),
@@ -138,6 +140,7 @@ def test_bench_runtime_repetition_sharding(monkeypatch):
     # Pin the baseline serial and unsharded regardless of the CI leg's
     # suite-wide env knobs.
     monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+    monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     repetitions = 1_000
     chunk_size = 50
@@ -195,5 +198,104 @@ def test_bench_runtime_repetition_sharding(monkeypatch):
     ]
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "runtime-sharding.txt"
+    path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
+    print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")
+
+
+def test_bench_runtime_audit_sharding(monkeypatch):
+    """Dynamic-audit sharding: one multi-repetition evolving-KG cell.
+
+    The Sec.-8 workload is the hardest sharding case the runtime hosts:
+    every repetition is a full multi-round stream with the carried
+    prior threaded through its rounds, so a buggy reducer would corrupt
+    the round boundary rather than merely reorder numbers.  The
+    scenario runs one 12-replication dynamic cell serially and sharded
+    (4 workers) and asserts bit-identity record by record — carried
+    priors included.
+
+    Chunking honours ``REPRO_CHUNK_SECONDS`` when the CI leg exports it
+    (adaptive pilot-calibrated shards) and falls back to a fixed
+    ``chunk_size=2`` otherwise; either way the persisted results file
+    records only deterministic facts, so both legs must produce it byte
+    for byte.
+    """
+    chunk_seconds = os.environ.get("REPRO_CHUNK_SECONDS", "").strip()
+    monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+    monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    repetitions = 12
+    settings = ExperimentSettings(repetitions=repetitions, seed=0)
+    cell = DynamicAuditCell(
+        key=("dynamic-audit",),
+        label="dynamic-audit/stable-drift",
+        method="aHPD",
+        base_facts=900,
+        base_accuracy=0.85,
+        updates=((450, 0.85, 0.3), (450, 0.5, 0.3)),
+        stream_seed=7,
+        strategy="TWCS:3",
+        carryover=1.0,
+        seed=123,
+        repetitions=repetitions,
+    )
+    plan = StudyPlan(settings=settings, cells=(cell,), name="audit-sharding")
+
+    start = time.perf_counter()
+    serial = ParallelExecutor(workers=1).run(plan)
+    serial_wall = time.perf_counter() - start
+
+    if chunk_seconds:
+        sharded_executor = ParallelExecutor(
+            workers=4, chunk_seconds=float(chunk_seconds)
+        )
+        mode = f"chunk_seconds={chunk_seconds} (adaptive)"
+    else:
+        sharded_executor = ParallelExecutor(workers=4, chunk_size=2)
+        mode = "chunk_size=2 (fixed)"
+    start = time.perf_counter()
+    sharded = sharded_executor.run(plan)
+    sharded_wall = time.perf_counter() - start
+
+    identical = serial.results[cell.key] == sharded.results[cell.key]
+    assert identical
+    boundary_intact = all(
+        record.carried_prior == previous.posterior_prior
+        for stream in sharded.results[cell.key].streams
+        for previous, record in zip(stream, stream[1:])
+    )
+    assert boundary_intact
+    study = sharded.results[cell.key]
+    assert study.repetitions == repetitions
+    assert study.rounds == 3
+
+    cores = os.cpu_count() or 1
+    speedup = serial_wall / sharded_wall
+    timing_lines = [
+        "dynamic-audit sharding benchmark "
+        f"(1 cell x {repetitions} stream replications x 3 rounds, "
+        f"{mode}, {cores} cores)",
+        f"  serial (1 worker, unsharded)      : {serial_wall:7.2f} s",
+        f"  sharded (4 workers)               : {sharded_wall:7.2f} s"
+        f"  ({speedup:.2f}x)",
+    ]
+    # Deterministic fields only: the sharding mode (fixed vs the CI
+    # leg's adaptive REPRO_CHUNK_SECONDS) and all wall-clock numbers
+    # stay on stdout so both legs reproduce this file byte for byte.
+    file_lines = [
+        "dynamic-audit sharding (deterministic fields only; timings on stdout)",
+        "=====================================================================",
+        f"grid                                    : 1 cell x {repetitions} "
+        "stream replications x 3 rounds",
+        "sharded (4 workers) == serial           : "
+        + ("yes" if identical else "NO"),
+        "carried-prior round boundary intact     : "
+        + ("yes" if boundary_intact else "NO"),
+        f"mean annotated triples per round        : "
+        f"{study.triples.mean():.3f}",
+        f"convergence rate                        : "
+        f"{study.converged.mean():.3f}",
+    ]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "audit-sharding.txt"
     path.write_text("\n".join(file_lines) + "\n", encoding="utf-8")
     print("\n" + "\n".join(timing_lines + [""] + file_lines) + f"\n[written to {path}]")

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro stats <kg.tsv>                 describe a labelled KG
     python -m repro generate --dataset NELL -o f.tsv   write a profiled KG
     python -m repro audit <kg.tsv> [options]       run one accuracy audit
+    python -m repro partition-audit <kg.tsv> [options]  per-predicate audit
     python -m repro plan --mu 0.9 [options]        predict the budget
     python -m repro study [options]                Monte-Carlo study grid
 
@@ -13,11 +14,13 @@ The audit subcommand reads the labelled-TSV format of
 annotator, and reports the estimate, interval, and modelled cost; an
 optional ledger file records every judgement for suspend/resume.
 
-The study subcommand runs a (dataset x strategy x method) Monte-Carlo
-grid through the runtime layer: ``--workers`` fans cells out over
-processes with bit-identical results, and ``--cache-dir`` persists
-completed cells so re-runs are served from disk and interrupted grids
-resume.
+The partition-audit and study subcommands run through the runtime
+layer: ``--workers`` fans work out over processes with bit-identical
+results, ``--cache-dir`` persists completed cells so re-runs are
+served from disk and interrupted runs resume, and ``--chunk-size`` /
+``--chunk-seconds`` shard within cells (fixed reps-per-shard vs a
+pilot-calibrated seconds-per-shard target).  A partition-audit shards
+over the KG's predicates; a study cell shards over its repetitions.
 """
 
 from __future__ import annotations
@@ -102,6 +105,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ledger", help="TSV file recording every judgement (suspend/resume)"
     )
 
+    partition = sub.add_parser(
+        "partition-audit",
+        help="audit every predicate of a KG file (parallel, cached)",
+    )
+    partition.add_argument("kg", help="labelled-TSV knowledge graph file")
+    partition.add_argument("--alpha", type=float, default=0.05)
+    partition.add_argument(
+        "--epsilon", type=float, default=0.05, help="per-partition MoE threshold"
+    )
+    partition.add_argument(
+        "--min-per-partition",
+        type=int,
+        default=30,
+        help="stop-rule floor per partition (default: 30)",
+    )
+    partition.add_argument(
+        "--max-triples",
+        type=int,
+        default=50_000,
+        help="global annotation budget (default: 50000)",
+    )
+    partition.add_argument("--seed", type=int, default=0)
+    _add_runtime_options(partition)
+
     plan = sub.add_parser("plan", help="predict the annotation budget")
     plan.add_argument("--mu", type=float, required=True, help="expected accuracy")
     plan.add_argument("--alpha", type=float, default=0.05)
@@ -137,31 +164,57 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--alpha", type=float, default=0.05)
     study.add_argument("--epsilon", type=float, default=0.05)
     study.add_argument("--seed", type=int, default=0)
-    study.add_argument(
+    _add_runtime_options(study)
+    return parser
+
+
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    """The runtime-layer knobs shared by the parallel subcommands."""
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker processes (default: $REPRO_WORKERS or serial)",
     )
-    study.add_argument(
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="result-store directory for caching / resume "
         "(default: $REPRO_CACHE_DIR or no cache)",
     )
-    study.add_argument(
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
-        help="repetition-sharding granularity: split each cell's "
-        "repetitions into chunks of at most this many and fan the "
-        "chunks out over the workers, merging bit-identically "
+        help="within-cell sharding granularity: split each cell's work "
+        "units into chunks of at most this many and fan the chunks out "
+        "over the workers, merging bit-identically "
         "(default: $REPRO_CHUNK_SIZE or no sharding)",
     )
-    study.add_argument(
+    parser.add_argument(
+        "--chunk-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adaptive sharding: target this many wall-clock seconds "
+        "per chunk, calibrated from a timed pilot shard; mutually "
+        "exclusive with --chunk-size "
+        "(default: $REPRO_CHUNK_SECONDS or off)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
-    return parser
+
+
+def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
+    """Build the runtime executor a parallel subcommand asked for."""
+    return ParallelExecutor(
+        workers=args.workers,
+        store=args.cache_dir,
+        progress=not args.quiet,
+        chunk_size=args.chunk_size,
+        chunk_seconds=args.chunk_seconds,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -202,6 +255,45 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     if ledger is not None:
         path = ledger.to_tsv(args.ledger)
         print(f"judgement ledger   : {path} ({len(ledger)} entries)")
+    return 0
+
+
+def _cmd_partition_audit(args: argparse.Namespace) -> int:
+    from .evaluation.partitioned import audit_by_predicate
+
+    kg = load_kg(args.kg)
+    result = audit_by_predicate(
+        kg,
+        alpha=args.alpha,
+        epsilon=args.epsilon,
+        min_per_partition=args.min_per_partition,
+        max_triples=args.max_triples,
+        rng=args.seed,
+        dataset=f"file:{args.kg}",
+        executor=_executor_from(args),
+    )
+    print(
+        f"{'predicate':<20} {'share':>7} {'annotated':>9} {'estimate':>9} "
+        f"{'interval':<18} {'converged':>9}"
+    )
+    for audit in sorted(result.partitions, key=lambda p: p.mu_hat):
+        cell = f"[{audit.interval.lower:.3f}, {audit.interval.upper:.3f}]"
+        print(
+            f"{audit.partition:<20} {audit.weight:>7.1%} "
+            f"{audit.n_annotated:>9} {audit.mu_hat:>9.3f} {cell:<18} "
+            f"{'yes' if audit.converged else 'no':>9}"
+        )
+    print(
+        f"\nglobal accuracy    : {result.global_mu_hat:.4f} "
+        f"(interval {result.global_interval})"
+    )
+    print(f"annotated triples  : {result.cost.num_triples}")
+    print(f"annotation cost    : {result.cost_hours:.2f} hours")
+    worst = result.worst_partition
+    print(
+        f"curation priority  : '{worst.partition}' — estimated "
+        f"{worst.mu_hat:.0%} accurate, {worst.weight:.0%} of the KG"
+    )
     return 0
 
 
@@ -267,13 +359,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
     )
     plan = StudyPlan(settings=settings, cells=tuple(cells), name="study")
-    executor = ParallelExecutor(
-        workers=args.workers,
-        store=args.cache_dir,
-        progress=not args.quiet,
-        chunk_size=args.chunk_size,
-    )
-    outcome = executor.run(plan)
+    outcome = _executor_from(args).run(plan)
     results = outcome.results
     rows = []
     for dataset, strategy, method in (cell.key for cell in plan.cells):
@@ -302,6 +388,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "audit": _cmd_audit,
+    "partition-audit": _cmd_partition_audit,
     "plan": _cmd_plan,
     "study": _cmd_study,
 }

@@ -1,14 +1,19 @@
 """Evaluation framework: the iterative loop, studies, and audits."""
 
 from .coverage import CoverageResult, coverage_profile, empirical_coverage
-from .dynamic import DynamicAuditor, DynamicAuditRecord
+from .dynamic import DynamicAuditor, DynamicAuditRecord, DynamicAuditStudy
 from .framework import (
     EvaluationConfig,
     EvaluationResult,
     IterationRecord,
     KGAccuracyEvaluator,
 )
-from .partitioned import PartitionAudit, PartitionedAuditResult, audit_by_predicate
+from .partitioned import (
+    PartitionAudit,
+    PartitionedAuditResult,
+    PartitionTrajectory,
+    audit_by_predicate,
+)
 from .planner import AuditPlan, SampleSizePlanner
 from .sequential import SequentialCoverageResult, sequential_coverage
 from .metrics import cost_reduction, reduction_ratio, triples_reduction
@@ -42,8 +47,10 @@ __all__ = [
     "audit_by_predicate",
     "PartitionAudit",
     "PartitionedAuditResult",
+    "PartitionTrajectory",
     "cost_reduction",
     "triples_reduction",
     "DynamicAuditor",
     "DynamicAuditRecord",
+    "DynamicAuditStudy",
 ]

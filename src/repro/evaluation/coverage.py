@@ -175,15 +175,33 @@ def coverage_profile(
 
     With *executor* (a :class:`repro.runtime.ParallelExecutor`), the
     per-mu cells fan out over its workers and result store; the seeds
-    are identical either way, so the two paths agree bit for bit.
-    The executor path requires *method* to round-trip through a runtime
-    method spec (its ``name``, solver, and prior); ad-hoc method
-    objects (e.g. informative-prior aHPD) fall back to the serial loop.
+    are identical either way, so the two paths agree bit for bit.  The
+    cells carry the method's *full* picklable payload (class, priors,
+    solver — see :func:`repro.runtime.cells.method_payload`), so ad-hoc
+    configurations such as informative-prior aHPD take the executor
+    path too.  Only a method object the payload encoder does not know
+    (e.g. a user-defined subclass) stays serial, and then with an
+    explicit :class:`RuntimeWarning` — never silently.
     """
-    if executor is not None and _spec_roundtrips(method):
-        return _coverage_profile_cells(
-            method, mus, n, alpha, repetitions, seed, executor
-        )
+    if executor is not None:
+        # Imported lazily: the runtime layer sits above the evaluators,
+        # so a top-level import here would be circular.
+        from ..runtime import method_payload
+
+        payload = method_payload(method)
+        if payload is None:
+            import warnings
+
+            warnings.warn(
+                f"coverage_profile: method {method.name!r} has no picklable "
+                "runtime payload; falling back to the serial loop",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            return _coverage_profile_cells(
+                method, payload, mus, n, alpha, repetitions, seed, executor
+            )
     results = []
     for i, mu in enumerate(mus):
         results.append(
@@ -199,51 +217,18 @@ def coverage_profile(
     return results
 
 
-def _method_spec(method) -> str:
-    """The runtime spec string for a stock interval method."""
-    # "HPD[Jeffreys]" -> "HPD:Jeffreys"; plain names pass through.
-    family, bracket, prior = method.name.partition("[")
-    return f"{family}:{prior.rstrip(']')}" if bracket else family
-
-
-def _spec_roundtrips(method) -> bool:
-    """Whether rebuilding *method* from its spec reproduces it exactly.
-
-    Guards the executor path of :func:`coverage_profile`: the cell
-    runner reconstructs the method in the worker, so a method whose
-    configuration (solver, priors) is not captured by the spec string
-    must stay on the serial path rather than silently change numerics.
-    """
-    from ..exceptions import ReproError
-    from ..runtime import build_method
-
-    try:
-        rebuilt = build_method(
-            _method_spec(method), solver=getattr(method, "solver", "newton")
-        )
-    except ReproError:
-        return False
-    return (
-        rebuilt.name == method.name
-        and getattr(rebuilt, "solver", None) == getattr(method, "solver", None)
-        and getattr(rebuilt, "prior", None) == getattr(method, "prior", None)
-        and getattr(rebuilt, "priors", None) == getattr(method, "priors", None)
-    )
-
-
 def _coverage_profile_cells(
-    method, mus, n, alpha, repetitions, seed, executor
+    method, payload, mus, n, alpha, repetitions, seed, executor
 ) -> list[CoverageResult]:
-    # Imported lazily: the runtime layer sits above the evaluators, so
-    # a top-level import here would be circular.
     from ..runtime import CoverageCell, StudyPlan, execute
 
-    spec = _method_spec(method)
+    name = method.name
     cells = tuple(
         CoverageCell(
-            key=(spec, float(mu)),
-            label=f"coverage-profile/{spec}/mu={mu:g}",
-            method=spec,
+            key=(name, float(mu)),
+            label=f"coverage-profile/{name}/mu={mu:g}",
+            method=name,
+            method_payload=payload,
             alpha=alpha,
             mu=float(mu),
             n=n,
@@ -261,4 +246,4 @@ def _coverage_profile_cells(
     )
     plan = StudyPlan(settings=settings, cells=cells, name="coverage-profile")
     results = execute(plan, executor=executor).results
-    return [results[(spec, float(mu))] for mu in mus]
+    return [results[(name, float(mu))] for mu in mus]

@@ -22,7 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from .._validation import check_in_unit_interval, check_positive
+import numpy as np
+
+from .._validation import (
+    check_in_unit_interval,
+    check_positive,
+    check_positive_int,
+    check_rep_range,
+)
 from ..annotation.annotator import Annotator, OracleAnnotator
 from ..annotation.cost import DEFAULT_COST_MODEL, CostModel
 from ..intervals.ahpd import AdaptiveHPD
@@ -32,7 +39,7 @@ from ..sampling.base import SamplingStrategy
 from ..stats.rng import RandomSource, spawn_rng
 from .framework import EvaluationConfig, EvaluationResult, KGAccuracyEvaluator
 
-__all__ = ["DynamicAuditRecord", "DynamicAuditor"]
+__all__ = ["DynamicAuditRecord", "DynamicAuditStudy", "DynamicAuditor"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +64,64 @@ class DynamicAuditRecord:
     result: EvaluationResult
     carried_prior: BetaPrior | None
     posterior_prior: BetaPrior
+
+
+@dataclass(frozen=True)
+class DynamicAuditStudy:
+    """Monte-Carlo replications of a full evolving-KG audit stream.
+
+    ``streams[r]`` holds repetition *r*'s per-round records in round
+    order, with the carried prior threaded through the rounds exactly
+    as in a single :meth:`DynamicAuditor.audit_stream` run.  The raw
+    records are retained (rather than summary arrays only) so the
+    runtime layer can merge repetition shards losslessly and tests can
+    check the carried-prior round boundary on the merged value.
+    """
+
+    label: str
+    streams: tuple[tuple[DynamicAuditRecord, ...], ...]
+
+    @property
+    def repetitions(self) -> int:
+        """Number of independent stream replays aggregated."""
+        return len(self.streams)
+
+    @property
+    def rounds(self) -> int:
+        """Audit rounds per stream (snapshots in the evolving KG)."""
+        return len(self.streams[0]) if self.streams else 0
+
+    def _field(self, getter, dtype) -> np.ndarray:
+        return np.array(
+            [[getter(rec) for rec in stream] for stream in self.streams],
+            dtype=dtype,
+        )
+
+    @property
+    def triples(self) -> np.ndarray:
+        """``(repetitions, rounds)`` annotated-triples counts."""
+        return self._field(lambda rec: rec.result.n_triples, np.int64)
+
+    @property
+    def cost_hours(self) -> np.ndarray:
+        """``(repetitions, rounds)`` priced annotation effort."""
+        return self._field(lambda rec: rec.result.cost_hours, float)
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """``(repetitions, rounds)`` accuracy estimates."""
+        return self._field(lambda rec: rec.result.mu_hat, float)
+
+    @property
+    def converged(self) -> np.ndarray:
+        """``(repetitions, rounds)`` convergence flags."""
+        return self._field(lambda rec: rec.result.converged, bool)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.repetitions} reps x {self.rounds} rounds, "
+            f"mean triples/round={self.triples.mean():.1f}"
+        )
 
 
 class DynamicAuditor:
@@ -143,6 +208,40 @@ class DynamicAuditor:
             records.append(record)
             carried = record.posterior_prior if self.carryover > 0.0 else None
         return records
+
+    def audit_study(
+        self,
+        snapshots: Sequence[TripleStore],
+        repetitions: int = 1,
+        seed: int = 0,
+        label: str = "",
+        rep_range: tuple[int, int] | None = None,
+    ) -> DynamicAuditStudy:
+        """Monte-Carlo replications of :meth:`audit_stream`.
+
+        Repetition ``r`` replays the whole stream on the seed window
+        ``seed + r * len(snapshots)`` — round ``i`` of repetition ``r``
+        audits under ``seed + r * len(snapshots) + i``, so the per-round
+        seed windows of distinct repetitions never overlap and
+        repetition 0 reproduces ``audit_stream(snapshots, seed)``
+        exactly.
+
+        *rep_range* executes a half-open window of the repetitions with
+        seeds still keyed on the *global* repetition index, so the
+        windows of any partition of ``[0, repetitions)`` concatenate to
+        exactly the full study — the contract repetition sharding
+        builds on.  The carried prior threads through the rounds
+        *within* each repetition, so no window depends on another.
+        """
+        snapshots = list(snapshots)
+        repetitions = check_positive_int(repetitions, "repetitions")
+        start, stop = check_rep_range(rep_range, repetitions)
+        stride = len(snapshots)
+        streams = tuple(
+            tuple(self.audit_stream(snapshots, seed=seed + rep * stride))
+            for rep in range(start, stop)
+        )
+        return DynamicAuditStudy(label=label or "dynamic-audit", streams=streams)
 
     def _distill_prior(self, result: EvaluationResult, round_index: int) -> BetaPrior:
         """Turn an audit outcome into next round's informative prior.

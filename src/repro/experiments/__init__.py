@@ -19,6 +19,7 @@ from .figure2 import run_figure2
 from .human_machine import run_human_machine
 from .figure3 import compute_figure3, expected_hpd_width, run_figure3
 from .figure4 import run_figure4
+from .partitioned_audit import run_partitioned_audit
 from .report import ExperimentReport, render_table
 from .sequential_coverage import run_sequential_coverage
 from .table1 import run_table1
@@ -46,6 +47,7 @@ __all__ = [
     "run_example2",
     "run_coverage_audit",
     "run_dynamic_audit",
+    "run_partitioned_audit",
     "run_hpd_solver_ablation",
     "run_batch_size_ablation",
     "run_appendix_sampling",
@@ -68,6 +70,7 @@ EXPERIMENTS = {
     "example2": run_example2,
     "coverage": run_coverage_audit,
     "dynamic": run_dynamic_audit,
+    "partitions": run_partitioned_audit,
     "ablation-hpd": run_hpd_solver_ablation,
     "ablation-batch": run_batch_size_ablation,
     "appendix-sampling": run_appendix_sampling,

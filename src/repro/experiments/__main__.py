@@ -71,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_CHUNK_SIZE or no sharding)",
     )
     parser.add_argument(
+        "--chunk-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adaptive sharding: target this many wall-clock seconds "
+        "per chunk, calibrated from a timed pilot shard; mutually "
+        "exclusive with --chunk-size "
+        "(default: $REPRO_CHUNK_SECONDS or off)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/timing lines to stderr",
@@ -93,6 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         progress=True if args.progress else None,
         chunk_size=args.chunk_size,
+        chunk_seconds=args.chunk_seconds,
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

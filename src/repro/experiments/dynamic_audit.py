@@ -15,15 +15,23 @@ regimes are measured:
 
 from __future__ import annotations
 
-from ..evaluation.dynamic import DynamicAuditor
 from ..kg.evolution import UpdateBatchSpec, build_evolving_kg
 from ..kg.graph import KnowledgeGraph
-from ..sampling.twcs import TwoStageWeightedClusterSampling
+from ..runtime import DynamicAuditCell, ParallelExecutor, StudyPlan, execute
 from ..stats.rng import derive_seed
 from .config import DEFAULT_SETTINGS, ExperimentSettings
 from .report import ExperimentReport
 
-__all__ = ["run_dynamic_audit", "build_snapshot_stream"]
+__all__ = ["run_dynamic_audit", "dynamic_audit_plan", "build_snapshot_stream"]
+
+#: The two Sec.-8 regimes: (name, base accuracy, update accuracies).
+SCENARIOS: tuple[tuple[str, float, tuple[float, ...]], ...] = (
+    ("stable", 0.85, (0.85, 0.85)),
+    ("drift", 0.85, (0.85, 0.45)),
+)
+
+_BASE_FACTS = 6_000
+_UPDATE_FACTS = 3_000
 
 
 def build_snapshot_stream(
@@ -46,8 +54,43 @@ def build_snapshot_stream(
     )
 
 
-def run_dynamic_audit(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+def dynamic_audit_plan(settings: ExperimentSettings = DEFAULT_SETTINGS) -> StudyPlan:
+    """The dynamic-audit grid: (regime) x (carried, independent).
+
+    Each cell replays a single audit stream (``repetitions=1``):
+    repetition 0 of a :class:`~repro.runtime.spec.DynamicAuditCell` is
+    exactly the pre-runtime ``DynamicAuditor.audit_stream`` run, so the
+    routed experiment reproduces its serial numbers bit for bit while
+    gaining worker fan-out, disk caching, and resume.
+    """
+    stream_seed = derive_seed(settings.seed, 7_000)
+    cells = tuple(
+        DynamicAuditCell(
+            key=(regime, mode),
+            label=f"dynamic/{regime}/{mode}",
+            method="aHPD",
+            base_facts=_BASE_FACTS,
+            base_accuracy=base_mu,
+            updates=tuple((_UPDATE_FACTS, accuracy, 0.3) for accuracy in updates),
+            stream_seed=stream_seed,
+            strategy="TWCS:3",
+            carryover=carryover,
+            seed=settings.seed,
+            repetitions=1,
+        )
+        for regime, base_mu, updates in SCENARIOS
+        for mode, carryover in (("carried", 1.0), ("independent", 0.0))
+    )
+    return StudyPlan(settings=settings, cells=cells, name="dynamic")
+
+
+def run_dynamic_audit(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    executor: ParallelExecutor | None = None,
+) -> ExperimentReport:
     """Compare carried-prior audits against independent re-audits."""
+    plan = dynamic_audit_plan(settings)
+    results = execute(plan, executor=executor).results
     report = ExperimentReport(
         experiment_id="dynamic",
         title=(
@@ -63,29 +106,12 @@ def run_dynamic_audit(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Experi
             "triples (independent)",
         ),
     )
-    scenarios = (
-        ("stable", 0.85, (0.85, 0.85)),
-        ("drift", 0.85, (0.85, 0.45)),
-    )
-    strategy = TwoStageWeightedClusterSampling(m=3)
-    for regime, base_mu, updates in scenarios:
+    for regime, base_mu, updates in SCENARIOS:
         snapshots = build_snapshot_stream(
             base_mu, updates, seed=derive_seed(settings.seed, 7_000)
         )
-        carried_auditor = DynamicAuditor(
-            strategy=strategy,
-            config=settings.evaluation_config(),
-            carryover=1.0,
-            solver=settings.solver,
-        )
-        independent_auditor = DynamicAuditor(
-            strategy=strategy,
-            config=settings.evaluation_config(),
-            carryover=0.0,
-            solver=settings.solver,
-        )
-        carried = carried_auditor.audit_stream(snapshots, seed=settings.seed)
-        independent = independent_auditor.audit_stream(snapshots, seed=settings.seed)
+        carried = results[(regime, "carried")].streams[0]
+        independent = results[(regime, "independent")].streams[0]
         for rec_c, rec_i, kg in zip(carried, independent, snapshots):
             report.add_row(
                 regime=regime,

@@ -15,15 +15,21 @@ that fan out across workers and merge back bit-identically, so one
 Environment knobs (read when :func:`execute` builds the default
 executor): ``REPRO_WORKERS`` sets the worker count, ``REPRO_CACHE_DIR``
 roots a result store, ``REPRO_CHUNK_SIZE`` turns on repetition
-sharding at that granularity.
+sharding at a fixed granularity, and ``REPRO_CHUNK_SECONDS`` turns on
+*adaptive* sharding (reps-per-shard calibrated from a timed pilot
+shard to target seconds-per-shard; mutually exclusive with the fixed
+size).
 """
 
 from .cells import (
     build_kg,
     build_method,
+    build_method_from_payload,
     build_strategy,
+    cell_method,
     cell_repetitions,
     is_shardable,
+    method_payload,
     register_cell_runner,
     register_shard_reducer,
     register_shard_runner,
@@ -33,6 +39,7 @@ from .cells import (
 )
 from .executor import (
     CellResult,
+    ChunkCalibration,
     ParallelExecutor,
     PlanOutcome,
     configure,
@@ -45,6 +52,8 @@ from .spec import (
     CellShard,
     CellSpec,
     CoverageCell,
+    DynamicAuditCell,
+    PartitionedAuditCell,
     SequentialCoverageCell,
     StudyCell,
     StudyPlan,
@@ -61,20 +70,26 @@ __all__ = [
     "StudyCell",
     "CoverageCell",
     "SequentialCoverageCell",
+    "DynamicAuditCell",
+    "PartitionedAuditCell",
     "StudyPlan",
     "cache_token",
     "shard_ranges",
     "shard_token",
     "CellResult",
+    "ChunkCalibration",
     "PlanOutcome",
     "ParallelExecutor",
     "ProgressReporter",
     "ResultStore",
     "build_kg",
     "build_method",
+    "build_method_from_payload",
     "build_strategy",
+    "cell_method",
     "cell_repetitions",
     "is_shardable",
+    "method_payload",
     "register_cell_runner",
     "register_shard_runner",
     "register_shard_reducer",

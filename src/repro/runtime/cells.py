@@ -19,13 +19,22 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from ..annotation.annotator import OracleAnnotator
 from ..evaluation.coverage import (
     CoverageResult,
     coverage_from_counts,
     empirical_coverage,
     tau_counts,
 )
+from ..evaluation.dynamic import DynamicAuditor, DynamicAuditStudy
 from ..evaluation.framework import KGAccuracyEvaluator
+from ..evaluation.partitioned import (
+    PartitionedAuditResult,
+    allocate_budget,
+    finalize_audit,
+    partition_order,
+    partition_trajectories,
+)
 from ..evaluation.runner import StudyResult, run_study
 from ..evaluation.sequential import (
     SequentialCoverageResult,
@@ -52,8 +61,18 @@ from ..sampling.srs import SimpleRandomSampling
 from ..sampling.stratified import StratifiedPredicateSampling
 from ..sampling.twcs import TwoStageWeightedClusterSampling
 from ..sampling.wcs import WeightedClusterSampling
-from ..stats.rng import derive_seed
-from .spec import CellSpec, CoverageCell, SequentialCoverageCell, StudyCell
+from ..kg.evolution import UpdateBatchSpec, build_evolving_kg
+from ..kg.graph import KnowledgeGraph
+from ..kg.queries import TripleIndex
+from ..stats.rng import derive_seed, spawn_rng
+from .spec import (
+    CellSpec,
+    CoverageCell,
+    DynamicAuditCell,
+    PartitionedAuditCell,
+    SequentialCoverageCell,
+    StudyCell,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.config import ExperimentSettings
@@ -61,9 +80,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "build_kg",
     "build_method",
+    "build_method_from_payload",
     "build_strategy",
+    "cell_method",
     "cell_repetitions",
     "is_shardable",
+    "method_payload",
     "register_cell_runner",
     "register_shard_runner",
     "register_shard_reducer",
@@ -73,6 +95,8 @@ __all__ = [
     "run_study_cell",
     "run_coverage_cell",
     "run_sequential_coverage_cell",
+    "run_dynamic_audit_cell",
+    "run_partitioned_audit_cell",
 ]
 
 _PRIORS = {"kerman": KERMAN, "jeffreys": JEFFREYS, "uniform": UNIFORM}
@@ -182,6 +206,91 @@ def build_method(
             return AdaptiveHPD(priors=candidates, solver=solver)
         return AdaptiveHPD(solver=solver)
     raise ValidationError(f"unknown interval method spec {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# Picklable method payloads
+# ----------------------------------------------------------------------
+#
+# Spec strings cover the stock methods, but they are lossy: an
+# informative-prior aHPD, a non-default ET/HPD prior, or a non-default
+# solver has no faithful spec.  Payloads close that gap — a primitive
+# tuple carrying the *full* configuration, decodable in any worker and
+# hashed into the cache token — so such methods can take the executor
+# path instead of silently falling back to serial loops.
+
+#: Stateless method classes: the class name alone is the configuration.
+_PLAIN_METHODS: dict[str, type] = {
+    "wald": WaldInterval,
+    "wilson": WilsonInterval,
+    "ac": AgrestiCoullInterval,
+    "cp": ClopperPearsonInterval,
+    "arcsine": ArcsineInterval,
+    "logit": LogitInterval,
+}
+_PLAIN_METHOD_KINDS = {klass: kind for kind, klass in _PLAIN_METHODS.items()}
+
+
+def _prior_payload(prior: BetaPrior) -> tuple[float, float, str]:
+    return (float(prior.a), float(prior.b), str(prior.name))
+
+
+def method_payload(method: IntervalMethod) -> tuple | None:
+    """A primitive tuple fully describing *method*, or ``None``.
+
+    The payload captures everything the method reads — class, priors,
+    solver — for the library's method classes (exact types only: a
+    subclass may carry state the payload cannot see and is therefore
+    not encodable).  ``None`` means the method cannot take the executor
+    path; callers must then fall back *loudly* (``warnings.warn``), per
+    the no-silent-fallback contract.
+    """
+    kind = _PLAIN_METHOD_KINDS.get(type(method))
+    if kind is not None:
+        return (kind,)
+    if type(method) is ETCredibleInterval:
+        return ("et", _prior_payload(method.prior))
+    if type(method) is HPDCredibleInterval:
+        return ("hpd", _prior_payload(method.prior), method.solver)
+    if type(method) is AdaptiveHPD:
+        return (
+            "ahpd",
+            tuple(_prior_payload(prior) for prior in method.priors),
+            method.solver,
+        )
+    return None
+
+
+def build_method_from_payload(payload: tuple) -> IntervalMethod:
+    """Reconstruct the method a :func:`method_payload` tuple describes."""
+    kind = payload[0]
+    plain = _PLAIN_METHODS.get(kind)
+    if plain is not None:
+        return plain()
+    if kind == "et":
+        return ETCredibleInterval(prior=BetaPrior(*payload[1]))
+    if kind == "hpd":
+        return HPDCredibleInterval(prior=BetaPrior(*payload[1]), solver=payload[2])
+    if kind == "ahpd":
+        priors = tuple(BetaPrior(*entry) for entry in payload[1])
+        return AdaptiveHPD(priors=priors, solver=payload[2])
+    raise ValidationError(f"unknown method payload kind {kind!r}")
+
+
+def cell_method(cell: CellSpec, settings: "ExperimentSettings") -> IntervalMethod:
+    """The interval method a cell's runner (or reducer) should use.
+
+    A :attr:`~repro.runtime.spec.CellSpec.method_payload` wins over the
+    ``method`` spec string; both construct deterministically, which is
+    what keeps worker-side rebuilds bit-identical to the serial path.
+    """
+    if cell.method_payload is not None:
+        return build_method_from_payload(cell.method_payload)
+    return build_method(
+        cell.method,
+        solver=settings.solver,
+        priors=getattr(cell, "priors", None),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -328,7 +437,7 @@ def _study_evaluator(cell: StudyCell, settings: "ExperimentSettings") -> KGAccur
     return KGAccuracyEvaluator(
         kg=kg,
         strategy=build_strategy(cell.strategy),
-        method=build_method(cell.method, solver=settings.solver, priors=cell.priors),
+        method=cell_method(cell, settings),
         config=config,
     )
 
@@ -353,7 +462,7 @@ def run_study_cell(cell: StudyCell, settings: "ExperimentSettings") -> StudyResu
 @register_cell_runner(CoverageCell)
 def run_coverage_cell(cell: CoverageCell, settings: "ExperimentSettings") -> CoverageResult:
     """One fixed-n empirical coverage cell."""
-    method = build_method(cell.method, solver=settings.solver)
+    method = cell_method(cell, settings)
     alpha = settings.alpha if cell.alpha is None else cell.alpha
     repetitions = settings.repetitions if cell.repetitions is None else cell.repetitions
     return empirical_coverage(
@@ -371,7 +480,7 @@ def run_sequential_coverage_cell(
     cell: SequentialCoverageCell, settings: "ExperimentSettings"
 ) -> SequentialCoverageResult:
     """One stopped-interval coverage cell (full iterative procedure)."""
-    method = build_method(cell.method, solver=settings.solver)
+    method = cell_method(cell, settings)
     config = settings.evaluation_config(alpha=cell.alpha)
     repetitions = settings.repetitions if cell.repetitions is None else cell.repetitions
     return sequential_coverage(
@@ -462,7 +571,7 @@ def merge_coverage_cell_shards(
 ) -> CoverageResult:
     """Sum shard histograms and solve the merged outcome set once."""
     counts = np.sum(partials, axis=0)
-    method = build_method(cell.method, solver=settings.solver)
+    method = cell_method(cell, settings)
     alpha = settings.alpha if cell.alpha is None else cell.alpha
     return coverage_from_counts(
         method,
@@ -482,7 +591,7 @@ def run_sequential_coverage_cell_shard(
     rep_stop: int,
 ) -> tuple[int, np.ndarray]:
     """Raw ``(hits, stopping)`` replay outcomes of one repetition window."""
-    method = build_method(cell.method, solver=settings.solver)
+    method = cell_method(cell, settings)
     config = settings.evaluation_config(alpha=cell.alpha)
     return sequential_replays(
         method,
@@ -505,8 +614,219 @@ def merge_sequential_coverage_cell_shards(
     (mean/std over the full array) are computed on identical input —
     bit-identical output.
     """
-    method = build_method(cell.method, solver=settings.solver)
+    method = cell_method(cell, settings)
     config = settings.evaluation_config(alpha=cell.alpha)
     hits = sum(int(h) for h, _ in partials)
     stopping = np.concatenate([s for _, s in partials])
     return sequential_from_replays(method.name, cell.mu, config, hits, stopping)
+
+
+# ----------------------------------------------------------------------
+# Dynamic (evolving-KG) audit cells
+# ----------------------------------------------------------------------
+
+#: Per-process snapshot-stream memo, mirroring the KG cache: every
+#: repetition shard of a dynamic cell replays the same evolving KG, so
+#: workers build each stream once.  FIFO-capped like the KG cache.
+_SNAPSHOT_CACHE: dict[tuple, list] = {}
+_SNAPSHOT_CACHE_LIMIT = 4
+
+
+def _dynamic_snapshots(cell: DynamicAuditCell) -> list:
+    key = (cell.base_facts, cell.base_accuracy, cell.updates, cell.stream_seed)
+    cached = _SNAPSHOT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    updates = [
+        UpdateBatchSpec(
+            num_facts=num_facts,
+            accuracy=accuracy,
+            intra_cluster_correlation=correlation,
+        )
+        for num_facts, accuracy, correlation in cell.updates
+    ]
+    snapshots = build_evolving_kg(
+        base_facts=cell.base_facts,
+        base_accuracy=cell.base_accuracy,
+        updates=updates,
+        seed=cell.stream_seed,
+    )
+    if len(_SNAPSHOT_CACHE) >= _SNAPSHOT_CACHE_LIMIT:
+        _SNAPSHOT_CACHE.pop(next(iter(_SNAPSHOT_CACHE)))
+    _SNAPSHOT_CACHE[key] = snapshots
+    return snapshots
+
+
+def _dynamic_auditor(cell: DynamicAuditCell, settings: "ExperimentSettings") -> DynamicAuditor:
+    return DynamicAuditor(
+        strategy=build_strategy(cell.strategy),
+        config=settings.evaluation_config(alpha=cell.alpha),
+        carryover=cell.carryover,
+        max_prior_strength=cell.max_prior_strength,
+        solver=settings.solver,
+    )
+
+
+@register_cell_runner(DynamicAuditCell)
+def run_dynamic_audit_cell(
+    cell: DynamicAuditCell, settings: "ExperimentSettings"
+) -> DynamicAuditStudy:
+    """All replications of one evolving-KG audit stream.
+
+    Repetition 0 reproduces ``DynamicAuditor.audit_stream`` on the
+    cell's audit seed exactly, so routing a single-replication
+    experiment through the runtime changes scheduling, never numbers.
+    """
+    return _dynamic_auditor(cell, settings).audit_study(
+        _dynamic_snapshots(cell),
+        repetitions=_audit_cell_repetitions(cell, settings),
+        seed=cell.seed,
+        label=cell.label,
+    )
+
+
+@register_shard_runner(DynamicAuditCell, repetitions=_audit_cell_repetitions)
+def run_dynamic_audit_cell_shard(
+    cell: DynamicAuditCell,
+    settings: "ExperimentSettings",
+    rep_start: int,
+    rep_stop: int,
+) -> tuple:
+    """Stream replications ``[rep_start, rep_stop)`` of a dynamic cell.
+
+    Each replication is a complete multi-round stream with the carried
+    prior threaded through its rounds, and its seed window is keyed on
+    the global repetition index — so the shard payload is exactly the
+    corresponding slice of the unsharded study's streams.
+    """
+    study = _dynamic_auditor(cell, settings).audit_study(
+        _dynamic_snapshots(cell),
+        repetitions=_audit_cell_repetitions(cell, settings),
+        seed=cell.seed,
+        label=cell.label,
+        rep_range=(rep_start, rep_stop),
+    )
+    return study.streams
+
+
+@register_shard_reducer(DynamicAuditCell)
+def merge_dynamic_audit_cell_shards(
+    cell: DynamicAuditCell, settings: "ExperimentSettings", partials: list
+) -> DynamicAuditStudy:
+    """Concatenate in-order stream windows back into the full study.
+
+    Concatenation is lossless (the records themselves are the payload,
+    carried-prior state included), so the merged study is bit-identical
+    to the unsharded run for any chunking.
+    """
+    return DynamicAuditStudy(
+        label=cell.label,
+        streams=tuple(stream for part in partials for stream in part),
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitioned (per-predicate) audit cells
+# ----------------------------------------------------------------------
+#
+# The shard dimension here is the *partition list*, not Monte-Carlo
+# repetitions: "repetition" i is predicate i in the KG's deterministic
+# sorted order.  Shards compute the expensive budget-independent
+# trajectories of their partition window; the reducer merges the
+# integer-evidence partials, replays the budget allocation, and runs
+# the shared interval solves once.
+
+
+def _partitioned_kg(cell: PartitionedAuditCell, settings: "ExperimentSettings") -> KnowledgeGraph:
+    kg = build_kg(cell.dataset, settings.dataset_seed)
+    if not isinstance(kg, KnowledgeGraph):
+        raise ValidationError(
+            f"partitioned audits need a materialised KnowledgeGraph; "
+            f"dataset spec {cell.dataset!r} built {type(kg)!r}"
+        )
+    return kg
+
+
+def _partitioned_cell_partitions(
+    cell: PartitionedAuditCell, settings: "ExperimentSettings"
+) -> int:
+    # Counting needs the predicate list only — not the permutation
+    # draws partition_order performs on top of it.
+    return len(TripleIndex(_partitioned_kg(cell, settings)).predicates)
+
+
+def _partition_trajectory_window(
+    cell: PartitionedAuditCell,
+    settings: "ExperimentSettings",
+    start: int,
+    stop: int | None,
+) -> tuple:
+    kg = _partitioned_kg(cell, settings)
+    generator = spawn_rng(cell.seed)
+    names, members, order = partition_order(kg, rng=generator)
+    alpha = settings.alpha if cell.alpha is None else cell.alpha
+    trajectories = partition_trajectories(
+        kg,
+        names[start:stop],
+        members,
+        order,
+        cell_method(cell, settings),
+        alpha,
+        cell.epsilon,
+        cell.min_per_partition,
+        cell.max_triples,
+        OracleAnnotator(),
+        rng=generator,
+    )
+    return tuple(trajectories)
+
+
+@register_cell_runner(PartitionedAuditCell)
+def run_partitioned_audit_cell(
+    cell: PartitionedAuditCell, settings: "ExperimentSettings"
+) -> PartitionedAuditResult:
+    """One whole partitioned audit (trajectories + allocation + solve)."""
+    trajectories = _partition_trajectory_window(cell, settings, 0, None)
+    return merge_partitioned_audit_cell_shards(cell, settings, [trajectories])
+
+
+@register_shard_runner(PartitionedAuditCell, repetitions=_partitioned_cell_partitions)
+def run_partitioned_audit_cell_shard(
+    cell: PartitionedAuditCell,
+    settings: "ExperimentSettings",
+    rep_start: int,
+    rep_stop: int,
+) -> tuple:
+    """Trajectories of partitions ``[rep_start, rep_stop)``.
+
+    Every shard replays the full permutation schedule (cheap) and
+    annotates only its own partitions (rng-free under the oracle
+    annotator), so its payload is exactly the corresponding slice of
+    the serial trajectory list.
+    """
+    return _partition_trajectory_window(cell, settings, rep_start, rep_stop)
+
+
+@register_shard_reducer(PartitionedAuditCell)
+def merge_partitioned_audit_cell_shards(
+    cell: PartitionedAuditCell, settings: "ExperimentSettings", partials: list
+) -> PartitionedAuditResult:
+    """Merge integer trajectories, replay the budget, solve once.
+
+    The partials are integer evidence only; every float the result
+    carries is produced *after* the merge by the same allocation replay
+    and interval solves the serial path runs — bit-identical output for
+    any partition chunking.
+    """
+    trajectories = [trajectory for part in partials for trajectory in part]
+    allocated, done, total = allocate_budget(trajectories, cell.max_triples)
+    alpha = settings.alpha if cell.alpha is None else cell.alpha
+    return finalize_audit(
+        trajectories,
+        allocated,
+        done,
+        total,
+        cell_method(cell, settings),
+        alpha,
+        cell.epsilon,
+    )

@@ -23,12 +23,19 @@ shard*: a killed 1,000-repetition cell resumes at the boundary of its
 last finished shard, and the transient shard entries are dropped once
 the merged cell result is stored.
 
+Chunk sizes can be fixed (``chunk_size`` / ``REPRO_CHUNK_SIZE``) or
+adaptive (``chunk_seconds`` / ``REPRO_CHUNK_SECONDS``): the adaptive
+mode times one pilot shard per run and targets a wall-clock budget per
+shard instead of a repetition count, so one setting suits cells of very
+different per-repetition cost.  Either way chunking is pure scheduling
+— results and cache keys are chunking-independent.
+
 The module-level :func:`execute` is the convenience entry point the
 experiment modules use: it builds a default executor from
 :func:`configure` overrides and the ``REPRO_WORKERS`` /
-``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` environment variables, read
-at call time so CI can flip the whole suite to parallel, sharded
-execution without code changes.
+``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS``
+environment variables, read at call time so CI can flip the whole
+suite to parallel, sharded execution without code changes.
 """
 
 from __future__ import annotations
@@ -58,12 +65,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CellResult",
+    "ChunkCalibration",
     "PlanOutcome",
     "ParallelExecutor",
     "configure",
     "default_executor",
     "execute",
 ]
+
+
+@dataclass(frozen=True)
+class ChunkCalibration:
+    """Outcome of an adaptive chunk-sizing pilot (scheduling only).
+
+    Records which cell served as the pilot, how many repetitions the
+    timed pilot shard covered, its wall-clock, and the reps-per-shard
+    the run derived from it.  Pure scheduling metadata: the calibrated
+    chunk size never reaches cache keys (tokens are chunking-
+    independent) or result payloads, so two runs calibrated differently
+    still produce byte-identical results files.
+    """
+
+    cell_key: tuple
+    pilot_repetitions: int
+    pilot_seconds: float
+    chunk_size: int
 
 
 @dataclass(frozen=True)
@@ -88,12 +114,18 @@ class CellResult:
 
 @dataclass(frozen=True)
 class PlanOutcome:
-    """Everything a plan execution produced, in plan order."""
+    """Everything a plan execution produced, in plan order.
+
+    ``calibration`` records the adaptive chunk-sizing pilot when the
+    run was configured with ``chunk_seconds`` and had shardable work to
+    calibrate on; ``None`` otherwise.
+    """
 
     plan: StudyPlan
     cells: tuple[CellResult, ...]
     workers: int
     seconds: float
+    calibration: ChunkCalibration | None = None
 
     @property
     def results(self) -> dict[tuple, Any]:
@@ -120,6 +152,8 @@ class PlanOutcome:
         name = self.plan.name or "plan"
         sharded = sum(1 for entry in self.cells if entry.shards > 1)
         shard_note = f", {sharded} sharded" if sharded else ""
+        if self.calibration is not None:
+            shard_note += f", chunk~{self.calibration.chunk_size} calibrated"
         return (
             f"{name}: {len(self.cells)} cells in {self.seconds:.2f}s "
             f"wall ({self.compute_seconds:.2f}s compute, "
@@ -163,6 +197,24 @@ def _resolve_chunk_size(chunk_size: int | None) -> int | None:
     if chunk_size < 1:
         raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
     return chunk_size
+
+
+def _resolve_chunk_seconds(chunk_seconds: float | None) -> float | None:
+    """Explicit target, or the ``REPRO_CHUNK_SECONDS`` default (off)."""
+    if chunk_seconds is None:
+        raw = os.environ.get("REPRO_CHUNK_SECONDS", "").strip()
+        if not raw:
+            return None
+        try:
+            chunk_seconds = float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"REPRO_CHUNK_SECONDS must be a number, got {raw!r}"
+            ) from None
+    chunk_seconds = float(chunk_seconds)
+    if chunk_seconds <= 0.0:
+        raise ValidationError(f"chunk_seconds must be > 0, got {chunk_seconds}")
+    return chunk_seconds
 
 
 def _run_cell(cell: CellSpec, settings: "ExperimentSettings") -> tuple[Any, float]:
@@ -239,6 +291,20 @@ class ParallelExecutor:
         merge bit-identically.  ``None`` reads ``REPRO_CHUNK_SIZE``
         (default: no sharding).  A cell's own ``chunk_size`` field
         overrides this value.
+    chunk_seconds:
+        Adaptive chunk sizing: instead of a fixed reps-per-shard, aim
+        for shards of roughly this many wall-clock seconds.  Each run
+        times one pilot shard of its first uncached shardable cell,
+        derives reps-per-shard from the measured rate, and shards the
+        whole plan at that granularity (the pilot window is reused when
+        it aligns with the chosen chunking).  ``None`` reads
+        ``REPRO_CHUNK_SECONDS`` (default: off).  Mutually exclusive
+        with ``chunk_size``: passing both explicitly (or setting both
+        environment variables) raises; an explicit argument for one
+        silently wins over the *environment* default of the other, so
+        code pinning a chunk size keeps working under a
+        ``REPRO_CHUNK_SECONDS`` CI leg and vice versa.  Calibration is
+        pure scheduling — chunking never changes numbers or cache keys.
     """
 
     def __init__(
@@ -247,9 +313,26 @@ class ParallelExecutor:
         store: Union[ResultStore, str, Path, None] = None,
         progress: Union[bool, Callable[[int, int, CellResult], None], None] = None,
         chunk_size: int | None = None,
+        chunk_seconds: float | None = None,
     ):
         self.workers = _resolve_workers(workers)
+        if chunk_size is not None and chunk_seconds is not None:
+            raise ValidationError(
+                "chunk_size and chunk_seconds are mutually exclusive; pass "
+                "at most one (fixed reps-per-shard vs seconds-per-shard)"
+            )
         self.chunk_size = _resolve_chunk_size(chunk_size)
+        self.chunk_seconds = _resolve_chunk_seconds(chunk_seconds)
+        if self.chunk_size is not None and self.chunk_seconds is not None:
+            if chunk_size is not None:
+                self.chunk_seconds = None  # explicit size beats env seconds
+            elif chunk_seconds is not None:
+                self.chunk_size = None  # explicit seconds beats env size
+            else:
+                raise ValidationError(
+                    "REPRO_CHUNK_SIZE and REPRO_CHUNK_SECONDS are both set; "
+                    "unset one (fixed reps-per-shard vs seconds-per-shard)"
+                )
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
@@ -260,15 +343,19 @@ class ParallelExecutor:
         self.progress: Callable[[int, int, CellResult], None] | None = progress
 
     def _shards_for(
-        self, cell: CellSpec, settings: "ExperimentSettings"
+        self,
+        cell: CellSpec,
+        settings: "ExperimentSettings",
+        default_chunk: int | None,
     ) -> tuple[int, tuple[CellShard, ...]] | None:
         """The shard decomposition of *cell*, or ``None`` to run whole.
 
         A cell shards when its type registered the sharding triple and
-        the effective chunk size (cell override, else executor default)
+        the effective chunk size (cell override, else *default_chunk* —
+        the executor's fixed chunk size or the run's calibrated one)
         splits its repetitions into more than one window.
         """
-        chunk = cell.chunk_size if cell.chunk_size is not None else self.chunk_size
+        chunk = cell.chunk_size if cell.chunk_size is not None else default_chunk
         if chunk is None or not is_shardable(cell):
             return None
         if chunk < 1:
@@ -289,6 +376,68 @@ class ParallelExecutor:
         )
         return repetitions, shards
 
+    #: Repetitions the calibration pilot shard covers (capped at half
+    #: the pilot cell's repetitions so the run still has work to shard).
+    _PILOT_REPS = 4
+
+    def _calibrate_chunk(
+        self, plan: StudyPlan, settings: "ExperimentSettings"
+    ) -> tuple[ChunkCalibration | None, tuple | None]:
+        """Derive reps-per-shard from one timed pilot shard.
+
+        Picks the first uncached shardable cell of the plan, executes
+        its leading repetition window ``[0, pilot)`` in-process, and
+        converts the measured rate into a chunk size targeting
+        ``chunk_seconds`` per shard.  The pilot's partial payload is
+        persisted to the store (under its ordinary shard token) and
+        returned for in-memory reuse, so the timed work is not wasted
+        when the chosen chunking's first window happens to align.
+
+        Calibration affects scheduling only: whatever chunk size comes
+        out, merged results and cache tokens are identical to any fixed
+        chunking — the property the test suite pins down.
+        """
+        for index, cell in enumerate(plan.cells):
+            if not is_shardable(cell) or cell.chunk_size is not None:
+                continue
+            repetitions = cell_repetitions(cell, settings)
+            if repetitions < 2:
+                continue
+            if self.store is not None and self.store.contains(
+                cache_token(cell, settings)
+            ):
+                continue
+            pilot_reps = max(1, min(self._PILOT_REPS, repetitions // 2))
+            shard = CellShard(
+                cell=cell,
+                index=0,
+                shards=1,
+                rep_start=0,
+                rep_stop=pilot_reps,
+            )
+            value, seconds = _run_shard(shard, settings)
+            if self.store is not None:
+                self.store.save(
+                    shard_token(shard, settings, repetitions),
+                    {"value": value, "label": shard.label, "seconds": seconds},
+                    group=cache_token(cell, settings),
+                )
+            chunk = max(
+                1,
+                int(round(self.chunk_seconds * pilot_reps / max(seconds, 1e-9))),
+            )
+            calibration = ChunkCalibration(
+                cell_key=cell.key,
+                pilot_repetitions=pilot_reps,
+                pilot_seconds=seconds,
+                chunk_size=chunk,
+            )
+            update = getattr(self.progress, "calibration_update", None)
+            if update is not None:
+                update(calibration)
+            return calibration, (index, pilot_reps, value, seconds)
+        return None, None
+
     def run(self, plan: StudyPlan) -> PlanOutcome:
         """Execute *plan*; returns results for every cell, plan-ordered.
 
@@ -300,10 +449,22 @@ class ParallelExecutor:
         one by one, so interruption at any point loses at most the work
         still in flight, and a killed sharded cell resumes at its last
         finished shard.
+
+        With ``chunk_seconds`` configured, a timed pilot shard runs
+        first and fixes this run's reps-per-shard (see
+        :meth:`_calibrate_chunk`); the resulting chunk size is recorded
+        on the outcome's ``calibration`` and never in any result.
         """
         start = time.perf_counter()
         settings = plan.settings
         total = len(plan.cells)
+        default_chunk = self.chunk_size
+        calibration = None
+        pilot = None
+        if self.chunk_seconds is not None:
+            calibration, pilot = self._calibrate_chunk(plan, settings)
+            if calibration is not None:
+                default_chunk = calibration.chunk_size
         entries: dict[int, CellResult] = {}
         pending: list[tuple] = []  # ("cell", index, cell, token) | ("shard", state, shard)
         done = 0
@@ -319,6 +480,11 @@ class ParallelExecutor:
                 self.store.save(
                     token, {"value": value, "label": cell.label, "seconds": seconds}
                 )
+                # An unsharded completion also sweeps any shard
+                # scaffolding filed under this cell's group — a
+                # calibration pilot whose chunking ended up unsharded,
+                # or windows left by an interrupted sharded run.
+                self.store.discard_group(token)
             entries[index] = CellResult(
                 cell=cell, value=value, seconds=seconds, cached=False
             )
@@ -389,7 +555,7 @@ class ParallelExecutor:
                     )
                     report(entries[index])
                     continue
-            decomposition = self._shards_for(cell, settings)
+            decomposition = self._shards_for(cell, settings, default_chunk)
             if decomposition is None:
                 pending.append(("cell", index, cell, token))
                 continue
@@ -403,6 +569,18 @@ class ParallelExecutor:
             )
             incomplete = []
             for shard in shards:
+                if (
+                    pilot is not None
+                    and index == pilot[0]
+                    and shard.index == 0
+                    and shard.rep_stop == pilot[1]
+                ):
+                    # The calibration pilot already computed this exact
+                    # window in-process; count it as compute performed
+                    # this run (it was), not as a cache hit.
+                    state.partials[0] = pilot[2]
+                    state.seconds += pilot[3]
+                    continue
                 if self.store is not None:
                     stoken = shard_token(shard, settings, repetitions)
                     state.shard_tokens[shard.index] = stoken
@@ -467,13 +645,14 @@ class ParallelExecutor:
             cells=ordered,
             workers=self.workers,
             seconds=time.perf_counter() - start,
+            calibration=calibration,
         )
 
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor(workers={self.workers}, "
             f"store={self.store!r}, progress={self.progress is not None}, "
-            f"chunk_size={self.chunk_size})"
+            f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds})"
         )
 
 
@@ -487,16 +666,24 @@ _defaults: dict[str, Any] = {
     "cache_dir": None,
     "progress": None,
     "chunk_size": None,
+    "chunk_seconds": None,
 }
 
 
-def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET, chunk_size=_UNSET) -> None:
+def configure(
+    workers=_UNSET,
+    cache_dir=_UNSET,
+    progress=_UNSET,
+    chunk_size=_UNSET,
+    chunk_seconds=_UNSET,
+) -> None:
     """Set process-wide defaults for :func:`execute`.
 
     Used by CLIs to route every subsequently-run experiment through a
     configured executor without threading parameters through each
     ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
-    ``REPRO_CACHE_DIR``, and ``REPRO_CHUNK_SIZE`` at call time.
+    ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, and
+    ``REPRO_CHUNK_SECONDS`` at call time.
     """
     if workers is not _UNSET:
         _defaults["workers"] = workers
@@ -506,6 +693,8 @@ def configure(workers=_UNSET, cache_dir=_UNSET, progress=_UNSET, chunk_size=_UNS
         _defaults["progress"] = progress
     if chunk_size is not _UNSET:
         _defaults["chunk_size"] = chunk_size
+    if chunk_seconds is not _UNSET:
+        _defaults["chunk_seconds"] = chunk_seconds
 
 
 def default_executor() -> ParallelExecutor:
@@ -518,6 +707,7 @@ def default_executor() -> ParallelExecutor:
         store=cache_dir,
         progress=_defaults["progress"],
         chunk_size=_defaults["chunk_size"],
+        chunk_seconds=_defaults["chunk_seconds"],
     )
 
 

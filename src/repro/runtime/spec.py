@@ -38,6 +38,8 @@ __all__ = [
     "StudyCell",
     "CoverageCell",
     "SequentialCoverageCell",
+    "DynamicAuditCell",
+    "PartitionedAuditCell",
     "StudyPlan",
     "cache_token",
     "shard_ranges",
@@ -46,8 +48,10 @@ __all__ = [
 
 #: Version tag mixed into every cache key.  Bump whenever a change to
 #: the evaluators, interval solvers, or cell semantics makes previously
-#: cached payloads stale.
-CACHE_VERSION = 1
+#: cached payloads stale.  2: cells grew the picklable ``method_payload``
+#: field (full method configuration in the token, not just the spec
+#: string).
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,15 @@ class CellSpec:
         Deliberately excluded from :func:`cache_token`: chunking changes
         scheduling, never numbers, so any chunking of a cell shares one
         cache entry for its merged result.
+    method_payload:
+        Full picklable method configuration — the primitive tuple
+        produced by :func:`repro.runtime.cells.method_payload` — for
+        methods whose configuration (informative priors, solver) is not
+        captured by the ``method`` spec string.  When set, runners build
+        the method from this payload (``method`` stays as the display
+        name) and the payload participates in the cache token, so two
+        ad-hoc methods with the same display name can never share an
+        entry.
     """
 
     key: tuple
@@ -86,6 +99,7 @@ class CellSpec:
     method: str
     alpha: float | None = None
     chunk_size: int | None = None
+    method_payload: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +157,88 @@ class SequentialCoverageCell(CellSpec):
     mu: float = 0.5
     seed: int = 0
     repetitions: int | None = None
+
+
+@dataclass(frozen=True)
+class DynamicAuditCell(CellSpec):
+    """Monte-Carlo replications of an evolving-KG audit stream.
+
+    One cell is a full Sec.-8 scenario: a base KG plus cumulative
+    update batches, re-audited after each batch with the posterior
+    carried forward as next round's informative prior.  Repetition
+    sharding splits the *replications* of the stream; the carried prior
+    threads through the rounds within each replication, so shards stay
+    independent and merge bit-identically.
+
+    Attributes
+    ----------
+    base_facts / base_accuracy:
+        The initial KG snapshot's size and ground-truth accuracy.
+    updates:
+        ``(num_facts, accuracy, intra_cluster_correlation)`` triples,
+        one per cumulative content batch, in arrival order.
+    stream_seed:
+        Concrete seed of the evolving-KG generator (already derived at
+        plan-build time).
+    strategy:
+        Sampling-design spec string used in every audit round.
+    carryover:
+        Fraction of the previous round's posterior pseudo-counts kept
+        as the next round's informative prior (0.0 = independent
+        re-audits).
+    max_prior_strength:
+        Cap on the carried prior's pseudo-annotation count.
+    seed:
+        Base audit seed; repetition ``r``, round ``i`` audits under
+        ``seed + r * rounds + i`` (see
+        :meth:`repro.evaluation.dynamic.DynamicAuditor.audit_study`).
+    repetitions:
+        Stream replications; ``None`` uses the plan settings' count.
+    """
+
+    base_facts: int = 6_000
+    base_accuracy: float = 0.85
+    updates: tuple[tuple[int, float, float], ...] = ()
+    stream_seed: int = 0
+    strategy: str = "TWCS:3"
+    carryover: float = 1.0
+    max_prior_strength: float = 200.0
+    seed: int = 0
+    repetitions: int | None = None
+
+
+@dataclass(frozen=True)
+class PartitionedAuditCell(CellSpec):
+    """A per-predicate partitioned audit of one KG under a shared budget.
+
+    The cell shards over *partitions* rather than repetitions: the
+    runtime's repetition index enumerates the KG's predicates (in their
+    deterministic sorted order), each shard computes the budget-
+    independent annotation trajectories of its partition window, and
+    the reducer merges the integer-evidence partials, replays the
+    budget allocation, and performs the shared interval solves once —
+    bit-identical to the serial :func:`~repro.evaluation.partitioned.
+    audit_by_predicate` for any chunking.
+
+    Attributes
+    ----------
+    dataset:
+        KG spec string (see :func:`repro.runtime.cells.build_kg`).
+    epsilon:
+        Per-partition MoE threshold.
+    min_per_partition:
+        Calibrated stop-rule floor per partition.
+    max_triples:
+        Global annotation budget.
+    seed:
+        Concrete RNG seed of the partition permutations.
+    """
+
+    dataset: str = "NELL"
+    epsilon: float = 0.05
+    min_per_partition: int = 30
+    max_triples: int = 50_000
+    seed: int = 0
 
 
 @dataclass(frozen=True)
