@@ -57,6 +57,7 @@ def test_bench_runtime_parallel_cache(tmp_path, bench_settings, monkeypatch):
     monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
     monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     settings = ExperimentSettings(
         repetitions=max(10, bench_settings.repetitions // 3),
         datasets=("YAGO", "NELL"),
@@ -142,6 +143,7 @@ def test_bench_runtime_repetition_sharding(monkeypatch):
     monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
     monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     repetitions = 1_000
     chunk_size = 50
     settings = ExperimentSettings(repetitions=repetitions, seed=0)
@@ -223,6 +225,7 @@ def test_bench_runtime_audit_sharding(monkeypatch):
     monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
     monkeypatch.delenv("REPRO_CHUNK_SECONDS", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     repetitions = 12
     settings = ExperimentSettings(repetitions=repetitions, seed=0)
     cell = DynamicAuditCell(

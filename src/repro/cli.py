@@ -8,6 +8,7 @@ Subcommands::
     python -m repro partition-audit <kg.tsv> [options]  per-predicate audit
     python -m repro plan --mu 0.9 [options]        predict the budget
     python -m repro study [options]                Monte-Carlo study grid
+    python -m repro worker <spool-dir>             serve a spool backend
 
 The audit subcommand reads the labelled-TSV format of
 :mod:`repro.kg.io`, treats the recorded labels as the (oracle)
@@ -17,10 +18,18 @@ optional ledger file records every judgement for suspend/resume.
 The partition-audit and study subcommands run through the runtime
 layer: ``--workers`` fans work out over processes with bit-identical
 results, ``--cache-dir`` persists completed cells so re-runs are
-served from disk and interrupted runs resume, and ``--chunk-size`` /
+served from disk and interrupted runs resume, ``--chunk-size`` /
 ``--chunk-seconds`` shard within cells (fixed reps-per-shard vs a
-pilot-calibrated seconds-per-shard target).  A partition-audit shards
+pilot-calibrated seconds-per-shard target), and ``--backend`` picks
+where units of work execute (``serial``, ``process``, or
+``spool[:dir]`` — a file-based work queue).  A partition-audit shards
 over the KG's predicates; a study cell shards over its repetitions.
+
+The worker subcommand is the other half of the spool backend: it
+leases task files from a spool directory (claimed by atomic rename, so
+any number of workers can serve one directory — from other terminals,
+containers, or hosts sharing a filesystem), executes them, and writes
+result files the scheduling run collects.
 """
 
 from __future__ import annotations
@@ -165,6 +174,42 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--epsilon", type=float, default=0.05)
     study.add_argument("--seed", type=int, default=0)
     _add_runtime_options(study)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a spool directory: lease, execute, and answer tasks",
+    )
+    worker.add_argument(
+        "spool",
+        nargs="?",
+        default=None,
+        help="spool directory (default: $REPRO_SPOOL_DIR)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="queue polling interval while idle (default: 0.1)",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N tasks (default: run until stopped)",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once the queue has stayed empty this long "
+        "(default: run until stopped)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-task lines"
+    )
     return parser
 
 
@@ -202,6 +247,13 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_CHUNK_SECONDS or off)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend: serial, process, or spool[:dir] "
+        "(a spool-directory work queue served by 'python -m repro "
+        "worker' processes; default: $REPRO_BACKEND or automatic)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
@@ -214,6 +266,7 @@ def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
         progress=not args.quiet,
         chunk_size=args.chunk_size,
         chunk_seconds=args.chunk_seconds,
+        backend=args.backend,
     )
 
 
@@ -384,6 +437,27 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .runtime.backends.spool import run_worker
+
+    def log(message: str) -> None:
+        print(f"[worker] {message}", file=sys.stderr, flush=True)
+
+    try:
+        executed = run_worker(
+            args.spool,
+            poll_interval=args.poll,
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            log=None if args.quiet else log,
+        )
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"executed {executed} task(s)")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
@@ -391,6 +465,7 @@ _COMMANDS = {
     "partition-audit": _cmd_partition_audit,
     "plan": _cmd_plan,
     "study": _cmd_study,
+    "worker": _cmd_worker,
 }
 
 

@@ -81,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_CHUNK_SECONDS or off)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="execution backend for grid-shaped experiments: serial, "
+        "process, or spool[:dir] (a spool-directory work queue served "
+        "by 'python -m repro worker' processes; default: "
+        "$REPRO_BACKEND or automatic)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/timing lines to stderr",
@@ -104,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=True if args.progress else None,
         chunk_size=args.chunk_size,
         chunk_seconds=args.chunk_seconds,
+        backend=args.backend,
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

@@ -1,11 +1,16 @@
-"""Study-execution runtime: parallel grids, caching, resume.
+"""Study-execution runtime: parallel grids, caching, resume, backends.
 
 The layer between the evaluators and the experiment scripts.  A grid of
 Monte-Carlo cells is described as data (:class:`StudyPlan` /
-:class:`CellSpec`), executed serially or across worker processes with
-bit-identical results (:class:`ParallelExecutor`), cached and resumed
-through a content-addressed disk store (:class:`ResultStore`), and
-reported cell by cell (:class:`ProgressReporter`).
+:class:`CellSpec`), scheduled by a backend-agnostic core
+(:mod:`repro.runtime.scheduler`) and dispatched through a pluggable
+:class:`ExecutionBackend` — in-process (:class:`SerialBackend`), a
+local process pool (:class:`ProcessPoolBackend`), or a spool-directory
+work queue served by detached ``python -m repro worker`` processes
+(:class:`SpoolBackend`) — always with bit-identical results
+(:class:`ParallelExecutor`), cached and resumed through a
+content-addressed disk store (:class:`ResultStore`), and reported cell
+by cell (:class:`ProgressReporter`).
 
 Cells themselves shard: with a chunk size configured, a cell's
 repetitions split into independent sub-cell windows (:class:`CellShard`)
@@ -15,12 +20,27 @@ that fan out across workers and merge back bit-identically, so one
 Environment knobs (read when :func:`execute` builds the default
 executor): ``REPRO_WORKERS`` sets the worker count, ``REPRO_CACHE_DIR``
 roots a result store, ``REPRO_CHUNK_SIZE`` turns on repetition
-sharding at a fixed granularity, and ``REPRO_CHUNK_SECONDS`` turns on
+sharding at a fixed granularity, ``REPRO_CHUNK_SECONDS`` turns on
 *adaptive* sharding (reps-per-shard calibrated from a timed pilot
 shard to target seconds-per-shard; mutually exclusive with the fixed
-size).
+size), and ``REPRO_BACKEND`` picks the execution backend (``serial``,
+``process[:n]``, or ``spool[:dir]`` with ``REPRO_SPOOL_DIR`` as the
+spool default).  Cache tokens never depend on the backend, so a run
+interrupted on one backend resumes on another at the finished-shard
+boundary.
 """
 
+from .backends import (
+    BackendFuture,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SpoolBackend,
+    SpoolTaskError,
+    make_backend,
+    register_backend,
+    run_worker,
+)
 from .cells import (
     build_kg,
     build_method,
@@ -47,6 +67,7 @@ from .executor import (
     execute,
 )
 from .progress import ProgressReporter
+from .scheduler import PlanScheduler
 from .spec import (
     CACHE_VERSION,
     CellShard,
@@ -79,9 +100,19 @@ __all__ = [
     "CellResult",
     "ChunkCalibration",
     "PlanOutcome",
+    "PlanScheduler",
     "ParallelExecutor",
     "ProgressReporter",
     "ResultStore",
+    "BackendFuture",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SpoolBackend",
+    "SpoolTaskError",
+    "make_backend",
+    "register_backend",
+    "run_worker",
     "build_kg",
     "build_method",
     "build_method_from_payload",

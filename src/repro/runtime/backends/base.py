@@ -1,0 +1,206 @@
+"""Execution backends: where a unit of work physically runs.
+
+The scheduler core (:mod:`repro.runtime.scheduler`) decides *what* runs
+next, which cache entries to reuse, and how shard partials merge back
+into cell results.  An :class:`ExecutionBackend` decides *where* a unit
+of work — a whole :class:`~repro.runtime.spec.CellSpec` or one
+:class:`~repro.runtime.spec.CellShard` — physically executes: in the
+scheduler's process (:class:`~repro.runtime.backends.serial.
+SerialBackend`), on a local process pool (:class:`~repro.runtime.
+backends.pool.ProcessPoolBackend`), or through a file-based work queue
+served by detached workers (:class:`~repro.runtime.backends.spool.
+SpoolBackend`).
+
+The contract is deliberately narrow.  A backend receives fully
+self-contained tasks (cells and shards are frozen dataclasses of
+primitives; runners rebuild everything from spec), returns future-like
+handles, and surfaces completions through :meth:`ExecutionBackend.
+wait_any`.  Everything that makes results *correct* — plan-time
+seeding, globally-indexed shard windows, lossless reducers — lives
+outside the backend, which is why every backend is bit-identical to
+every other and why cache tokens never depend on the backend choice: a
+run started on one backend resumes on any other at the finished-shard
+boundary.
+
+Backends register under a spec-string name (``"serial"``,
+``"process"``, ``"spool"``/``"spool:<dir>"``) resolved by
+:func:`make_backend`; ``REPRO_BACKEND`` supplies the process-wide
+default (see :func:`resolve_backend_spec`).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+from typing import TYPE_CHECKING, Any, Callable, Union
+
+from ...exceptions import ValidationError
+from ..cells import runner_for, shard_runner_for
+from ..spec import CellShard, CellSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...experiments.config import ExperimentSettings
+
+__all__ = [
+    "BackendFuture",
+    "ExecutionBackend",
+    "Task",
+    "make_backend",
+    "register_backend",
+    "resolve_backend_spec",
+    "run_cell",
+    "run_shard",
+    "run_task",
+]
+
+#: One schedulable unit of work: a whole cell or one repetition shard.
+Task = Union[CellSpec, CellShard]
+
+
+def run_cell(cell: CellSpec, settings: "ExperimentSettings") -> tuple[Any, float]:
+    """Execute one cell; module-level so it pickles into workers."""
+    start = time.perf_counter()
+    value = runner_for(cell)(cell, settings)
+    return value, time.perf_counter() - start
+
+
+def run_shard(shard: CellShard, settings: "ExperimentSettings") -> tuple[Any, float]:
+    """Execute one repetition shard; module-level so it pickles."""
+    start = time.perf_counter()
+    value = shard_runner_for(shard.cell)(
+        shard.cell, settings, shard.rep_start, shard.rep_stop
+    )
+    return value, time.perf_counter() - start
+
+
+def run_task(task: Task, settings: "ExperimentSettings") -> tuple[Any, float]:
+    """Execute one unit of work, cell or shard; returns (value, seconds).
+
+    The single entry point every backend dispatches through, so a task
+    produces the same value no matter which process — scheduler, pool
+    worker, or detached spool worker — runs it.
+    """
+    if isinstance(task, CellShard):
+        return run_shard(task, settings)
+    return run_cell(task, settings)
+
+
+class BackendFuture(abc.ABC):
+    """Future-like handle for one submitted task."""
+
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """Whether a result (or error) is available without blocking."""
+
+    @abc.abstractmethod
+    def result(self) -> tuple[Any, float]:
+        """The task's ``(value, seconds)``; raises its error if it failed."""
+
+
+class ExecutionBackend(abc.ABC):
+    """Where tasks run.  Lifecycle: ``open`` → ``submit``* → drain → ``close``.
+
+    ``open``/``close`` bracket one plan execution: the scheduler opens
+    the backend with the run's worker count and task total (sizing
+    hints), submits every runnable unit, drains completions with
+    :meth:`wait_any`, and closes the backend in a ``finally`` so pools
+    shut down and queues are swept even when a task raises.
+    """
+
+    #: Spec-string name, recorded on the run's :class:`PlanOutcome`.
+    name: str = "?"
+
+    def open(
+        self, workers: int, tasks: int, settings: "ExperimentSettings"
+    ) -> None:
+        """Prepare for one run of up to *tasks* units (lifecycle hook)."""
+
+    def close(self) -> None:
+        """Release run-scoped resources (lifecycle hook)."""
+
+    @abc.abstractmethod
+    def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
+        """Enqueue *task*; returns its future-like handle."""
+
+    def wait_any(
+        self, outstanding: set[BackendFuture]
+    ) -> tuple[set[BackendFuture], set[BackendFuture]]:
+        """Block until ≥1 of *outstanding* completes; returns (ready, rest).
+
+        The default implementation polls :meth:`BackendFuture.done`
+        with a short sleep — enough for file-based backends; in-process
+        backends override it with a real wait primitive.
+        """
+        while True:
+            ready = {future for future in outstanding if future.done()}
+            if ready:
+                return ready, outstanding - ready
+            time.sleep(0.005)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Registry and spec resolution
+# ----------------------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[[str], ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Register a backend factory under spec-string *name*.
+
+    The factory receives the spec's argument part (the text after the
+    first ``:``, empty when absent), so ``"spool:/var/q"`` reaches the
+    spool factory as ``"/var/q"``.
+    """
+
+    def decorate(factory: Callable[[str], ExecutionBackend]):
+        _BACKENDS[name.strip().lower()] = factory
+        return factory
+
+    return decorate
+
+
+def _known() -> str:
+    return ", ".join(sorted(_BACKENDS))
+
+
+def make_backend(spec: str) -> ExecutionBackend:
+    """Instantiate the backend described by *spec* (``name[:arg]``)."""
+    head, _, arg = str(spec).partition(":")
+    factory = _BACKENDS.get(head.strip().lower())
+    if factory is None:
+        raise ValidationError(
+            f"unknown execution backend {spec!r}; expected one of: {_known()}"
+        )
+    return factory(arg)
+
+
+def resolve_backend_spec(
+    backend: Union[str, ExecutionBackend, None],
+) -> Union[str, ExecutionBackend, None]:
+    """Explicit backend, or the ``REPRO_BACKEND`` default (auto).
+
+    Returns ``None`` for the automatic policy (serial at ``workers=1``,
+    process pool otherwise), a validated spec string, or a ready
+    instance passed through untouched.  Validation happens here — at
+    executor construction — so a typo in ``REPRO_BACKEND`` fails fast
+    instead of at the first plan execution.
+    """
+    if backend is None:
+        raw = os.environ.get("REPRO_BACKEND", "").strip()
+        if not raw:
+            return None
+        backend = raw
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    spec = str(backend)
+    head = spec.partition(":")[0].strip().lower()
+    if head not in _BACKENDS:
+        raise ValidationError(
+            f"unknown execution backend {spec!r}; expected one of: {_known()}"
+        )
+    return spec

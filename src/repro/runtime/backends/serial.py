@@ -1,0 +1,72 @@
+"""In-process serial backend: the ``workers=1`` path.
+
+Execution is *lazy*: :meth:`SerialBackend.submit` only enqueues, and
+each :meth:`wait_any` call runs exactly one task — the next in submit
+(= plan) order — before handing it back.  That keeps the scheduler's
+persistence incremental, exactly like the pre-backend serial loop: every
+completed cell/shard hits the :class:`~repro.runtime.store.ResultStore`
+before the next one starts, so an interrupted run loses at most the unit
+in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from .base import BackendFuture, ExecutionBackend, Task, register_backend, run_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...experiments.config import ExperimentSettings
+
+__all__ = ["SerialBackend"]
+
+
+class _SerialFuture(BackendFuture):
+    """A lazily-executed task; ``_run`` is driven by ``wait_any``."""
+
+    def __init__(self, task: Task, settings: "ExperimentSettings"):
+        self._task = task
+        self._settings = settings
+        self._value: tuple[Any, float] | None = None
+
+    def _run(self) -> None:
+        self._value = run_task(self._task, self._settings)
+
+    def done(self) -> bool:
+        return self._value is not None
+
+    def result(self) -> tuple[Any, float]:
+        return self._value
+
+
+@register_backend("serial")
+def _make_serial(arg: str) -> "SerialBackend":
+    return SerialBackend()
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every task in the scheduler's process, one at a time."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._queue: deque[_SerialFuture] = deque()
+
+    def open(self, workers, tasks, settings) -> None:
+        self._queue.clear()
+
+    def close(self) -> None:
+        self._queue.clear()
+
+    def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
+        future = _SerialFuture(task, settings)
+        self._queue.append(future)
+        return future
+
+    def wait_any(self, outstanding):
+        future = self._queue.popleft()
+        # Exceptions propagate straight out of the run, like the
+        # pre-backend serial loop: there is no pool to unwind.
+        future._run()
+        return {future}, outstanding - {future}

@@ -1,0 +1,415 @@
+"""Spool-directory backend: a file-based work queue for detached workers.
+
+The scheduler serialises each task into ``<spool>/tasks/<id>.task``;
+any number of workers — started with ``python -m repro worker <spool>``
+in other terminals, containers, or (on a shared filesystem) other hosts
+— *lease* task files by atomically renaming them into
+``<spool>/claimed/``, execute them through the same
+:func:`~repro.runtime.backends.base.run_task` every backend uses, and
+write ``<spool>/results/<id>.result`` (temp file + ``os.replace``, so
+readers never see a partial payload).  The scheduler collects results,
+consolidates them through the ordinary
+:class:`~repro.runtime.store.ResultStore` path, and sweeps its own spool
+files on close.
+
+Leasing via ``os.rename`` is atomic on POSIX filesystems: exactly one
+claimant wins a task, with no lock files or coordination service —
+which is what makes the queue multi-process today and multi-host
+tomorrow.  Three robustness rules keep it live:
+
+* **participation** — by default the scheduler is itself a worker:
+  whenever no result is ready it leases and executes a task in-process,
+  so a run completes (serially) even with zero external workers;
+* **poison handling** — a task a claimant cannot deserialise (a cell
+  class importable only in the submitting process, or a corrupt file)
+  is returned to the queue and remembered in a local skip-set, leaving
+  it for a claimant that *can* run it instead of failing the run;
+* **lease reclaim** — a task claimed by a worker that died is renamed
+  back into the queue once its lease goes stale
+  (``reclaim_seconds``), so a crashed worker delays a run instead of
+  hanging it.
+
+Execution errors are real results: the worker pickles the exception
+(or a :class:`SpoolTaskError` carrying the traceback when the exception
+itself will not pickle) into the result file, and the scheduler re-raises
+it — the same surfacing the process-pool backend gives.
+
+Tasks that will not pickle at all fall back to inline execution in the
+scheduler; they could never reach another process under *any* backend,
+so the spool degrades to the serial path for exactly those units.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Union
+
+from ...exceptions import ValidationError
+from .base import BackendFuture, ExecutionBackend, Task, register_backend, run_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...experiments.config import ExperimentSettings
+
+__all__ = ["SpoolBackend", "SpoolTaskError", "run_worker"]
+
+_TASK_DIR = "tasks"
+_CLAIM_DIR = "claimed"
+_RESULT_DIR = "results"
+_TASK_SUFFIX = ".task"
+_RESULT_SUFFIX = ".result"
+
+
+class SpoolTaskError(RuntimeError):
+    """A spooled task failed with an exception that would not pickle;
+    carries the worker-side traceback text instead."""
+
+
+def _resolve_root(root: Union[str, Path, None]) -> Path:
+    if root is None or root == "":
+        raw = os.environ.get("REPRO_SPOOL_DIR", "").strip()
+        if not raw:
+            raise ValidationError(
+                "the spool backend needs a directory: pass "
+                "backend='spool:<dir>' or set REPRO_SPOOL_DIR"
+            )
+        root = raw
+    return Path(root)
+
+
+def _ensure_layout(root: Path) -> None:
+    for sub in (_TASK_DIR, _CLAIM_DIR, _RESULT_DIR):
+        (root / sub).mkdir(parents=True, exist_ok=True)
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+def _claim(root: Path, task_path: Path) -> Path | None:
+    """Lease *task_path* by renaming it into ``claimed/``; ``None`` if lost.
+
+    ``os.rename`` is atomic, so of any number of racing claimants
+    exactly one sees the rename succeed — the others get
+    ``FileNotFoundError`` and move on.  The lease clock starts *now*:
+    rename preserves the file's submit-time mtime, so the claim is
+    re-stamped or stale-lease reclaim would measure queue wait instead
+    of execution time and steal live leases from busy workers.
+    """
+    target = root / _CLAIM_DIR / task_path.name
+    try:
+        os.rename(task_path, target)
+    except FileNotFoundError:
+        return None
+    try:
+        os.utime(target)
+    except OSError:  # pragma: no cover - claim raced a reclaim/sweep
+        pass
+    return target
+
+
+def _unclaim(root: Path, claimed: Path) -> None:
+    """Return a leased task to the queue (poison or interrupt path)."""
+    try:
+        os.rename(claimed, root / _TASK_DIR / claimed.name)
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass
+
+
+def _write_result(root: Path, task_id: str, payload: dict) -> None:
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        # The computed value itself would not pickle; surface that as
+        # the task's error rather than wedging the queue.
+        blob = pickle.dumps(
+            {
+                "id": task_id,
+                "error": SpoolTaskError(
+                    f"task {task_id} produced an unpicklable result"
+                ),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    _atomic_write(root / _RESULT_DIR / f"{task_id}{_RESULT_SUFFIX}", blob)
+
+
+def _execute_payload(task_id: str, payload: dict) -> dict:
+    try:
+        value, seconds = run_task(payload["task"], payload["settings"])
+    except Exception as exc:
+        text = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+            error: Exception = exc
+        except Exception:
+            error = SpoolTaskError(f"task {task_id} failed:\n{text}")
+        return {"id": task_id, "error": error, "traceback": text}
+    return {"id": task_id, "value": value, "seconds": seconds, "error": None}
+
+
+def _drain_one(
+    root: Path,
+    poisoned: set[str],
+    log: Callable[[str], None] | None = None,
+) -> str | None:
+    """Lease, execute, and answer one spooled task; its id, or ``None``.
+
+    Shared by detached workers and the participating scheduler, so both
+    kinds of claimant behave identically.  Tasks in *poisoned* — ids
+    this claimant already failed to deserialise — are skipped; a newly
+    undeserialisable task is returned to the queue and poisoned locally,
+    leaving it for a claimant that has its cell types importable.
+    """
+    task_root = root / _TASK_DIR
+    try:
+        entries = sorted(task_root.glob(f"*{_TASK_SUFFIX}"))
+    except OSError:  # pragma: no cover - spool removed underfoot
+        return None
+    for task_path in entries:
+        task_id = task_path.name[: -len(_TASK_SUFFIX)]
+        if task_id in poisoned:
+            continue
+        claimed = _claim(root, task_path)
+        if claimed is None:
+            continue  # another claimant won the rename
+        try:
+            with claimed.open("rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict) or "task" not in payload:
+                raise ValueError("not a spool task payload")
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            _unclaim(root, claimed)
+            raise
+        except Exception:
+            # Undeserialisable OR deserialised into something that is
+            # not a task payload: either way this claimant cannot run
+            # it — requeue and poison locally, never crash the loop.
+            poisoned.add(task_id)
+            _unclaim(root, claimed)
+            if log is not None:
+                log(f"skipping task {task_id}: cannot deserialise here")
+            continue
+        try:
+            result = _execute_payload(task_id, payload)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            _unclaim(root, claimed)
+            raise
+        if not claimed.exists():
+            # The lease was taken away mid-execution — a stale-lease
+            # reclaim (this claimant looked dead) or the owning run's
+            # close-time sweep.  Whoever holds the task now owns the
+            # answer; writing ours would clobber theirs or strand an
+            # orphan result file in a shared spool directory.
+            if log is not None:
+                log(f"dropping {task_id}: lease was reclaimed during execution")
+            continue
+        _write_result(root, task_id, result)
+        claimed.unlink(missing_ok=True)
+        if log is not None:
+            label = getattr(payload.get("task"), "label", task_id)
+            if result.get("error") is None:
+                log(f"executed {task_id} ({label}) in {result['seconds']:.2f}s")
+            else:
+                log(f"task {task_id} ({label}) failed: {result['error']!r}")
+        return task_id
+    return None
+
+
+class _SpoolFuture(BackendFuture):
+    """Completion handle backed by ``results/<id>.result``."""
+
+    def __init__(self, backend: "SpoolBackend", task_id: str):
+        self._backend = backend
+        self.task_id = task_id
+        self._payload: dict | None = None
+
+    def _complete(self, payload: dict) -> None:
+        self._payload = payload
+
+    def done(self) -> bool:
+        if self._payload is not None:
+            return True
+        path = (
+            self._backend.root / _RESULT_DIR / f"{self.task_id}{_RESULT_SUFFIX}"
+        )
+        try:
+            with path.open("rb") as handle:
+                self._payload = pickle.load(handle)
+        except FileNotFoundError:
+            return False
+        path.unlink(missing_ok=True)
+        return True
+
+    def result(self) -> tuple[Any, float]:
+        error = self._payload.get("error")
+        if error is not None:
+            raise error
+        return self._payload["value"], self._payload["seconds"]
+
+
+@register_backend("spool")
+def _make_spool(arg: str) -> "SpoolBackend":
+    return SpoolBackend(arg or None)
+
+
+class SpoolBackend(ExecutionBackend):
+    """Dispatches tasks through a spool directory of leased files.
+
+    Parameters
+    ----------
+    root:
+        Spool directory; ``None`` reads ``REPRO_SPOOL_DIR`` at open
+        time.  Created (with its ``tasks/``, ``claimed/``,
+        ``results/`` subdirectories) on first use.
+    poll_interval:
+        Seconds between result scans while waiting.
+    participate:
+        Whether the scheduler leases and executes tasks itself whenever
+        none of its results are ready (default ``True``).  Guarantees a
+        run completes with zero workers attached; disable only to force
+        every task through external workers (tests do).
+    reclaim_seconds:
+        Age after which a *claimed* task belonging to this run is
+        presumed orphaned by a dead worker and returned to the queue;
+        ``None`` disables reclaiming.
+    """
+
+    name = "spool"
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        poll_interval: float = 0.02,
+        participate: bool = True,
+        reclaim_seconds: float | None = 300.0,
+    ):
+        self._root_spec = root
+        self.poll_interval = float(poll_interval)
+        self.participate = bool(participate)
+        self.reclaim_seconds = reclaim_seconds
+        self.root: Path | None = None
+        self._poisoned: set[str] = set()
+        self._submitted: list[str] = []
+
+    def open(self, workers: int, tasks: int, settings) -> None:
+        self.root = _resolve_root(self._root_spec)
+        _ensure_layout(self.root)
+        self._run_id = uuid.uuid4().hex[:12]
+        self._seq = 0
+        self._poisoned = set()
+        self._submitted = []
+
+    def close(self) -> None:
+        # Sweep this run's leftovers — queued tasks never collected
+        # because an error aborted the drain, leases abandoned in
+        # claimed/ (their holder, seeing its lease file gone, drops the
+        # result instead of writing an orphan), and results of
+        # reclaimed duplicates — so an aborted run cannot poison the
+        # next one, strand a lease, or busy a worker with work nobody
+        # will collect.
+        if self.root is None:
+            return
+        for task_id in self._submitted:
+            for directory, suffix in (
+                (_TASK_DIR, _TASK_SUFFIX),
+                (_CLAIM_DIR, _TASK_SUFFIX),
+                (_RESULT_DIR, _RESULT_SUFFIX),
+            ):
+                (self.root / directory / f"{task_id}{suffix}").unlink(
+                    missing_ok=True
+                )
+        self._submitted = []
+
+    def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
+        task_id = f"{self._run_id}-{self._seq:06d}"
+        self._seq += 1
+        future = _SpoolFuture(self, task_id)
+        try:
+            blob = pickle.dumps(
+                {"id": task_id, "task": task, "settings": settings},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            # A task that cannot be serialised can never leave this
+            # process under any backend; run it inline instead.
+            future._complete(_execute_payload(task_id, {"task": task, "settings": settings}))
+            return future
+        _atomic_write(self.root / _TASK_DIR / f"{task_id}{_TASK_SUFFIX}", blob)
+        self._submitted.append(task_id)
+        return future
+
+    def wait_any(self, outstanding):
+        while True:
+            ready = {future for future in outstanding if future.done()}
+            if ready:
+                return ready, outstanding - ready
+            if self.participate and _drain_one(self.root, self._poisoned):
+                continue
+            self._reclaim_stale(outstanding)
+            time.sleep(self.poll_interval)
+
+    def _reclaim_stale(self, outstanding) -> None:
+        """Return this run's orphaned leases to the queue."""
+        if self.reclaim_seconds is None:
+            return
+        cutoff = time.time() - self.reclaim_seconds
+        for future in outstanding:
+            claimed = (
+                self.root / _CLAIM_DIR / f"{future.task_id}{_TASK_SUFFIX}"
+            )
+            try:
+                if claimed.stat().st_mtime < cutoff:
+                    _unclaim(self.root, claimed)
+            except OSError:
+                continue
+
+    def __repr__(self) -> str:
+        return (
+            f"SpoolBackend(root={str(self._root_spec)!r}, "
+            f"participate={self.participate})"
+        )
+
+
+def run_worker(
+    root: Union[str, Path, None] = None,
+    poll_interval: float = 0.1,
+    max_tasks: int | None = None,
+    idle_timeout: float | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Serve a spool directory: lease, execute, and answer tasks.
+
+    The loop behind ``python -m repro worker <spool-dir>``.  Runs until
+    stopped (Ctrl-C), until *max_tasks* tasks have executed, or — when
+    *idle_timeout* is set — once the queue has stayed empty for that
+    many seconds.  Returns the number of tasks executed.
+
+    Workers are stateless with respect to the scheduler: everything a
+    task needs travels inside the task file, results travel back as
+    files, and per-process memos (the KG cache, snapshot streams) warm
+    up across tasks exactly as pool workers' do.
+    """
+    root = _resolve_root(root)
+    _ensure_layout(root)
+    executed = 0
+    poisoned: set[str] = set()
+    last_activity = time.monotonic()
+    while max_tasks is None or executed < max_tasks:
+        if _drain_one(root, poisoned, log=log) is not None:
+            executed += 1
+            last_activity = time.monotonic()
+            continue
+        if (
+            idle_timeout is not None
+            and time.monotonic() - last_activity >= idle_timeout
+        ):
+            break
+        time.sleep(poll_interval)
+    return executed

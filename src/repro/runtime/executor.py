@@ -1,10 +1,18 @@
 """Parallel study execution with caching, resume, and progress.
 
 :class:`ParallelExecutor` runs a :class:`~repro.runtime.spec.StudyPlan`
-either serially (``workers=1``, the default) or fanned out over a
-``ProcessPoolExecutor``.  Because every cell is seeded at plan-build
-time and runners rebuild their inputs from specs, the two paths are
-bit-identical — parallelism changes wall-clock, never numbers.
+by pairing a backend-agnostic scheduler core
+(:class:`~repro.runtime.scheduler.PlanScheduler` — cache scan, ready
+queue, merge barriers, persistence, progress) with a pluggable
+:class:`~repro.runtime.backends.ExecutionBackend` that decides where
+each unit of work physically executes: in-process
+(:class:`~repro.runtime.backends.SerialBackend`), on a local process
+pool (:class:`~repro.runtime.backends.ProcessPoolBackend`), or through
+a spool-directory work queue served by detached ``python -m repro
+worker`` processes (:class:`~repro.runtime.backends.SpoolBackend`).
+Because every cell is seeded at plan-build time and runners rebuild
+their inputs from specs, all backends are bit-identical — the backend
+changes wall-clock and placement, never numbers.
 
 Two levels of parallelism compose here.  Cells fan out across workers,
 and — when a chunk size is configured — a cell's *repetitions* are
@@ -17,11 +25,13 @@ bit-identical to the unsharded run.
 Cells completed earlier — in this run, a previous run, or a run that
 was interrupted — are served from the optional
 :class:`~repro.runtime.store.ResultStore`; fresh results are persisted
-the moment they arrive in the parent process, so a grid killed halfway
-resumes from its last completed cell.  Sharded cells persist *per
-shard*: a killed 1,000-repetition cell resumes at the boundary of its
-last finished shard, and the transient shard entries are dropped once
-the merged cell result is stored.
+the moment they arrive in the scheduler process, so a grid killed
+halfway resumes from its last completed cell.  Sharded cells persist
+*per shard*: a killed 1,000-repetition cell resumes at the boundary of
+its last finished shard, and the transient shard entries are dropped
+once the merged cell result is stored.  Cache tokens never depend on
+the backend, so a run interrupted under one backend resumes under any
+other at the finished-shard boundary.
 
 Chunk sizes can be fixed (``chunk_size`` / ``REPRO_CHUNK_SIZE``) or
 adaptive (``chunk_seconds`` / ``REPRO_CHUNK_SECONDS``): the adaptive
@@ -33,31 +43,38 @@ different per-repetition cost.  Either way chunking is pure scheduling
 The module-level :func:`execute` is the convenience entry point the
 experiment modules use: it builds a default executor from
 :func:`configure` overrides and the ``REPRO_WORKERS`` /
-``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS``
-environment variables, read at call time so CI can flip the whole
-suite to parallel, sharded execution without code changes.
+``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS`` /
+``REPRO_BACKEND`` environment variables, read at call time so CI can
+flip the whole suite to parallel, sharded, or spool-dispatched
+execution without code changes.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ..exceptions import ValidationError
-from .cells import (
-    cell_repetitions,
-    is_shardable,
-    runner_for,
-    shard_reducer_for,
-    shard_runner_for,
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend_spec,
+    run_shard,
 )
+from .cells import cell_repetitions, is_shardable
 from .progress import ProgressReporter
-from .spec import CellShard, CellSpec, StudyPlan, cache_token, shard_ranges, shard_token
+from .scheduler import (
+    CellResult,
+    ChunkCalibration,
+    PlanOutcome,
+    PlanScheduler,
+    task_of,
+)
+from .spec import CellShard, StudyPlan, cache_token, shard_token
 from .store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,94 +89,6 @@ __all__ = [
     "default_executor",
     "execute",
 ]
-
-
-@dataclass(frozen=True)
-class ChunkCalibration:
-    """Outcome of an adaptive chunk-sizing pilot (scheduling only).
-
-    Records which cell served as the pilot, how many repetitions the
-    timed pilot shard covered, its wall-clock, and the reps-per-shard
-    the run derived from it.  Pure scheduling metadata: the calibrated
-    chunk size never reaches cache keys (tokens are chunking-
-    independent) or result payloads, so two runs calibrated differently
-    still produce byte-identical results files.
-    """
-
-    cell_key: tuple
-    pilot_repetitions: int
-    pilot_seconds: float
-    chunk_size: int
-
-
-@dataclass(frozen=True)
-class CellResult:
-    """One executed (or cache-served) cell.
-
-    ``seconds`` is the compute time of the cell itself (summed across
-    its shards when it ran sharded; 0.0 for cache hits); ``cached``
-    records whether the value was assembled without computing anything.
-    ``shards`` is the number of repetition shards the cell was split
-    into (1 = unsharded) and ``shards_cached`` how many of those were
-    served from the store (resume).
-    """
-
-    cell: CellSpec
-    value: Any
-    seconds: float
-    cached: bool
-    shards: int = 1
-    shards_cached: int = 0
-
-
-@dataclass(frozen=True)
-class PlanOutcome:
-    """Everything a plan execution produced, in plan order.
-
-    ``calibration`` records the adaptive chunk-sizing pilot when the
-    run was configured with ``chunk_seconds`` and had shardable work to
-    calibrate on; ``None`` otherwise.
-    """
-
-    plan: StudyPlan
-    cells: tuple[CellResult, ...]
-    workers: int
-    seconds: float
-    calibration: ChunkCalibration | None = None
-
-    @property
-    def results(self) -> dict[tuple, Any]:
-        """Cell values keyed by each cell's plan key."""
-        return {entry.cell.key: entry.value for entry in self.cells}
-
-    @property
-    def cache_hits(self) -> int:
-        """Cells served from the result store."""
-        return sum(1 for entry in self.cells if entry.cached)
-
-    @property
-    def cache_misses(self) -> int:
-        """Cells that had to compute."""
-        return len(self.cells) - self.cache_hits
-
-    @property
-    def compute_seconds(self) -> float:
-        """Summed per-cell compute time (serial-equivalent work)."""
-        return sum(entry.seconds for entry in self.cells)
-
-    def summary(self) -> str:
-        """One-line execution summary for logs and CLIs."""
-        name = self.plan.name or "plan"
-        sharded = sum(1 for entry in self.cells if entry.shards > 1)
-        shard_note = f", {sharded} sharded" if sharded else ""
-        if self.calibration is not None:
-            shard_note += f", chunk~{self.calibration.chunk_size} calibrated"
-        return (
-            f"{name}: {len(self.cells)} cells in {self.seconds:.2f}s "
-            f"wall ({self.compute_seconds:.2f}s compute, "
-            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
-            f"{self.cache_hits} cached{shard_note})"
-        )
 
 
 def _resolve_workers(workers: int | None) -> int:
@@ -217,66 +146,17 @@ def _resolve_chunk_seconds(chunk_seconds: float | None) -> float | None:
     return chunk_seconds
 
 
-def _run_cell(cell: CellSpec, settings: "ExperimentSettings") -> tuple[Any, float]:
-    """Execute one cell; module-level so it pickles into workers."""
-    start = time.perf_counter()
-    value = runner_for(cell)(cell, settings)
-    return value, time.perf_counter() - start
-
-
-def _run_shard(shard: CellShard, settings: "ExperimentSettings") -> tuple[Any, float]:
-    """Execute one repetition shard; module-level so it pickles."""
-    start = time.perf_counter()
-    value = shard_runner_for(shard.cell)(
-        shard.cell, settings, shard.rep_start, shard.rep_stop
-    )
-    return value, time.perf_counter() - start
-
-
-def _pool_context():
-    """Fork where available: cheap start-up, and runners registered at
-    runtime (e.g. custom cell types) are inherited by workers."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
-
-
-@dataclass
-class _ShardedCell:
-    """Merge-barrier bookkeeping for one sharded cell in flight."""
-
-    index: int
-    cell: CellSpec
-    token: str | None
-    repetitions: int
-    shards: tuple[CellShard, ...]
-    partials: dict[int, Any] = field(default_factory=dict)
-    shard_tokens: dict[int, str] = field(default_factory=dict)
-    seconds: float = 0.0
-    cached_shards: int = 0
-
-    @property
-    def complete(self) -> bool:
-        return len(self.partials) == len(self.shards)
-
-    @property
-    def reps_done(self) -> int:
-        return sum(
-            shard.repetitions
-            for shard in self.shards
-            if shard.index in self.partials
-        )
-
-
 class ParallelExecutor:
-    """Executes study plans over a process pool with a result cache.
+    """Executes study plans over a pluggable backend with a result cache.
 
     Parameters
     ----------
     workers:
         Worker processes; ``None`` reads ``REPRO_WORKERS`` (default 1).
-        ``1`` executes serially in-process — the fallback path, also
-        used automatically when a plan has at most one uncached unit of
-        work.
+        ``1`` executes serially in-process under the automatic backend
+        policy — also used when a plan has at most one uncached unit of
+        work.  The spool backend ignores this count: its parallelism is
+        however many ``python -m repro worker`` processes are attached.
     store:
         A :class:`~repro.runtime.store.ResultStore`, a directory path
         to root one at, or ``None`` to disable caching.
@@ -305,6 +185,16 @@ class ParallelExecutor:
         code pinning a chunk size keeps working under a
         ``REPRO_CHUNK_SECONDS`` CI leg and vice versa.  Calibration is
         pure scheduling — chunking never changes numbers or cache keys.
+    backend:
+        Where units of work execute: an
+        :class:`~repro.runtime.backends.ExecutionBackend` instance, a
+        spec string (``"serial"``, ``"process[:n]"``,
+        ``"spool[:dir]"``), or ``None`` to read ``REPRO_BACKEND`` —
+        falling back to the automatic policy (serial at ``workers=1``
+        or ≤1 pending unit, process pool otherwise).  Backends change
+        placement and wall-clock only: results are bit-identical and
+        cache tokens are backend-independent, so runs resume across
+        backend switches.
     """
 
     def __init__(
@@ -314,6 +204,7 @@ class ParallelExecutor:
         progress: Union[bool, Callable[[int, int, CellResult], None], None] = None,
         chunk_size: int | None = None,
         chunk_seconds: float | None = None,
+        backend: Union[str, ExecutionBackend, None] = None,
     ):
         self.workers = _resolve_workers(workers)
         if chunk_size is not None and chunk_seconds is not None:
@@ -333,6 +224,7 @@ class ParallelExecutor:
                     "REPRO_CHUNK_SIZE and REPRO_CHUNK_SECONDS are both set; "
                     "unset one (fixed reps-per-shard vs seconds-per-shard)"
                 )
+        self.backend = resolve_backend_spec(backend)
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
@@ -342,39 +234,21 @@ class ParallelExecutor:
             progress = None
         self.progress: Callable[[int, int, CellResult], None] | None = progress
 
-    def _shards_for(
-        self,
-        cell: CellSpec,
-        settings: "ExperimentSettings",
-        default_chunk: int | None,
-    ) -> tuple[int, tuple[CellShard, ...]] | None:
-        """The shard decomposition of *cell*, or ``None`` to run whole.
+    def _backend_for(self, pending: int) -> ExecutionBackend:
+        """The backend this run dispatches through.
 
-        A cell shards when its type registered the sharding triple and
-        the effective chunk size (cell override, else *default_chunk* —
-        the executor's fixed chunk size or the run's calibrated one)
-        splits its repetitions into more than one window.
+        An explicit backend (constructor argument or ``REPRO_BACKEND``)
+        is honoured as-is.  The automatic policy reproduces the classic
+        behaviour: a process pool when there are both multiple workers
+        and multiple units of work, the serial path otherwise.
         """
-        chunk = cell.chunk_size if cell.chunk_size is not None else default_chunk
-        if chunk is None or not is_shardable(cell):
-            return None
-        if chunk < 1:
-            raise ValidationError(f"chunk_size must be >= 1, got {chunk}")
-        repetitions = cell_repetitions(cell, settings)
-        ranges = shard_ranges(repetitions, chunk)
-        if len(ranges) < 2:
-            return None
-        shards = tuple(
-            CellShard(
-                cell=cell,
-                index=i,
-                shards=len(ranges),
-                rep_start=start,
-                rep_stop=stop,
-            )
-            for i, (start, stop) in enumerate(ranges)
-        )
-        return repetitions, shards
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        if self.backend is not None:
+            return make_backend(self.backend)
+        if self.workers > 1 and pending > 1:
+            return ProcessPoolBackend()
+        return SerialBackend()
 
     #: Repetitions the calibration pilot shard covers (capped at half
     #: the pilot cell's repetitions so the run still has work to shard).
@@ -415,7 +289,7 @@ class ParallelExecutor:
                 rep_start=0,
                 rep_stop=pilot_reps,
             )
-            value, seconds = _run_shard(shard, settings)
+            value, seconds = run_shard(shard, settings)
             if self.store is not None:
                 self.store.save(
                     shard_token(shard, settings, repetitions),
@@ -441,14 +315,15 @@ class ParallelExecutor:
     def run(self, plan: StudyPlan) -> PlanOutcome:
         """Execute *plan*; returns results for every cell, plan-ordered.
 
-        Cache lookups happen first — merged cell entries, then per-shard
-        entries for sharded cells — and the remaining units of work
-        (whole cells and repetition shards alike) execute on the pool or
-        serially.  Each fresh result is persisted to the store from the
-        parent process as soon as it completes: whole cells and shards
-        one by one, so interruption at any point loses at most the work
-        still in flight, and a killed sharded cell resumes at its last
-        finished shard.
+        The scheduler core serves the cache first — merged cell
+        entries, then per-shard entries for sharded cells — and the
+        remaining units of work (whole cells and repetition shards
+        alike) dispatch through the run's backend.  Each fresh result
+        is persisted to the store from the scheduler process as soon as
+        it completes: whole cells and shards one by one, so
+        interruption at any point loses at most the work still in
+        flight, and a killed sharded cell resumes at its last finished
+        shard — on this backend or any other.
 
         With ``chunk_seconds`` configured, a timed pilot shard runs
         first and fixes this run's reps-per-shard (see
@@ -457,7 +332,6 @@ class ParallelExecutor:
         """
         start = time.perf_counter()
         settings = plan.settings
-        total = len(plan.cells)
         default_chunk = self.chunk_size
         calibration = None
         pilot = None
@@ -465,194 +339,44 @@ class ParallelExecutor:
             calibration, pilot = self._calibrate_chunk(plan, settings)
             if calibration is not None:
                 default_chunk = calibration.chunk_size
-        entries: dict[int, CellResult] = {}
-        pending: list[tuple] = []  # ("cell", index, cell, token) | ("shard", state, shard)
-        done = 0
-
-        def report(result: CellResult) -> None:
-            nonlocal done
-            done += 1
-            if self.progress is not None:
-                self.progress(done, total, result)
-
-        def finish_cell(index: int, cell: CellSpec, token: str | None, value, seconds) -> None:
-            if token is not None:
-                self.store.save(
-                    token, {"value": value, "label": cell.label, "seconds": seconds}
-                )
-                # An unsharded completion also sweeps any shard
-                # scaffolding filed under this cell's group — a
-                # calibration pilot whose chunking ended up unsharded,
-                # or windows left by an interrupted sharded run.
-                self.store.discard_group(token)
-            entries[index] = CellResult(
-                cell=cell, value=value, seconds=seconds, cached=False
-            )
-            report(entries[index])
-
-        def merge_cell(state: _ShardedCell) -> None:
-            partials = [state.partials[i] for i in range(len(state.shards))]
-            value = shard_reducer_for(state.cell)(state.cell, settings, partials)
-            if state.token is not None:
-                self.store.save(
-                    state.token,
-                    {
-                        "value": value,
-                        "label": state.cell.label,
-                        "seconds": state.seconds,
-                    },
-                )
-                # Shard entries are scaffolding for resume; once the
-                # merged result is durable they only cost disk.  The
-                # group is keyed by the chunking-independent cell token,
-                # so this also sweeps stale windows left by interrupted
-                # runs under a different chunk size.
-                self.store.discard_group(state.token)
-            entries[state.index] = CellResult(
-                cell=state.cell,
-                value=value,
-                seconds=state.seconds,
-                cached=len(state.partials) == state.cached_shards,
-                shards=len(state.shards),
-                shards_cached=state.cached_shards,
-            )
-            report(entries[state.index])
-
-        def shard_progress(state: _ShardedCell) -> None:
-            update = getattr(self.progress, "shard_update", None)
-            if update is not None:
-                update(
-                    state.cell,
-                    len(state.partials),
-                    len(state.shards),
-                    state.reps_done,
-                    state.repetitions,
-                )
-
-        def finish_shard(state: _ShardedCell, shard: CellShard, value, seconds) -> None:
-            token = state.shard_tokens.get(shard.index)
-            if token is not None:
-                self.store.save(
-                    token,
-                    {"value": value, "label": shard.label, "seconds": seconds},
-                    group=state.token,
-                )
-            state.partials[shard.index] = value
-            state.seconds += seconds
-            shard_progress(state)
-            if state.complete:
-                merge_cell(state)
-
-        for index, cell in enumerate(plan.cells):
-            # Explicit None check: an empty ResultStore has len() == 0
-            # and would read as falsy.
-            token = cache_token(cell, settings) if self.store is not None else None
-            if token is not None:
-                payload = self.store.load(token)
-                if payload is not None:
-                    entries[index] = CellResult(
-                        cell=cell, value=payload["value"], seconds=0.0, cached=True
-                    )
-                    report(entries[index])
-                    continue
-            decomposition = self._shards_for(cell, settings, default_chunk)
-            if decomposition is None:
-                pending.append(("cell", index, cell, token))
-                continue
-            repetitions, shards = decomposition
-            state = _ShardedCell(
-                index=index,
-                cell=cell,
-                token=token,
-                repetitions=repetitions,
-                shards=shards,
-            )
-            incomplete = []
-            for shard in shards:
-                if (
-                    pilot is not None
-                    and index == pilot[0]
-                    and shard.index == 0
-                    and shard.rep_stop == pilot[1]
-                ):
-                    # The calibration pilot already computed this exact
-                    # window in-process; count it as compute performed
-                    # this run (it was), not as a cache hit.
-                    state.partials[0] = pilot[2]
-                    state.seconds += pilot[3]
-                    continue
-                if self.store is not None:
-                    stoken = shard_token(shard, settings, repetitions)
-                    state.shard_tokens[shard.index] = stoken
-                    payload = self.store.load(stoken, group=token)
-                    if payload is not None:
-                        # seconds stays at compute-performed-this-run:
-                        # resumed shards contribute their value, not
-                        # their historical wall-clock.
-                        state.partials[shard.index] = payload["value"]
-                        state.cached_shards += 1
-                        continue
-                incomplete.append(("shard", state, shard))
-            if state.cached_shards:
-                shard_progress(state)
-            if state.complete:
-                # Every shard was already on disk (an interrupted run
-                # that died between its last shard and the merge).
-                merge_cell(state)
-            else:
-                pending.extend(incomplete)
-
-        if len(pending) > 1 and self.workers > 1:
-            max_workers = min(self.workers, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=max_workers, mp_context=_pool_context()
-            ) as pool:
+        scheduler = PlanScheduler(
+            plan,
+            store=self.store,
+            progress=self.progress,
+            default_chunk=default_chunk,
+            pilot=pilot,
+        )
+        pending = scheduler.scan()
+        backend = self._backend_for(len(pending))
+        if pending:
+            backend.open(workers=self.workers, tasks=len(pending), settings=settings)
+            try:
                 futures = {}
                 for item in pending:
-                    if item[0] == "cell":
-                        _, index, cell, token = item
-                        future = pool.submit(_run_cell, cell, settings)
-                    else:
-                        _, state, shard = item
-                        future = pool.submit(_run_shard, shard, settings)
-                    futures[future] = item
+                    futures[backend.submit(task_of(item), settings)] = item
                 outstanding = set(futures)
                 while outstanding:
-                    ready, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    ready, outstanding = backend.wait_any(outstanding)
                     for future in ready:
-                        item = futures[future]
                         value, seconds = future.result()
-                        if item[0] == "cell":
-                            _, index, cell, token = item
-                            finish_cell(index, cell, token, value, seconds)
-                        else:
-                            _, state, shard = item
-                            finish_shard(state, shard, value, seconds)
-        else:
-            for item in pending:
-                if item[0] == "cell":
-                    _, index, cell, token = item
-                    value, seconds = _run_cell(cell, settings)
-                    finish_cell(index, cell, token, value, seconds)
-                else:
-                    _, state, shard = item
-                    value, seconds = _run_shard(shard, settings)
-                    finish_shard(state, shard, value, seconds)
-
-        ordered = tuple(entries[index] for index in range(total))
+                        scheduler.finish(futures[future], value, seconds)
+            finally:
+                backend.close()
         return PlanOutcome(
             plan=plan,
-            cells=ordered,
+            cells=scheduler.cells(),
             workers=self.workers,
             seconds=time.perf_counter() - start,
             calibration=calibration,
+            backend=backend.name,
         )
 
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor(workers={self.workers}, "
             f"store={self.store!r}, progress={self.progress is not None}, "
-            f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds})"
+            f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds}, "
+            f"backend={self.backend!r})"
         )
 
 
@@ -667,6 +391,7 @@ _defaults: dict[str, Any] = {
     "progress": None,
     "chunk_size": None,
     "chunk_seconds": None,
+    "backend": None,
 }
 
 
@@ -676,14 +401,15 @@ def configure(
     progress=_UNSET,
     chunk_size=_UNSET,
     chunk_seconds=_UNSET,
+    backend=_UNSET,
 ) -> None:
     """Set process-wide defaults for :func:`execute`.
 
     Used by CLIs to route every subsequently-run experiment through a
     configured executor without threading parameters through each
     ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
-    ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, and
-    ``REPRO_CHUNK_SECONDS`` at call time.
+    ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, ``REPRO_CHUNK_SECONDS``,
+    and ``REPRO_BACKEND`` at call time.
     """
     if workers is not _UNSET:
         _defaults["workers"] = workers
@@ -695,6 +421,8 @@ def configure(
         _defaults["chunk_size"] = chunk_size
     if chunk_seconds is not _UNSET:
         _defaults["chunk_seconds"] = chunk_seconds
+    if backend is not _UNSET:
+        _defaults["backend"] = backend
 
 
 def default_executor() -> ParallelExecutor:
@@ -708,6 +436,7 @@ def default_executor() -> ParallelExecutor:
         progress=_defaults["progress"],
         chunk_size=_defaults["chunk_size"],
         chunk_seconds=_defaults["chunk_seconds"],
+        backend=_defaults["backend"],
     )
 
 

@@ -340,6 +340,12 @@ def cache_token(cell: CellSpec, settings: "ExperimentSettings") -> str:
     invocations with the same token are guaranteed to produce the same
     payload, so the :class:`~repro.runtime.store.ResultStore` can serve
     re-runs and resume interrupted grids safely.
+
+    Deliberately absent, like ``chunk_size``: anything that only
+    changes *where or in what pieces* the work runs — the worker
+    count and the execution backend.  A grid computed on one backend
+    is a cache hit on every other, which is what lets a run
+    interrupted under one backend resume under another.
     """
     fields = asdict(cell)
     # Chunking is pure scheduling: any sharding of a cell produces the

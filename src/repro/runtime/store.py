@@ -89,12 +89,40 @@ class ResultStore:
         return self._path(token, group).exists()
 
     def discard(self, token: str, group: str | None = None) -> bool:
-        """Remove the entry for *token*; returns whether one existed."""
+        """Remove the entry for *token*; returns whether one existed.
+
+        The entry's now-possibly-empty parent directories (the
+        two-hex-digit prefix, or a group's whole ``shards/<prefix>/
+        <group>`` chain) are pruned too, so discards leave no skeleton
+        behind.
+        """
+        path = self._path(token, group)
         try:
-            self._path(token, group).unlink()
-            return True
+            path.unlink()
         except FileNotFoundError:
             return False
+        self._prune(path.parent)
+        return True
+
+    def discard_many(self, tokens, group: str | None = None) -> int:
+        """Remove the entries for *tokens*; returns the number removed.
+
+        The batch form of :meth:`discard` — one consolidation sweep,
+        one empty-directory prune at the end instead of one per entry.
+        """
+        removed = 0
+        parents = set()
+        for token in tokens:
+            path = self._path(token, group)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed += 1
+            parents.add(path.parent)
+        for parent in parents:
+            self._prune(parent)
+        return removed
 
     def discard_group(self, group: str) -> int:
         """Remove every entry of *group*; returns the number removed.
@@ -102,22 +130,35 @@ class ResultStore:
         Used by the executor to drop a sharded cell's transient
         per-shard entries — of the current chunking *and* any stale
         chunking left by interrupted runs — once the merged cell result
-        has been persisted.
+        has been persisted.  The group's prefix directory (and the
+        ``shards`` root after the last group) is pruned so swept
+        scaffolding leaves no skeleton behind.
         """
         directory = self._group_dir(group)
         if not directory.exists():
             return 0
         removed = sum(1 for _ in directory.glob("*.pkl"))
         shutil.rmtree(directory, ignore_errors=True)
-        try:
-            # Prune the now-possibly-empty prefix directory (and the
-            # shards root after the last group) so swept scaffolding
-            # leaves no skeleton behind.
-            directory.parent.rmdir()
-            directory.parent.parent.rmdir()
-        except OSError:
-            pass
+        self._prune(directory.parent)
         return removed
+
+    def _prune(self, directory: Path) -> None:
+        """Remove *directory* and its ancestors while empty, up to the root.
+
+        Stops at the first non-empty level (``rmdir`` refuses to remove
+        a populated directory) and never removes the store root itself,
+        so pruning after any discard is always safe.
+        """
+        root = self.root.resolve()
+        directory = directory.resolve()
+        if directory != root and root not in directory.parents:
+            return  # not inside this store; nothing to prune
+        while directory != root:
+            try:
+                directory.rmdir()
+            except OSError:
+                return
+            directory = directory.parent
 
     def __len__(self) -> int:
         if not self.root.exists():
@@ -125,11 +166,22 @@ class ResultStore:
         return sum(1 for _ in self.root.rglob("*.pkl"))
 
     def clear(self) -> int:
-        """Remove every entry (grouped included); returns the number removed."""
+        """Remove every entry (grouped included); returns the number removed.
+
+        Empty subdirectories are swept too: after a clear the store
+        root holds nothing at all.
+        """
         removed = 0
         for path in list(self.root.rglob("*.pkl")):
             path.unlink(missing_ok=True)
             removed += 1
+        for directory in sorted(
+            (path for path in self.root.rglob("*") if path.is_dir()), reverse=True
+        ):
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
         return removed
 
     def __repr__(self) -> str:

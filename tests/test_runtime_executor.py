@@ -153,6 +153,71 @@ class TestResultStoreIntegration:
         assert len(store) == 0
 
 
+class TestStorePruning:
+    """Consolidation must leave no empty-directory skeletons behind."""
+
+    @staticmethod
+    def _dirs(root):
+        return sorted(
+            str(path.relative_to(root))
+            for path in root.rglob("*")
+            if path.is_dir()
+        )
+
+    def test_discard_prunes_empty_prefix_dir(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.save("ab" + "0" * 62, {"value": 1})
+        store.save("ab" + "1" * 62, {"value": 2})
+        store.save("cd" + "0" * 62, {"value": 3})
+        store.discard("ab" + "0" * 62)
+        assert self._dirs(store.root) == ["ab", "cd"]  # ab still holds one
+        store.discard("ab" + "1" * 62)
+        assert self._dirs(store.root) == ["cd"]
+
+    def test_discard_grouped_entry_prunes_group_chain(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        group = "ef" + "0" * 62
+        store.save("ab" + "0" * 62, {"value": 1}, group=group)
+        store.discard("ab" + "0" * 62, group=group)
+        # shards/<prefix>/<group> all emptied and swept.
+        assert self._dirs(store.root) == []
+
+    def test_discard_many_removes_and_prunes_once(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        tokens = ["ab" + f"{i}" * 62 for i in range(3)]
+        for i, token in enumerate(tokens):
+            store.save(token, {"value": i})
+        assert store.discard_many(tokens + ["cd" + "0" * 62]) == 3
+        assert len(store) == 0
+        assert self._dirs(store.root) == []
+
+    def test_discard_group_leaves_no_skeleton(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        group = "ef" + "0" * 62
+        store.save("ab" + "0" * 62, {"value": 1}, group=group)
+        store.save("ab" + "1" * 62, {"value": 2}, group=group)
+        assert store.discard_group(group) == 2
+        assert self._dirs(store.root) == []
+        assert store.discard_group(group) == 0  # idempotent
+
+    def test_clear_sweeps_empty_directories(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.save("ab" + "0" * 62, {"value": 1})
+        store.save("cd" + "0" * 62, {"value": 2}, group="ef" + "0" * 62)
+        assert store.clear() == 2
+        assert store.root.exists()
+        assert self._dirs(store.root) == []
+
+    def test_sharded_run_leaves_only_merged_entries(self, tmp_path):
+        # End to end: after consolidation the store holds exactly the
+        # merged cell files and their prefix dirs — no shards/ tree.
+        store = ResultStore(tmp_path / "cache")
+        plan = small_plan(datasets=("YAGO",))
+        ParallelExecutor(workers=1, store=store, chunk_size=1).run(plan)
+        assert len(store) == len(plan)
+        assert not (store.root / "shards").exists()
+
+
 @dataclass(frozen=True)
 class SleepCell(CellSpec):
     """Test-only cell: sleeps, then returns its key (pure wall-clock)."""
@@ -171,6 +236,8 @@ class TestExecutionOverlap:
         # Sleeping cells release the CPU, so overlap shows even on a
         # single-core machine: 6 x 0.15s serially is ~0.9s, but three
         # workers finish in a third of that (plus pool start-up).
+        # Backends are pinned explicitly so the timing comparison keeps
+        # measuring serial-vs-pool even under a REPRO_BACKEND CI leg.
         settings = ExperimentSettings(repetitions=1)
         cells = tuple(
             SleepCell(key=(i,), label=f"sleep-{i}", method="-", duration=0.15)
@@ -178,10 +245,10 @@ class TestExecutionOverlap:
         )
         plan = StudyPlan(settings=settings, cells=cells, name="sleep")
         t0 = time.perf_counter()
-        serial = ParallelExecutor(workers=1).run(plan)
+        serial = ParallelExecutor(workers=1, backend="serial").run(plan)
         serial_wall = time.perf_counter() - t0
         t0 = time.perf_counter()
-        parallel = ParallelExecutor(workers=3).run(plan)
+        parallel = ParallelExecutor(workers=3, backend="process").run(plan)
         parallel_wall = time.perf_counter() - t0
         assert serial.results == parallel.results
         assert parallel_wall < serial_wall / 1.5

@@ -1,0 +1,119 @@
+"""Progress-reporter tests: per-cell lines, tty ticker, calibration.
+
+:mod:`repro.runtime.progress` promises *aggregated* reporting: one
+stderr line per completed cell whatever its shard count, an in-place
+shard ticker on interactive terminals only, and a single calibration
+line per adaptive-chunking run.  These tests pin that surface down
+directly (the executor integration is covered in the shard suite).
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+from repro.runtime import CellSpec, ChunkCalibration, ProgressReporter
+from repro.runtime.scheduler import CellResult
+
+
+class _TtyStream(io.StringIO):
+    def isatty(self) -> bool:  # pragma: no cover - trivial
+        return True
+
+
+def _cell(label: str = "NELL/SRS/Wilson") -> CellSpec:
+    return CellSpec(key=(label,), label=label, method="Wilson")
+
+
+def _result(**overrides) -> CellResult:
+    base = dict(cell=_cell(), value=None, seconds=1.234, cached=False)
+    base.update(overrides)
+    return CellResult(**base)
+
+
+class TestCompletionLines:
+    def test_computed_cell_line(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream)(3, 12, _result())
+        line = stream.getvalue()
+        assert "[ 3/12]" in line
+        assert "NELL/SRS/Wilson" in line
+        assert "1.23s" in line
+
+    def test_cached_cell_says_cache(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream)(1, 2, _result(cached=True, seconds=0.0))
+        assert "(cache)" in stream.getvalue()
+
+    def test_sharded_cell_annotates_shard_count(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream)(1, 1, _result(shards=20))
+        line = stream.getvalue()
+        assert "20 shards" in line
+        assert "resumed" not in line
+
+    def test_resumed_shards_annotated(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream)(1, 1, _result(shards=20, shards_cached=7))
+        assert "7 resumed" in stream.getvalue()
+
+    def test_progress_width_aligns_to_total(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream)(7, 100, _result())
+        assert "[  7/100]" in stream.getvalue()
+
+    def test_default_stream_is_stderr(self, monkeypatch):
+        captured = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", captured)
+        ProgressReporter()(1, 1, _result())
+        assert "NELL/SRS/Wilson" in captured.getvalue()
+
+
+class TestCalibrationLine:
+    def test_announces_chunk_and_pilot(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream).calibration_update(
+            ChunkCalibration(
+                cell_key=("NELL", "SRS", "Wilson"),
+                pilot_repetitions=4,
+                pilot_seconds=0.5,
+                chunk_size=40,
+            )
+        )
+        line = stream.getvalue()
+        assert "[calibrated] chunk_size=40" in line
+        assert "4 pilot reps" in line
+        assert "NELL/SRS/Wilson" in line
+
+
+class TestShardTicker:
+    def test_silent_on_non_tty(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream).shard_update(_cell(), 1, 4, 2, 8)
+        assert stream.getvalue() == ""
+
+    def test_ticker_rewrites_in_place_on_tty(self):
+        stream = _TtyStream()
+        reporter = ProgressReporter(stream=stream)
+        reporter.shard_update(_cell(), 1, 4, 2, 8)
+        output = stream.getvalue()
+        assert output.startswith("\r\x1b[K")
+        assert "1/4 shards" in output
+        assert "(2/8 reps)" in output
+        assert not output.endswith("\n")
+
+    def test_completion_line_clears_pending_ticker(self):
+        stream = _TtyStream()
+        reporter = ProgressReporter(stream=stream)
+        reporter.shard_update(_cell(), 3, 4, 6, 8)
+        before = len(stream.getvalue())
+        reporter(1, 1, _result(shards=4))
+        tail = stream.getvalue()[before:]
+        # The completion line first erases the ticker, then prints.
+        assert tail.startswith("\r\x1b[K")
+        assert tail.endswith("\n")
+
+    def test_no_clear_without_prior_ticker(self):
+        stream = _TtyStream()
+        ProgressReporter(stream=stream)(1, 1, _result())
+        assert "\r" not in stream.getvalue()

@@ -1,0 +1,295 @@
+"""Spool-worker tests: the detached half of the spool backend.
+
+:func:`repro.runtime.backends.spool.run_worker` is the loop behind
+``python -m repro worker <spool-dir>``.  These tests drive it in-process
+(threads standing in for other terminals) and once as a real detached
+subprocess, checking the full multi-process dispatch path: task files
+leased by atomic rename, results written atomically, bit-identical
+values, and a queue that ends empty.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentSettings
+from repro.runtime import (
+    ParallelExecutor,
+    SpoolBackend,
+    StudyCell,
+    StudyPlan,
+    run_worker,
+)
+from repro.cli import main
+
+
+from dataclasses import dataclass
+
+from repro.runtime import CellSpec, register_cell_runner
+
+
+@dataclass(frozen=True)
+class LeaseStealingCell(CellSpec):
+    """Test-only cell whose runner deletes every lease mid-execution,
+    simulating a reclaim/close sweep happening while a claimant runs."""
+
+    spool_root: str = ""
+
+
+@register_cell_runner(LeaseStealingCell)
+def _run_lease_stealing(cell, settings):
+    for lease in (Path(cell.spool_root) / "claimed").glob("*.task"):
+        lease.unlink()
+    return "computed"
+
+
+def study_cell(method: str = "Wilson") -> StudyCell:
+    return StudyCell(
+        key=("NELL", "SRS", method),
+        label=f"NELL/SRS/{method}",
+        method=method,
+        dataset="NELL",
+        strategy="SRS",
+        seed_stream=(5,),
+    )
+
+
+def small_plan(repetitions: int = 3) -> StudyPlan:
+    settings = ExperimentSettings(repetitions=repetitions, seed=0)
+    return StudyPlan(
+        settings=settings,
+        cells=(study_cell("Wilson"), study_cell("aHPD")),
+        name="spool-worker",
+    )
+
+
+def assert_studies_equal(a, b) -> None:
+    assert np.array_equal(a.triples, b.triples)
+    assert np.array_equal(a.estimates, b.estimates)
+    assert np.array_equal(a.converged, b.converged)
+
+
+class TestRunWorker:
+    def test_worker_thread_executes_all_tasks(self, tmp_path):
+        # participate=False forces every unit through the worker, so
+        # this proves the worker path end to end (not the scheduler
+        # quietly doing the work itself).
+        spool_dir = tmp_path / "q"
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(root=spool_dir, poll_interval=0.01, idle_timeout=1.0),
+        )
+        worker.start()
+        try:
+            plan = small_plan()
+            backend = SpoolBackend(spool_dir, participate=False)
+            outcome = ParallelExecutor(backend=backend).run(plan)
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert outcome.backend == "spool"
+        assert outcome.cache_misses == len(plan)
+        reference = ParallelExecutor(workers=1).run(plan)
+        for key in reference.results:
+            assert_studies_equal(reference.results[key], outcome.results[key])
+        assert list((spool_dir / "tasks").iterdir()) == []
+        assert list((spool_dir / "results").iterdir()) == []
+
+    def test_max_tasks_stops_the_loop(self, tmp_path):
+        spool_dir = tmp_path / "q"
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_dir, participate=False)
+        backend.open(workers=1, tasks=2, settings=settings)
+        futures = [
+            backend.submit(study_cell("Wilson"), settings),
+            backend.submit(study_cell("aHPD"), settings),
+        ]
+        executed = run_worker(spool_dir, poll_interval=0.01, max_tasks=1)
+        assert executed == 1
+        done = [future for future in futures if future.done()]
+        assert len(done) == 1
+        backend.close()
+
+    def test_idle_timeout_returns_zero_on_empty_queue(self, tmp_path):
+        executed = run_worker(
+            tmp_path / "empty", poll_interval=0.01, idle_timeout=0.05
+        )
+        assert executed == 0
+
+    def test_claim_restarts_the_lease_clock(self, tmp_path):
+        # os.rename preserves mtime, so without a re-stamp the stale-
+        # lease reclaim would measure time-in-queue instead of
+        # time-in-execution and steal live leases from busy workers.
+        import time as _time
+
+        from repro.runtime.backends.spool import _claim, _ensure_layout
+
+        root = tmp_path / "q"
+        _ensure_layout(root)
+        task = root / "tasks" / "aaaa-000000.task"
+        task.write_bytes(b"payload")
+        stale = _time.time() - 3_600.0
+        os.utime(task, (stale, stale))  # submitted an hour ago
+        claimed = _claim(root, task)
+        assert claimed is not None
+        assert _time.time() - claimed.stat().st_mtime < 60.0
+
+    def test_result_dropped_when_lease_vanishes_mid_execution(self, tmp_path):
+        # A claimant whose lease was reclaimed (or swept by the owning
+        # run's close) while it was executing must drop its result:
+        # whoever holds the task now owns the answer.
+        from repro.runtime.backends.spool import _drain_one
+
+        spool_root = tmp_path / "q"
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_root, participate=False)
+        backend.open(workers=1, tasks=1, settings=settings)
+        backend.submit(
+            LeaseStealingCell(
+                key=("steal",),
+                label="steal",
+                method="-",
+                spool_root=str(spool_root),
+            ),
+            settings,
+        )
+        messages = []
+        assert _drain_one(spool_root, set(), log=messages.append) is None
+        assert list((spool_root / "results").iterdir()) == []
+        assert any("lease was reclaimed" in message for message in messages)
+        backend.close()
+
+    def test_close_sweeps_abandoned_leases(self, tmp_path):
+        # An aborted run must not strand its claimed/ leases in a
+        # shared spool directory: close sweeps them alongside tasks
+        # and results.
+        spool_root = tmp_path / "q"
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_root, participate=False)
+        backend.open(workers=1, tasks=1, settings=settings)
+        backend.submit(study_cell(), settings)
+        task_file = next((spool_root / "tasks").glob("*.task"))
+        os.rename(task_file, spool_root / "claimed" / task_file.name)
+        backend.close()
+        assert list((spool_root / "claimed").iterdir()) == []
+        assert list((spool_root / "tasks").iterdir()) == []
+
+    def test_worker_skips_valid_pickle_that_is_not_a_task(self, tmp_path):
+        # A .task file that unpickles into a non-payload (version skew,
+        # stray file) must poison-and-requeue like a corrupt one — not
+        # crash the worker loop.
+        import pickle
+
+        spool_dir = tmp_path / "q"
+        (spool_dir / "tasks").mkdir(parents=True)
+        (spool_dir / "tasks" / "aaaa-000000.task").write_bytes(
+            pickle.dumps("not a payload dict")
+        )
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_dir, participate=False)
+        backend.open(workers=1, tasks=1, settings=settings)
+        future = backend.submit(study_cell(), settings)
+        messages = []
+        executed = run_worker(
+            spool_dir, poll_interval=0.01, idle_timeout=0.2, log=messages.append
+        )
+        assert executed == 1
+        assert future.done()
+        assert any("cannot deserialise" in message for message in messages)
+        assert (spool_dir / "tasks" / "aaaa-000000.task").exists()
+        backend.close()
+
+    def test_worker_skips_corrupt_tasks_and_serves_good_ones(self, tmp_path):
+        spool_dir = tmp_path / "q"
+        (spool_dir / "tasks").mkdir(parents=True)
+        (spool_dir / "tasks" / "aaaa-000000.task").write_bytes(b"junk")
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_dir, participate=False)
+        backend.open(workers=1, tasks=1, settings=settings)
+        future = backend.submit(study_cell(), settings)
+        messages = []
+        executed = run_worker(
+            spool_dir, poll_interval=0.01, idle_timeout=0.2, log=messages.append
+        )
+        assert executed == 1
+        assert future.done()
+        assert any("cannot deserialise" in message for message in messages)
+        # The corrupt file is back in the queue, not deleted or fatal.
+        assert (spool_dir / "tasks" / "aaaa-000000.task").exists()
+        backend.close()
+
+
+class TestWorkerCli:
+    def test_worker_subcommand_serves_spooled_tasks(self, tmp_path, capsys):
+        spool_dir = tmp_path / "q"
+        settings = ExperimentSettings(repetitions=2, seed=0)
+        backend = SpoolBackend(spool_dir, participate=False)
+        backend.open(workers=1, tasks=1, settings=settings)
+        future = backend.submit(study_cell(), settings)
+        assert (
+            main(
+                [
+                    "worker",
+                    str(spool_dir),
+                    "--poll",
+                    "0.01",
+                    "--idle-timeout",
+                    "0.2",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert "executed 1 task(s)" in capsys.readouterr().out
+        assert future.done()
+        backend.close()
+
+    def test_worker_subcommand_spool_dir_from_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path / "envq"))
+        assert main(["worker", "--idle-timeout", "0.05", "--quiet"]) == 0
+        assert "executed 0 task(s)" in capsys.readouterr().out
+
+    def test_detached_worker_subprocess_end_to_end(self, tmp_path):
+        # The real thing: a detached `python -m repro worker` process in
+        # another interpreter leases, executes, and answers the tasks of
+        # a participate=False scheduler — multi-process dispatch with
+        # bit-identical results.
+        spool_dir = tmp_path / "q"
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        worker = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                str(spool_dir),
+                "--poll",
+                "0.02",
+                "--idle-timeout",
+                "5",
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            plan = small_plan()
+            backend = SpoolBackend(spool_dir, participate=False)
+            outcome = ParallelExecutor(backend=backend).run(plan)
+        finally:
+            out, err = worker.communicate(timeout=60)
+        assert worker.returncode == 0, err
+        assert "executed 2 task(s)" in out
+        reference = ParallelExecutor(workers=1).run(plan)
+        for key in reference.results:
+            assert_studies_equal(reference.results[key], outcome.results[key])
