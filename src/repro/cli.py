@@ -21,9 +21,13 @@ results, ``--cache-dir`` persists completed cells so re-runs are
 served from disk and interrupted runs resume, ``--chunk-size`` /
 ``--chunk-seconds`` shard within cells (fixed reps-per-shard vs a
 pilot-calibrated seconds-per-shard target), and ``--backend`` picks
-where units of work execute (``serial``, ``process``, or
-``spool[:dir]`` — a file-based work queue).  A partition-audit shards
-over the KG's predicates; a study cell shards over its repetitions.
+where units of work execute (``serial``, ``process``, ``spool[:dir]``
+— a file-based work queue — or ``chaos[:inner]`` for fault
+injection).  A partition-audit shards over the KG's predicates; a
+study cell shards over its repetitions.  ``--max-retries`` /
+``--on-error`` control the fault model: how often a failed unit is
+resubmitted, and whether an exhausted unit aborts the run or is
+quarantined while the rest completes.
 
 The worker subcommand is the other half of the spool backend: it
 leases task files from a spool directory (claimed by atomic rename, so
@@ -208,6 +212,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: run until stopped)",
     )
     worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease-heartbeat interval while executing a task; keep it "
+        "well below the scheduler's reclaim age (default: 20)",
+    )
+    worker.add_argument(
+        "--redeliver-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deliveries before a repeatedly-requeued task is buried "
+        "in dead/ (default: 5)",
+    )
+    worker.add_argument(
         "--quiet", action="store_true", help="suppress per-task lines"
     )
     return parser
@@ -249,9 +269,27 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default=None,
-        help="execution backend: serial, process, or spool[:dir] "
+        help="execution backend: serial, process, spool[:dir] "
         "(a spool-directory work queue served by 'python -m repro "
-        "worker' processes; default: $REPRO_BACKEND or automatic)",
+        "worker' processes), or chaos[:inner] for fault injection "
+        "(default: $REPRO_BACKEND or automatic)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resubmissions allowed per failed unit of work, on a "
+        "deterministic backoff schedule "
+        "(default: $REPRO_MAX_RETRIES or 0, fail fast)",
+    )
+    parser.add_argument(
+        "--on-error",
+        default=None,
+        choices=("raise", "continue"),
+        help="after retries run out: 'raise' aborts the run, "
+        "'continue' quarantines the failed cell and keeps going "
+        "(default: $REPRO_ON_ERROR or raise)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
@@ -267,6 +305,8 @@ def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
         chunk_size=args.chunk_size,
         chunk_seconds=args.chunk_seconds,
         backend=args.backend,
+        max_retries=args.max_retries,
+        on_error=args.on_error,
     )
 
 
@@ -416,7 +456,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     results = outcome.results
     rows = []
     for dataset, strategy, method in (cell.key for cell in plan.cells):
-        study = results[(dataset, strategy, method)]
+        # Quarantined cells (on_error="continue") have no result row;
+        # they are reported below instead of crashing the table.
+        study = results.get((dataset, strategy, method))
+        if study is None:
+            continue
         rows.append(
             [
                 dataset,
@@ -433,12 +477,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    for failure in outcome.failures:
+        print(f"FAILED {failure.summary()}", file=sys.stderr)
     print(outcome.summary())
-    return 0
+    return 1 if outcome.failures else 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from .runtime.backends.spool import run_worker
+    from .runtime.backends.spool import (
+        _DEFAULT_HEARTBEAT,
+        _DEFAULT_REDELIVER_CAP,
+        run_worker,
+    )
 
     def log(message: str) -> None:
         print(f"[worker] {message}", file=sys.stderr, flush=True)
@@ -450,6 +500,14 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             idle_timeout=args.idle_timeout,
             log=None if args.quiet else log,
+            heartbeat_seconds=(
+                _DEFAULT_HEARTBEAT if args.heartbeat is None else args.heartbeat
+            ),
+            redeliver_cap=(
+                _DEFAULT_REDELIVER_CAP
+                if args.redeliver_cap is None
+                else args.redeliver_cap
+            ),
         )
     except KeyboardInterrupt:
         print("worker interrupted", file=sys.stderr)

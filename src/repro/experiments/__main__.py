@@ -85,9 +85,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="execution backend for grid-shaped experiments: serial, "
-        "process, or spool[:dir] (a spool-directory work queue served "
-        "by 'python -m repro worker' processes; default: "
-        "$REPRO_BACKEND or automatic)",
+        "process, spool[:dir] (a spool-directory work queue served "
+        "by 'python -m repro worker' processes), or chaos[:inner] "
+        "for fault injection (default: $REPRO_BACKEND or automatic)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resubmissions allowed per failed unit of work "
+        "(default: $REPRO_MAX_RETRIES or 0, fail fast)",
+    )
+    parser.add_argument(
+        "--on-error",
+        default=None,
+        choices=("raise", "continue"),
+        help="after retries run out: 'raise' aborts, 'continue' "
+        "quarantines the failed cell and keeps going "
+        "(default: $REPRO_ON_ERROR or raise)",
     )
     parser.add_argument(
         "--progress",
@@ -114,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         chunk_size=args.chunk_size,
         chunk_seconds=args.chunk_seconds,
         backend=args.backend,
+        max_retries=args.max_retries,
+        on_error=args.on_error,
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

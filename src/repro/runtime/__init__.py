@@ -24,14 +24,25 @@ sharding at a fixed granularity, ``REPRO_CHUNK_SECONDS`` turns on
 *adaptive* sharding (reps-per-shard calibrated from a timed pilot
 shard to target seconds-per-shard; mutually exclusive with the fixed
 size), and ``REPRO_BACKEND`` picks the execution backend (``serial``,
-``process[:n]``, or ``spool[:dir]`` with ``REPRO_SPOOL_DIR`` as the
-spool default).  Cache tokens never depend on the backend, so a run
-interrupted on one backend resumes on another at the finished-shard
-boundary.
+``process[:n]``, ``spool[:dir]`` with ``REPRO_SPOOL_DIR`` as the
+spool default, or ``chaos[:inner]`` for fault injection).  Cache
+tokens never depend on the backend, so a run interrupted on one
+backend resumes on another at the finished-shard boundary.
+
+Execution is fault-tolerant: ``REPRO_MAX_RETRIES`` (or
+``max_retries=``) resubmits failed units on a deterministic backoff
+schedule (:class:`RetryPolicy`), and ``REPRO_ON_ERROR`` (or
+``on_error=``) picks what happens when retries run out — ``"raise"``
+aborts with a :class:`PlanExecutionError` carrying every
+:class:`TaskFailure`, ``"continue"`` quarantines the failed cell and
+returns the survivors plus the failure records on the
+:class:`PlanOutcome`.
 """
 
 from .backends import (
     BackendFuture,
+    ChaosBackend,
+    ChaosFault,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -65,6 +76,12 @@ from .executor import (
     configure,
     default_executor,
     execute,
+)
+from .faults import (
+    PlanExecutionError,
+    RetryPolicy,
+    TaskFailure,
+    unit_token,
 )
 from .progress import ProgressReporter
 from .scheduler import PlanScheduler
@@ -102,9 +119,15 @@ __all__ = [
     "PlanOutcome",
     "PlanScheduler",
     "ParallelExecutor",
+    "PlanExecutionError",
     "ProgressReporter",
     "ResultStore",
+    "RetryPolicy",
+    "TaskFailure",
+    "unit_token",
     "BackendFuture",
+    "ChaosBackend",
+    "ChaosFault",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",

@@ -5,6 +5,12 @@ fork start method where available (cheap start-up, and runners
 registered at runtime — custom cell types — are inherited by workers).
 Futures are thin wrappers over :mod:`concurrent.futures` ones, so
 ``wait_any`` is a real OS-level wait, not a poll.
+
+Worker-side failures surface through :meth:`_PoolFuture.result` with
+the remote traceback chained on ``__cause__`` (stdlib behaviour), which
+:func:`repro.runtime.faults.failure_from` folds into the
+:class:`~repro.runtime.faults.TaskFailure` record when the executor's
+retry policy gives up on a unit.
 """
 
 from __future__ import annotations

@@ -7,6 +7,13 @@ persistence incremental, exactly like the pre-backend serial loop: every
 completed cell/shard hits the :class:`~repro.runtime.store.ResultStore`
 before the next one starts, so an interrupted run loses at most the unit
 in flight.
+
+A task that raises completes its future with the error, surfaced by
+:meth:`_SerialFuture.result` exactly like the pool and spool backends
+surface theirs — which is what lets the executor's retry/quarantine
+policy treat all backends uniformly.  ``KeyboardInterrupt`` (and other
+``BaseException``) still propagates immediately: there is no pool to
+unwind and nothing to retry.
 """
 
 from __future__ import annotations
@@ -29,14 +36,20 @@ class _SerialFuture(BackendFuture):
         self._task = task
         self._settings = settings
         self._value: tuple[Any, float] | None = None
+        self._error: Exception | None = None
 
     def _run(self) -> None:
-        self._value = run_task(self._task, self._settings)
+        try:
+            self._value = run_task(self._task, self._settings)
+        except Exception as exc:
+            self._error = exc
 
     def done(self) -> bool:
-        return self._value is not None
+        return self._value is not None or self._error is not None
 
     def result(self) -> tuple[Any, float]:
+        if self._error is not None:
+            raise self._error
         return self._value
 
 
@@ -66,7 +79,5 @@ class SerialBackend(ExecutionBackend):
 
     def wait_any(self, outstanding):
         future = self._queue.popleft()
-        # Exceptions propagate straight out of the run, like the
-        # pre-backend serial loop: there is no pool to unwind.
         future._run()
         return {future}, outstanding - {future}

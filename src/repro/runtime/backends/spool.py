@@ -15,7 +15,7 @@ files on close.
 Leasing via ``os.rename`` is atomic on POSIX filesystems: exactly one
 claimant wins a task, with no lock files or coordination service —
 which is what makes the queue multi-process today and multi-host
-tomorrow.  Three robustness rules keep it live:
+tomorrow.  Five robustness rules keep it live:
 
 * **participation** — by default the scheduler is itself a worker:
   whenever no result is ready it leases and executes a task in-process,
@@ -27,12 +27,24 @@ tomorrow.  Three robustness rules keep it live:
 * **lease reclaim** — a task claimed by a worker that died is renamed
   back into the queue once its lease goes stale
   (``reclaim_seconds``), so a crashed worker delays a run instead of
-  hanging it.
+  hanging it;
+* **lease heartbeat** — a live claimant re-stamps its claim file
+  (periodic ``os.utime`` from a daemon thread) while executing, so a
+  genuinely long-running task is never mistaken for an orphaned lease
+  and stolen by the reclaim sweep;
+* **dead-letter spool** — every requeue stamps a delivery count into
+  the task payload; a task that keeps killing its claimants (a poison
+  task) is moved past the redelivery cap into ``<spool>/dead/`` with a
+  sidecar diagnostics file instead of being redelivered forever, and
+  the submitting run receives an error result so its retry/quarantine
+  policy takes over.  Requeue a dead task by renaming its ``.task``
+  file back into ``tasks/``.
 
 Execution errors are real results: the worker pickles the exception
 (or a :class:`SpoolTaskError` carrying the traceback when the exception
-itself will not pickle) into the result file, and the scheduler re-raises
-it — the same surfacing the process-pool backend gives.
+itself will not pickle) into the result file, and the scheduler
+re-raises it with the worker-side traceback attached — the same
+surfacing the process-pool backend gives.
 
 Tasks that will not pickle at all fall back to inline execution in the
 scheduler; they could never reach another process under *any* backend,
@@ -41,8 +53,10 @@ so the spool degrades to the serial path for exactly those units.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
+import threading
 import time
 import traceback
 import uuid
@@ -60,8 +74,18 @@ __all__ = ["SpoolBackend", "SpoolTaskError", "run_worker"]
 _TASK_DIR = "tasks"
 _CLAIM_DIR = "claimed"
 _RESULT_DIR = "results"
+_DEAD_DIR = "dead"
 _TASK_SUFFIX = ".task"
 _RESULT_SUFFIX = ".result"
+
+#: Default redelivery cap: a task requeued (reclaim or poison path)
+#: this many times without ever producing a result is moved to
+#: ``dead/`` instead of redelivered again.
+_DEFAULT_REDELIVER_CAP = 5
+
+#: Default seconds between lease-heartbeat ``os.utime`` stamps while a
+#: claimant executes; comfortably inside the default 300s reclaim age.
+_DEFAULT_HEARTBEAT = 20.0
 
 
 class SpoolTaskError(RuntimeError):
@@ -82,7 +106,7 @@ def _resolve_root(root: Union[str, Path, None]) -> Path:
 
 
 def _ensure_layout(root: Path) -> None:
-    for sub in (_TASK_DIR, _CLAIM_DIR, _RESULT_DIR):
+    for sub in (_TASK_DIR, _CLAIM_DIR, _RESULT_DIR, _DEAD_DIR):
         (root / sub).mkdir(parents=True, exist_ok=True)
 
 
@@ -115,11 +139,104 @@ def _claim(root: Path, task_path: Path) -> Path | None:
 
 
 def _unclaim(root: Path, claimed: Path) -> None:
-    """Return a leased task to the queue (poison or interrupt path)."""
+    """Return a leased task to the queue unchanged (interrupt path, or
+    a payload this claimant cannot read to stamp)."""
     try:
         os.rename(claimed, root / _TASK_DIR / claimed.name)
     except FileNotFoundError:  # pragma: no cover - racing cleanup
         pass
+
+
+def _bury(
+    root: Path,
+    claimed: Path,
+    payload: dict,
+    reason: str,
+    log: Callable[[str], None] | None = None,
+) -> None:
+    """Move a leased task into ``dead/`` with a diagnostics sidecar.
+
+    The submitting run still gets an answer: a :class:`SpoolTaskError`
+    result is written so its future completes with an error and the
+    executor's retry/quarantine policy decides what happens next,
+    instead of the run hanging on a task nobody will ever redeliver.
+    """
+    task_id = claimed.name[: -len(_TASK_SUFFIX)]
+    dead = root / _DEAD_DIR
+    dead.mkdir(parents=True, exist_ok=True)
+    try:
+        os.rename(claimed, dead / claimed.name)
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        return
+    label = str(getattr(payload.get("task"), "label", task_id))
+    diagnostics = {
+        "id": task_id,
+        "label": label,
+        "deliveries": payload.get("deliveries"),
+        "reason": reason,
+        "buried_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "requeue": (
+            f"rename {_DEAD_DIR}/{claimed.name} back into {_TASK_DIR}/ "
+            "to redeliver"
+        ),
+    }
+    _atomic_write(
+        dead / f"{task_id}.json",
+        json.dumps(diagnostics, indent=2, sort_keys=True).encode(),
+    )
+    message = (
+        f"task {task_id} ({label}) moved to {_DEAD_DIR}/ after "
+        f"{payload.get('deliveries')} deliveries: {reason}"
+    )
+    _write_result(
+        root,
+        task_id,
+        {"id": task_id, "error": SpoolTaskError(message), "traceback": None},
+    )
+    if log is not None:
+        log(message)
+
+
+def _requeue(
+    root: Path,
+    claimed: Path,
+    redeliver_cap: int | None,
+    reason: str,
+    log: Callable[[str], None] | None = None,
+) -> None:
+    """Return a leased task to the queue, stamping its delivery count.
+
+    Every requeue (stale-lease reclaim or poison skip) increments the
+    ``deliveries`` counter *inside* the task payload, so the count
+    survives any claimant — it travels with the file.  A task past
+    *redeliver_cap* deliveries is buried in ``dead/`` instead of
+    redelivered.  A payload this claimant cannot deserialise is renamed
+    back unchanged: the next claimant that can read it keeps counting.
+    """
+    try:
+        payload = pickle.loads(claimed.read_bytes())
+        if not isinstance(payload, dict):
+            raise ValueError("not a spool task payload")
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        raise
+    except Exception:
+        _unclaim(root, claimed)
+        return
+    payload["deliveries"] = int(payload.get("deliveries", 0)) + 1
+    if redeliver_cap is not None and payload["deliveries"] > redeliver_cap:
+        _bury(
+            root,
+            claimed,
+            payload,
+            f"{reason}; redelivery cap ({redeliver_cap}) exhausted",
+            log=log,
+        )
+        return
+    _atomic_write(
+        root / _TASK_DIR / claimed.name,
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+    claimed.unlink(missing_ok=True)
 
 
 def _write_result(root: Path, task_id: str, payload: dict) -> None:
@@ -154,10 +271,36 @@ def _execute_payload(task_id: str, payload: dict) -> dict:
     return {"id": task_id, "value": value, "seconds": seconds, "error": None}
 
 
+def _heartbeat(claimed: Path, interval: float) -> tuple[threading.Event, threading.Thread]:
+    """Start a daemon thread re-stamping *claimed* every *interval* s.
+
+    Keeps the lease visibly alive while its task executes, so a
+    long-running task is never mistaken for an orphaned lease by the
+    stale-lease reclaim sweep.  Stops at the returned event, or silently
+    when the claim file disappears (the lease was taken away anyway).
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            try:
+                os.utime(claimed)
+            except OSError:
+                return
+
+    thread = threading.Thread(
+        target=_beat, name=f"spool-heartbeat-{claimed.stem}", daemon=True
+    )
+    thread.start()
+    return stop, thread
+
+
 def _drain_one(
     root: Path,
     poisoned: set[str],
     log: Callable[[str], None] | None = None,
+    heartbeat_seconds: float | None = _DEFAULT_HEARTBEAT,
+    redeliver_cap: int | None = _DEFAULT_REDELIVER_CAP,
 ) -> str | None:
     """Lease, execute, and answer one spooled task; its id, or ``None``.
 
@@ -165,7 +308,9 @@ def _drain_one(
     kinds of claimant behave identically.  Tasks in *poisoned* — ids
     this claimant already failed to deserialise — are skipped; a newly
     undeserialisable task is returned to the queue and poisoned locally,
-    leaving it for a claimant that has its cell types importable.
+    leaving it for a claimant that has its cell types importable.  While
+    a task executes its claim file is heartbeat-stamped every
+    *heartbeat_seconds* so the lease never looks stale.
     """
     task_root = root / _TASK_DIR
     try:
@@ -190,17 +335,24 @@ def _drain_one(
         except Exception:
             # Undeserialisable OR deserialised into something that is
             # not a task payload: either way this claimant cannot run
-            # it — requeue and poison locally, never crash the loop.
+            # it — requeue (stamping the delivery count where the
+            # payload allows) and poison locally, never crash the loop.
             poisoned.add(task_id)
-            _unclaim(root, claimed)
+            _requeue(root, claimed, redeliver_cap, "cannot deserialise", log=log)
             if log is not None:
                 log(f"skipping task {task_id}: cannot deserialise here")
             continue
+        beat = None
+        if heartbeat_seconds is not None and heartbeat_seconds > 0:
+            beat = _heartbeat(claimed, heartbeat_seconds)
         try:
             result = _execute_payload(task_id, payload)
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             _unclaim(root, claimed)
             raise
+        finally:
+            if beat is not None:
+                beat[0].set()
         if not claimed.exists():
             # The lease was taken away mid-execution — a stale-lease
             # reclaim (this claimant looked dead) or the owning run's
@@ -248,8 +400,19 @@ class _SpoolFuture(BackendFuture):
         return True
 
     def result(self) -> tuple[Any, float]:
+        if self._payload is None:
+            raise RuntimeError(
+                "result() before done(): the spool future has not "
+                "collected a result file yet"
+            )
         error = self._payload.get("error")
         if error is not None:
+            text = self._payload.get("traceback")
+            if text:
+                # Carry the worker-side traceback with the exception so
+                # failure records (repro.runtime.faults) can show where
+                # the task actually died, not where it was re-raised.
+                error.__repro_traceback__ = text
             raise error
         return self._payload["value"], self._payload["seconds"]
 
@@ -278,7 +441,14 @@ class SpoolBackend(ExecutionBackend):
     reclaim_seconds:
         Age after which a *claimed* task belonging to this run is
         presumed orphaned by a dead worker and returned to the queue;
-        ``None`` disables reclaiming.
+        ``None`` disables reclaiming.  Live claimants heartbeat their
+        claim files, so only genuinely dead workers go stale.
+    redeliver_cap:
+        Deliveries a task may consume before it is buried in ``dead/``
+        instead of requeued again (``None`` disables the cap).
+    heartbeat_seconds:
+        Interval at which a participating scheduler re-stamps the claim
+        of the task it is executing; ``None`` disables the heartbeat.
     """
 
     name = "spool"
@@ -289,11 +459,15 @@ class SpoolBackend(ExecutionBackend):
         poll_interval: float = 0.02,
         participate: bool = True,
         reclaim_seconds: float | None = 300.0,
+        redeliver_cap: int | None = _DEFAULT_REDELIVER_CAP,
+        heartbeat_seconds: float | None = _DEFAULT_HEARTBEAT,
     ):
         self._root_spec = root
         self.poll_interval = float(poll_interval)
         self.participate = bool(participate)
         self.reclaim_seconds = reclaim_seconds
+        self.redeliver_cap = redeliver_cap
+        self.heartbeat_seconds = heartbeat_seconds
         self.root: Path | None = None
         self._poisoned: set[str] = set()
         self._submitted: list[str] = []
@@ -333,7 +507,12 @@ class SpoolBackend(ExecutionBackend):
         future = _SpoolFuture(self, task_id)
         try:
             blob = pickle.dumps(
-                {"id": task_id, "task": task, "settings": settings},
+                {
+                    "id": task_id,
+                    "task": task,
+                    "settings": settings,
+                    "deliveries": 0,
+                },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception:
@@ -350,13 +529,24 @@ class SpoolBackend(ExecutionBackend):
             ready = {future for future in outstanding if future.done()}
             if ready:
                 return ready, outstanding - ready
-            if self.participate and _drain_one(self.root, self._poisoned):
+            if self.participate and _drain_one(
+                self.root,
+                self._poisoned,
+                heartbeat_seconds=self.heartbeat_seconds,
+                redeliver_cap=self.redeliver_cap,
+            ):
                 continue
             self._reclaim_stale(outstanding)
             time.sleep(self.poll_interval)
 
     def _reclaim_stale(self, outstanding) -> None:
-        """Return this run's orphaned leases to the queue."""
+        """Requeue this run's orphaned leases (or bury repeat offenders).
+
+        A lease only goes stale when its claimant stopped heartbeating —
+        i.e. the worker died.  The requeue stamps the task's delivery
+        count, so a task that keeps killing workers ends up in ``dead/``
+        with an error result instead of circulating forever.
+        """
         if self.reclaim_seconds is None:
             return
         cutoff = time.time() - self.reclaim_seconds
@@ -365,10 +555,16 @@ class SpoolBackend(ExecutionBackend):
                 self.root / _CLAIM_DIR / f"{future.task_id}{_TASK_SUFFIX}"
             )
             try:
-                if claimed.stat().st_mtime < cutoff:
-                    _unclaim(self.root, claimed)
+                stale = claimed.stat().st_mtime < cutoff
             except OSError:
                 continue
+            if stale:
+                _requeue(
+                    self.root,
+                    claimed,
+                    self.redeliver_cap,
+                    "lease went stale (claimant presumed dead)",
+                )
 
     def __repr__(self) -> str:
         return (
@@ -383,6 +579,8 @@ def run_worker(
     max_tasks: int | None = None,
     idle_timeout: float | None = None,
     log: Callable[[str], None] | None = None,
+    heartbeat_seconds: float | None = _DEFAULT_HEARTBEAT,
+    redeliver_cap: int | None = _DEFAULT_REDELIVER_CAP,
 ) -> int:
     """Serve a spool directory: lease, execute, and answer tasks.
 
@@ -402,7 +600,16 @@ def run_worker(
     poisoned: set[str] = set()
     last_activity = time.monotonic()
     while max_tasks is None or executed < max_tasks:
-        if _drain_one(root, poisoned, log=log) is not None:
+        if (
+            _drain_one(
+                root,
+                poisoned,
+                log=log,
+                heartbeat_seconds=heartbeat_seconds,
+                redeliver_cap=redeliver_cap,
+            )
+            is not None
+        ):
             executed += 1
             last_activity = time.monotonic()
             continue

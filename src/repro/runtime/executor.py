@@ -40,12 +40,24 @@ shard instead of a repetition count, so one setting suits cells of very
 different per-repetition cost.  Either way chunking is pure scheduling
 — results and cache keys are chunking-independent.
 
+Failures follow an explicit fault model (:mod:`repro.runtime.faults`):
+a failed unit of work is retried up to ``max_retries`` times with
+deterministic exponential backoff, and a unit that exhausts its
+retries either aborts the run (``on_error="raise"``, with the full
+:class:`~repro.runtime.faults.TaskFailure` history on the raised
+:class:`~repro.runtime.faults.PlanExecutionError`) or is quarantined
+while the rest of the plan drains (``on_error="continue"``, failures
+reported on the outcome).  Because cells are seeded at plan-build
+time, a retry recomputes byte-identical numbers — the chaos backend
+(``chaos:<inner>``) exploits that to prove the failure path.
+
 The module-level :func:`execute` is the convenience entry point the
 experiment modules use: it builds a default executor from
 :func:`configure` overrides and the ``REPRO_WORKERS`` /
 ``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS`` /
-``REPRO_BACKEND`` environment variables, read at call time so CI can
-flip the whole suite to parallel, sharded, or spool-dispatched
+``REPRO_BACKEND`` / ``REPRO_MAX_RETRIES`` / ``REPRO_ON_ERROR``
+environment variables, read at call time so CI can flip the whole
+suite to parallel, sharded, spool-dispatched, or fault-injected
 execution without code changes.
 """
 
@@ -66,6 +78,15 @@ from .backends import (
     run_shard,
 )
 from .cells import cell_repetitions, is_shardable
+from .faults import (
+    PlanExecutionError,
+    RetryPolicy,
+    TaskFailure,
+    failure_from,
+    resolve_max_retries,
+    resolve_on_error,
+    unit_token,
+)
 from .progress import ProgressReporter
 from .scheduler import (
     CellResult,
@@ -83,8 +104,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CellResult",
     "ChunkCalibration",
+    "PlanExecutionError",
     "PlanOutcome",
     "ParallelExecutor",
+    "RetryPolicy",
+    "TaskFailure",
     "configure",
     "default_executor",
     "execute",
@@ -189,12 +213,29 @@ class ParallelExecutor:
         Where units of work execute: an
         :class:`~repro.runtime.backends.ExecutionBackend` instance, a
         spec string (``"serial"``, ``"process[:n]"``,
-        ``"spool[:dir]"``), or ``None`` to read ``REPRO_BACKEND`` —
-        falling back to the automatic policy (serial at ``workers=1``
-        or ≤1 pending unit, process pool otherwise).  Backends change
-        placement and wall-clock only: results are bit-identical and
-        cache tokens are backend-independent, so runs resume across
-        backend switches.
+        ``"spool[:dir]"``, ``"chaos:<inner>"``), or ``None`` to read
+        ``REPRO_BACKEND`` — falling back to the automatic policy
+        (serial at ``workers=1`` or ≤1 pending unit, process pool
+        otherwise).  Backends change placement and wall-clock only:
+        results are bit-identical and cache tokens are
+        backend-independent, so runs resume across backend switches.
+    max_retries:
+        Resubmissions allowed per unit of work after a failed attempt,
+        with deterministic exponential backoff (see
+        :class:`~repro.runtime.faults.RetryPolicy`).  ``None`` reads
+        ``REPRO_MAX_RETRIES`` (default 0 — classic fail-fast).
+    on_error:
+        What to do once a unit exhausts its retries: ``"raise"``
+        (default; aborts the run with a
+        :class:`~repro.runtime.faults.PlanExecutionError` carrying the
+        full failure history) or ``"continue"`` (quarantine the failed
+        cell, keep draining, and return a partial
+        :class:`PlanOutcome` with the ``failures`` tuple populated).
+        ``None`` reads ``REPRO_ON_ERROR``.
+    retry_policy:
+        A full :class:`~repro.runtime.faults.RetryPolicy` (backoff
+        shape included).  Mutually exclusive with ``max_retries``,
+        which is the convenience form for the common case.
     """
 
     def __init__(
@@ -205,6 +246,9 @@ class ParallelExecutor:
         chunk_size: int | None = None,
         chunk_seconds: float | None = None,
         backend: Union[str, ExecutionBackend, None] = None,
+        max_retries: int | None = None,
+        on_error: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.workers = _resolve_workers(workers)
         if chunk_size is not None and chunk_seconds is not None:
@@ -225,6 +269,18 @@ class ParallelExecutor:
                     "unset one (fixed reps-per-shard vs seconds-per-shard)"
                 )
         self.backend = resolve_backend_spec(backend)
+        if retry_policy is not None:
+            if max_retries is not None:
+                raise ValidationError(
+                    "max_retries and retry_policy are mutually exclusive; "
+                    "set max_retries on the policy instead"
+                )
+            self.retry_policy = retry_policy
+        else:
+            self.retry_policy = RetryPolicy(
+                max_retries=resolve_max_retries(max_retries)
+            )
+        self.on_error = resolve_on_error(on_error)
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
@@ -348,18 +404,32 @@ class ParallelExecutor:
         )
         pending = scheduler.scan()
         backend = self._backend_for(len(pending))
+        retries = 0
+        failure_log: list[TaskFailure] = []
         if pending:
             backend.open(workers=self.workers, tasks=len(pending), settings=settings)
             try:
-                futures = {}
+                # future -> (queue item, attempt number); failed futures
+                # are replaced by their retry's future, so the map always
+                # holds exactly the in-flight attempts.
+                futures: dict = {}
                 for item in pending:
-                    futures[backend.submit(task_of(item), settings)] = item
+                    futures[backend.submit(task_of(item), settings)] = (item, 1)
                 outstanding = set(futures)
                 while outstanding:
                     ready, outstanding = backend.wait_any(outstanding)
                     for future in ready:
-                        value, seconds = future.result()
-                        scheduler.finish(futures[future], value, seconds)
+                        item, attempt = futures.pop(future)
+                        try:
+                            value, seconds = future.result()
+                        except Exception as exc:
+                            retried = self._handle_failure(
+                                backend, settings, item, attempt, exc,
+                                futures, outstanding, failure_log, scheduler,
+                            )
+                            retries += retried
+                            continue
+                        scheduler.finish(item, value, seconds)
             finally:
                 backend.close()
         return PlanOutcome(
@@ -369,14 +439,65 @@ class ParallelExecutor:
             seconds=time.perf_counter() - start,
             calibration=calibration,
             backend=backend.name,
+            failures=scheduler.failed(),
+            retries=retries,
         )
+
+    def _handle_failure(
+        self,
+        backend: ExecutionBackend,
+        settings: "ExperimentSettings",
+        item: tuple,
+        attempt: int,
+        exc: Exception,
+        futures: dict,
+        outstanding: set,
+        failure_log: list[TaskFailure],
+        scheduler: PlanScheduler,
+    ) -> int:
+        """Consult the retry policy for one failed attempt.
+
+        Returns 1 when the unit was resubmitted (after its
+        deterministic backoff), 0 when it exhausted its attempts — in
+        which case the cell is either quarantined
+        (``on_error="continue"``) or the run aborts with a
+        :class:`PlanExecutionError` carrying the full failure history.
+        """
+        task = task_of(item)
+        token = unit_token(task, settings)
+        failure = failure_from(task, token, attempt, exc, backend.name)
+        failure_log.append(failure)
+        policy = self.retry_policy
+        if attempt <= policy.max_retries:
+            delay = policy.delay(attempt, token)
+            update = getattr(self.progress, "retry_update", None)
+            if update is not None:
+                update(failure, attempt + 1, policy.attempts, delay)
+            if delay > 0.0:
+                time.sleep(delay)
+            replacement = backend.submit(task, settings)
+            futures[replacement] = (item, attempt + 1)
+            outstanding.add(replacement)
+            return 1
+        if self.on_error == "continue":
+            scheduler.quarantine(item, failure)
+            update = getattr(self.progress, "failure_update", None)
+            if update is not None:
+                update(failure)
+            return 0
+        raise PlanExecutionError(
+            f"plan execution aborted: {failure.summary()}",
+            failures=tuple(failure_log),
+        ) from exc
 
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor(workers={self.workers}, "
             f"store={self.store!r}, progress={self.progress is not None}, "
             f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds}, "
-            f"backend={self.backend!r})"
+            f"backend={self.backend!r}, "
+            f"max_retries={self.retry_policy.max_retries}, "
+            f"on_error={self.on_error!r})"
         )
 
 
@@ -392,6 +513,8 @@ _defaults: dict[str, Any] = {
     "chunk_size": None,
     "chunk_seconds": None,
     "backend": None,
+    "max_retries": None,
+    "on_error": None,
 }
 
 
@@ -402,6 +525,8 @@ def configure(
     chunk_size=_UNSET,
     chunk_seconds=_UNSET,
     backend=_UNSET,
+    max_retries=_UNSET,
+    on_error=_UNSET,
 ) -> None:
     """Set process-wide defaults for :func:`execute`.
 
@@ -409,7 +534,8 @@ def configure(
     configured executor without threading parameters through each
     ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
     ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, ``REPRO_CHUNK_SECONDS``,
-    and ``REPRO_BACKEND`` at call time.
+    ``REPRO_BACKEND``, ``REPRO_MAX_RETRIES``, and ``REPRO_ON_ERROR``
+    at call time.
     """
     if workers is not _UNSET:
         _defaults["workers"] = workers
@@ -423,6 +549,10 @@ def configure(
         _defaults["chunk_seconds"] = chunk_seconds
     if backend is not _UNSET:
         _defaults["backend"] = backend
+    if max_retries is not _UNSET:
+        _defaults["max_retries"] = max_retries
+    if on_error is not _UNSET:
+        _defaults["on_error"] = on_error
 
 
 def default_executor() -> ParallelExecutor:
@@ -437,6 +567,8 @@ def default_executor() -> ParallelExecutor:
         chunk_size=_defaults["chunk_size"],
         chunk_seconds=_defaults["chunk_seconds"],
         backend=_defaults["backend"],
+        max_retries=_defaults["max_retries"],
+        on_error=_defaults["on_error"],
     )
 
 

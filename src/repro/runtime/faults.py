@@ -1,0 +1,271 @@
+"""Fault model for plan execution: retries, failure records, quarantine.
+
+Long Monte-Carlo campaigns fail for two very different reasons.  A
+*transient* fault — a worker OOM-killed under memory pressure, a stolen
+spool lease, an injected chaos fault — disappears when the unit of work
+runs again; a *persistent* fault (a bug in a cell runner, a poison
+payload) does not, no matter how often it is retried.  This module
+gives the runtime the vocabulary to tell them apart:
+
+* :class:`RetryPolicy` — how many times a failed unit of work is
+  resubmitted, and with what backoff.  The backoff jitter is derived
+  **deterministically** from the unit's token, so two reruns of the
+  same plan retry on exactly the same schedule — reproducibility
+  extends to the failure path.
+* :class:`TaskFailure` — the durable record of one failed attempt:
+  unit label and token, attempt number, exception summary, the
+  worker-side traceback when one crossed the process boundary, and the
+  backend the attempt ran on.
+* :class:`PlanExecutionError` — what a run raises once a unit exhausts
+  its retries under ``on_error="raise"``; carries the full
+  :class:`TaskFailure` history of the run so post-mortems do not
+  depend on scraping logs.
+
+Under ``on_error="continue"`` the executor instead *quarantines* the
+failed cell — the scheduler keeps draining every other unit and the
+:class:`~repro.runtime.scheduler.PlanOutcome` returns the surviving
+cells plus the ``failures`` tuple.
+
+Because every cell is seeded at plan-build time, a retried unit
+recomputes byte-identical numbers; retrying is therefore always safe,
+and the chaos backend (:mod:`repro.runtime.backends.chaos`) leans on
+exactly that property to prove the whole failure path end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import traceback as _traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import ReproError, ValidationError
+from .spec import CellShard, cache_token
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import ExperimentSettings
+    from .backends.base import Task
+
+__all__ = [
+    "PlanExecutionError",
+    "RetryPolicy",
+    "TaskFailure",
+    "failure_from",
+    "resolve_max_retries",
+    "resolve_on_error",
+    "unit_token",
+]
+
+#: Valid ``on_error`` modes: abort the run on the first exhausted unit
+#: (the classic behaviour) or quarantine it and keep draining.
+ON_ERROR_MODES = ("raise", "continue")
+
+
+def unit_token(task: "Task", settings: "ExperimentSettings") -> str:
+    """Stable hex identity of one unit of work under *settings*.
+
+    Cells use their ordinary cache token; shards extend it with their
+    repetition window.  The token seeds the retry jitter and the chaos
+    backend's fault schedule, so both are reproducible across reruns —
+    it is a *fault identity*, deliberately independent of the backend
+    and of which attempt is executing.
+    """
+    if isinstance(task, CellShard):
+        base = cache_token(task.cell, settings)
+        blob = f"{base}:unit:{task.rep_start}:{task.rep_stop}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return cache_token(task, settings)
+
+
+def _unit_fraction(text: str) -> float:
+    """Deterministic float in ``[0, 1)`` from *text* (sha256-derived)."""
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return int(digest[:12], 16) / float(16**12)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry schedule for failed units of work.
+
+    Attributes
+    ----------
+    max_retries:
+        Resubmissions allowed after the first failed attempt; ``0``
+        (the default) preserves the classic fail-fast behaviour.
+    backoff_base:
+        Delay before the first retry, in seconds; each further retry
+        doubles it (exponential backoff).
+    backoff_cap:
+        Upper bound on any single delay, so deep retry chains do not
+        wait minutes between attempts.
+    jitter:
+        Fraction of the exponential delay that the deterministic
+        jitter may *subtract* (``0.0`` disables jitter).  The jitter
+        for attempt *k* of a unit is a pure function of the unit token
+        and *k*, so reruns retry on an identical schedule while
+        distinct units still de-synchronise.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValidationError("backoff values must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a unit may consume (first run + retries)."""
+        return self.max_retries + 1
+
+    def delay(self, failures: int, token: str) -> float:
+        """Seconds to wait before the retry following failure *failures*.
+
+        ``failures`` counts the attempts that have already failed
+        (``1`` = about to issue the first retry).  The exponential
+        delay is capped at ``backoff_cap`` and shaved by the unit's
+        deterministic jitter.
+        """
+        if failures < 1:
+            raise ValidationError(f"failures must be >= 1, got {failures}")
+        raw = min(self.backoff_cap, self.backoff_base * (2.0 ** (failures - 1)))
+        shave = self.jitter * _unit_fraction(f"{token}:retry:{failures}")
+        return raw * (1.0 - shave)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """The record of one failed attempt at one unit of work.
+
+    Attributes
+    ----------
+    label:
+        Human-readable unit label (cell label, or the parent label plus
+        repetition window for a shard).
+    token:
+        The unit's :func:`unit_token` — stable across attempts and
+        backends, so failures of the same unit correlate across runs.
+    attempts:
+        Which attempt this was (1 = the first execution).
+    error:
+        One-line exception summary, ``"TypeName: message"``.
+    traceback:
+        The traceback text, worker-side when the failure crossed a
+        process boundary (pool workers and spool claimants ship
+        theirs); ``None`` when none was available.
+    backend:
+        Name of the backend the attempt dispatched through.
+    """
+
+    label: str
+    token: str
+    attempts: int
+    error: str
+    traceback: str | None
+    backend: str
+
+    def summary(self) -> str:
+        """One line for logs: label, attempt count, exception."""
+        plural = "s" if self.attempts != 1 else ""
+        return f"{self.label}: {self.error} (after {self.attempts} attempt{plural})"
+
+
+class PlanExecutionError(ReproError):
+    """A plan execution aborted after a unit exhausted its retries.
+
+    ``failures`` carries the complete :class:`TaskFailure` history of
+    the run — every failed attempt of every unit, fatal one last — so
+    callers can reconstruct what happened without logs.
+    """
+
+    def __init__(self, message: str, failures: tuple[TaskFailure, ...] = ()):
+        super().__init__(message)
+        self.failures = failures
+
+
+def _worker_traceback(exc: BaseException) -> str | None:
+    """Best-available traceback text for *exc*, worker-side preferred.
+
+    Spool claimants attach their traceback to the unpickled exception
+    (``__repro_traceback__``); :mod:`concurrent.futures` chains the
+    remote traceback through ``__cause__``.  Failing both, the local
+    traceback of the exception object itself is formatted.
+    """
+    attached = getattr(exc, "__repro_traceback__", None)
+    if attached:
+        return str(attached)
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    if exc.__traceback__ is not None:
+        return "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    return None
+
+
+def failure_from(
+    task: "Task",
+    token: str,
+    attempts: int,
+    exc: BaseException,
+    backend: str,
+) -> TaskFailure:
+    """Build the :class:`TaskFailure` record for one failed attempt."""
+    label = getattr(task, "label", repr(task))
+    return TaskFailure(
+        label=label,
+        token=token,
+        attempts=attempts,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback=_worker_traceback(exc),
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# Environment resolution (mirrors the executor's other knobs)
+# ----------------------------------------------------------------------
+
+
+def resolve_max_retries(max_retries: int | None) -> int:
+    """Explicit retry count, or the ``REPRO_MAX_RETRIES`` default (0)."""
+    if max_retries is None:
+        raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+        if not raw:
+            return 0
+        try:
+            max_retries = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"REPRO_MAX_RETRIES must be an integer, got {raw!r}"
+            ) from None
+    max_retries = int(max_retries)
+    if max_retries < 0:
+        raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+def resolve_on_error(on_error: str | None) -> str:
+    """Explicit mode, or the ``REPRO_ON_ERROR`` default (``"raise"``)."""
+    if on_error is None:
+        raw = os.environ.get("REPRO_ON_ERROR", "").strip().lower()
+        if not raw:
+            return "raise"
+        on_error = raw
+    on_error = str(on_error).strip().lower()
+    if on_error not in ON_ERROR_MODES:
+        raise ValidationError(
+            f"on_error must be one of {', '.join(ON_ERROR_MODES)}; "
+            f"got {on_error!r}"
+        )
+    return on_error

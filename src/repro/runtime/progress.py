@@ -20,6 +20,7 @@ from typing import IO, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import CellResult, ChunkCalibration
+    from .faults import TaskFailure
     from .spec import CellSpec
 
 __all__ = ["ProgressReporter"]
@@ -77,6 +78,35 @@ class ProgressReporter:
             file=stream,
             flush=True,
         )
+
+    def retry_update(
+        self,
+        failure: "TaskFailure",
+        attempt: int,
+        max_attempts: int,
+        delay: float,
+    ) -> None:
+        """One line per resubmission of a failed unit of work.
+
+        Retries are rare enough (and important enough) that each gets a
+        real line even in piped logs: which unit failed, with what, and
+        which attempt is coming after what backoff.
+        """
+        stream = self._resolve_stream()
+        self._clear_ticker(stream)
+        print(
+            f"[retry {attempt}/{max_attempts}] {failure.label}: "
+            f"{failure.error} (backoff {delay:.2f}s)",
+            file=stream,
+            flush=True,
+        )
+
+    def failure_update(self, failure: "TaskFailure") -> None:
+        """One line when a unit exhausts its retries and is quarantined
+        (``on_error="continue"``)."""
+        stream = self._resolve_stream()
+        self._clear_ticker(stream)
+        print(f"[quarantined] {failure.summary()}", file=stream, flush=True)
 
     def shard_update(
         self,

@@ -30,6 +30,7 @@ from .cells import (
     is_shardable,
     shard_reducer_for,
 )
+from .faults import TaskFailure
 from .spec import CellShard, CellSpec, StudyPlan, cache_token, shard_ranges, shard_token
 from .store import ResultStore
 
@@ -93,6 +94,12 @@ class PlanOutcome:
     backend the run's fresh work dispatched through (``"serial"`` when
     everything came from cache) — reporting only: results and cache
     tokens are backend-independent.
+
+    ``failures`` is non-empty only under ``on_error="continue"``: each
+    entry is the final :class:`~repro.runtime.faults.TaskFailure` of a
+    unit that exhausted its retries, and the cell it belonged to is
+    absent from ``cells`` (quarantined).  ``retries`` counts the
+    resubmissions the run performed, successful recoveries included.
     """
 
     plan: StudyPlan
@@ -101,6 +108,8 @@ class PlanOutcome:
     seconds: float
     calibration: ChunkCalibration | None = None
     backend: str = "serial"
+    failures: tuple[TaskFailure, ...] = ()
+    retries: int = 0
 
     @property
     def results(self) -> dict[tuple, Any]:
@@ -131,6 +140,10 @@ class PlanOutcome:
             shard_note += f", chunk~{self.calibration.chunk_size} calibrated"
         if self.backend not in ("serial", "process"):
             shard_note += f", {self.backend} backend"
+        if self.retries:
+            shard_note += f", {self.retries} retried"
+        if self.failures:
+            shard_note += f", {len(self.failures)} FAILED"
         return (
             f"{name}: {len(self.cells)} cells in {self.seconds:.2f}s "
             f"wall ({self.compute_seconds:.2f}s compute, "
@@ -216,6 +229,7 @@ class PlanScheduler:
         self.default_chunk = default_chunk
         self.pilot = pilot
         self._entries: dict[int, CellResult] = {}
+        self._failed: dict[int, TaskFailure] = {}
         self._done = 0
 
     # -- shard planning -------------------------------------------------
@@ -339,9 +353,38 @@ class PlanScheduler:
             _, state, shard = item
             self._finish_shard(state, shard, value, seconds)
 
+    def quarantine(self, item: tuple, failure: TaskFailure) -> None:
+        """Mark the cell behind *item* failed; the queue keeps draining.
+
+        The ``on_error="continue"`` path: the failed unit's cell is
+        excluded from :meth:`cells` (a sharded cell with one exhausted
+        shard can never merge, so the whole cell is quarantined).
+        Sibling shards already in flight still persist their partials
+        on completion — a later run with the fault fixed resumes at the
+        finished-shard boundary — but the quarantined cell produces no
+        result and no merged cache entry this run.
+        """
+        index = item[1] if item[0] == "cell" else item[1].index
+        # First failure wins: a second shard of the same cell failing
+        # later must not overwrite the failure that quarantined it.
+        self._failed.setdefault(index, failure)
+
+    def failed(self) -> tuple[TaskFailure, ...]:
+        """Final failure per quarantined cell, in plan order."""
+        return tuple(self._failed[index] for index in sorted(self._failed))
+
     def cells(self) -> tuple[CellResult, ...]:
-        """All results in plan order; every cell must have finished."""
-        return tuple(self._entries[index] for index in range(len(self.plan.cells)))
+        """All results in plan order; quarantined cells are absent.
+
+        A cell that neither finished nor was quarantined means the
+        drain loop lost a unit — that is a bug, and the ``KeyError``
+        here is deliberately loud.
+        """
+        return tuple(
+            self._entries[index]
+            for index in range(len(self.plan.cells))
+            if index not in self._failed
+        )
 
     # -- internals ------------------------------------------------------
 
@@ -419,5 +462,5 @@ class PlanScheduler:
         state.partials[shard.index] = value
         state.seconds += seconds
         self._shard_progress(state)
-        if state.complete:
+        if state.complete and state.index not in self._failed:
             self._merge_cell(state)

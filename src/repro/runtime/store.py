@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import pickle
 import shutil
+import warnings
 from pathlib import Path
 from typing import Any, Union
 
@@ -61,9 +62,12 @@ class ResultStore:
     def load(self, token: str, group: str | None = None) -> Any | None:
         """The stored payload for *token*, or ``None`` on any miss.
 
-        Corrupt or truncated entries (e.g. from a pre-atomic-write
-        crash of a foreign writer) are misses, not errors — the cell
-        simply recomputes and overwrites.
+        *Any* failure to read an entry — corrupt pickle, truncation
+        from a pre-atomic-write crash of a foreign writer, a payload
+        class no longer importable, permission trouble — is a miss, not
+        an error: the cell simply recomputes and overwrites.  A
+        :class:`RuntimeWarning` naming the unreadable path is emitted
+        so a silently rotting cache is at least visible.
         """
         path = self._path(token, group)
         try:
@@ -71,7 +75,13 @@ class ResultStore:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+        except Exception as exc:
+            warnings.warn(
+                f"ignoring unreadable cache entry {path} "
+                f"({type(exc).__name__}: {exc}); the cell will recompute",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def save(self, token: str, payload: Any, group: str | None = None) -> Path:

@@ -301,10 +301,18 @@ class TestSpoolMechanics:
         assert list((spool_dir / "results").iterdir()) == []
 
     def test_task_error_propagates_to_the_run(self, tmp_path):
+        from repro.runtime import PlanExecutionError
+
         cell = FailingCell(key=("boom",), label="boom", method="-")
         plan = plan_of([cell])
-        with pytest.raises(ValidationError, match="intentional failure"):
-            ParallelExecutor(backend=SpoolBackend(tmp_path / "q")).run(plan)
+        with pytest.raises(PlanExecutionError, match="intentional failure") as info:
+            ParallelExecutor(
+                backend=SpoolBackend(tmp_path / "q"), max_retries=0
+            ).run(plan)
+        # The abort carries the failure record, cause included.
+        (failure,) = info.value.failures
+        assert failure.label == "boom"
+        assert "ValidationError" in failure.error
         # The failed run swept its spool files on close.
         assert list((tmp_path / "q" / "tasks").iterdir()) == []
 
@@ -382,12 +390,16 @@ def _run_unpicklable_result(cell, settings):
 
 class TestSpoolResultEdgeCases:
     def test_unpicklable_result_surfaces_as_spool_task_error(self, tmp_path):
-        from repro.runtime import SpoolTaskError
+        from repro.runtime import PlanExecutionError
 
         cell = UnpicklableResultCell(key=("lam",), label="lam", method="-")
         plan = plan_of([cell])
-        with pytest.raises(SpoolTaskError, match="unpicklable result"):
-            ParallelExecutor(backend=SpoolBackend(tmp_path / "q")).run(plan)
+        with pytest.raises(PlanExecutionError, match="unpicklable result") as info:
+            ParallelExecutor(
+                backend=SpoolBackend(tmp_path / "q"), max_retries=0
+            ).run(plan)
+        (failure,) = info.value.failures
+        assert "SpoolTaskError" in failure.error
 
     def test_executor_repr_mentions_backend(self, tmp_path):
         text = repr(ParallelExecutor(backend="serial"))

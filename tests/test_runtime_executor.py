@@ -128,9 +128,58 @@ class TestResultStoreIntegration:
         executor.run(plan)
         token = cache_token(plan.cells[0], plan.settings)
         store._path(token).write_bytes(b"not a pickle")
-        outcome = executor.run(plan)
+        with pytest.warns(RuntimeWarning, match="unreadable cache entry"):
+            outcome = executor.run(plan)
         assert outcome.cache_misses == 1
         assert outcome.cache_hits == len(plan) - 1
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            pytest.param(b"not a pickle", id="garbage"),
+            pytest.param(None, id="truncated"),
+            pytest.param(b"cno_such_module\nNoClass\n.", id="unimportable"),
+        ],
+    )
+    def test_unreadable_entry_warns_with_the_path_and_heals(
+        self, tmp_path, corruption
+    ):
+        # Every flavour of rot — garbage bytes, a truncated write from
+        # a crashed foreign (pre-atomic) writer, a payload class that
+        # no longer imports — is a miss that names the sick file, and
+        # the recompute overwrites it with a loadable entry.
+        plan = small_plan()
+        store = ResultStore(tmp_path / "cache")
+        executor = ParallelExecutor(workers=1, store=store)
+        executor.run(plan)
+        token = cache_token(plan.cells[0], plan.settings)
+        path = store._path(token)
+        if corruption is None:
+            path.write_bytes(path.read_bytes()[:20])
+        else:
+            path.write_bytes(corruption)
+        with pytest.warns(RuntimeWarning, match="will recompute") as captured:
+            assert store.load(token) is None
+        assert any(str(path) in str(w.message) for w in captured)
+        with pytest.warns(RuntimeWarning):
+            outcome = executor.run(plan)
+        assert outcome.cache_misses == 1
+        # Healed: the overwritten entry loads cleanly again.
+        payload = store.load(token)
+        assert payload is not None
+        assert_studies_equal(
+            payload["value"], outcome.results[plan.cells[0].key]
+        )
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path):
+        # FileNotFoundError is the ordinary cold-cache path — it must
+        # stay warning-free or every fresh run would spam stderr.
+        import warnings as _warnings
+
+        store = ResultStore(tmp_path / "cache")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert store.load("ab" + "0" * 62) is None
 
     def test_settings_change_misses(self, tmp_path):
         plan = small_plan(repetitions=3)

@@ -37,6 +37,21 @@ from repro.runtime import (
 )
 
 
+from dataclasses import dataclass
+
+from repro.runtime import CellSpec, register_cell_runner
+
+
+@dataclass(frozen=True)
+class PlainCell(CellSpec):
+    """A cell with no registered sharding triple (and nothing else)."""
+
+
+@register_cell_runner(PlainCell)
+def _run_plain(cell, settings):
+    return cell.key
+
+
 def study_cell(**overrides) -> StudyCell:
     base = dict(
         key=("NELL", "SRS", "Wilson"),
@@ -219,19 +234,9 @@ class TestChunkedEqualsSerial:
 
     def test_unshardable_cells_ignore_chunking(self):
         # CellSpec subclasses without a registered sharding triple run
-        # whole even under an executor-wide chunk size.
-        from dataclasses import dataclass
-
-        from repro.runtime import CellSpec, register_cell_runner
-
-        @dataclass(frozen=True)
-        class PlainCell(CellSpec):
-            pass
-
-        @register_cell_runner(PlainCell)
-        def _run_plain(cell, settings):
-            return cell.key
-
+        # whole even under an executor-wide chunk size.  (PlainCell is
+        # module-level so the plan survives a process/spool/chaos
+        # backend forced through REPRO_BACKEND.)
         settings = ExperimentSettings(repetitions=5)
         cell = PlainCell(key=("s",), label="s", method="-")
         plan = StudyPlan(settings=settings, cells=(cell,), name="plain")
