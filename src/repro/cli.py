@@ -9,6 +9,9 @@ Subcommands::
     python -m repro plan --mu 0.9 [options]        predict the budget
     python -m repro study [options]                Monte-Carlo study grid
     python -m repro worker <spool-dir>             serve a spool backend
+    python -m repro trace summarize <journal>      digest a trace journal
+    python -m repro trace check <journal>          validate journal schema
+    python -m repro cache info [--group PREFIX]    inspect a result store
 
 The audit subcommand reads the labelled-TSV format of
 :mod:`repro.kg.io`, treats the recorded labels as the (oracle)
@@ -33,7 +36,17 @@ The worker subcommand is the other half of the spool backend: it
 leases task files from a spool directory (claimed by atomic rename, so
 any number of workers can serve one directory — from other terminals,
 containers, or hosts sharing a filesystem), executes them, and writes
-result files the scheduling run collects.
+result files the scheduling run collects.  Unless ``--quiet``, each
+executed task logs one attributable line (id, label, seconds,
+delivery count) to stderr.
+
+Observability: ``--trace FILE`` (or ``REPRO_TRACE_FILE``) makes any
+runtime-routed run append its structured lifecycle events to a JSONL
+journal; ``trace summarize`` digests a journal into slowest-cell,
+queue-wait, cache, and fault tables (``--format json`` for machines);
+``trace check`` validates that every line parses and every event type
+is known; ``cache info`` prints entry counts and byte totals of a
+result store.
 """
 
 from __future__ import annotations
@@ -230,6 +243,58 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--quiet", action="store_true", help="suppress per-task lines"
     )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace journal written via --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="digest a journal: slowest cells, queue-wait, cache/fault tables",
+    )
+    summarize.add_argument("journal", help="JSONL trace journal file")
+    summarize.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default: text)",
+    )
+    summarize.add_argument(
+        "--run-id",
+        default=None,
+        help="restrict the aggregate to one run of an interleaved journal",
+    )
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest units to list (default: 10)",
+    )
+    check = trace_sub.add_parser(
+        "check",
+        help="validate a journal: every line parses, every event type known",
+    )
+    check.add_argument("journal", help="JSONL trace journal file")
+
+    cache = sub.add_parser(
+        "cache", help="inspect a result-store cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    info = cache_sub.add_parser(
+        "info", help="entry counts, byte totals, and per-group breakdown"
+    )
+    info.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR)",
+    )
+    info.add_argument(
+        "--group",
+        default=None,
+        metavar="PREFIX",
+        help="only show shard-resume groups whose token starts with PREFIX",
+    )
     return parser
 
 
@@ -292,6 +357,14 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_ON_ERROR or raise)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append structured lifecycle events (JSONL) to this journal; "
+        "digest it later with 'python -m repro trace summarize' "
+        "(default: $REPRO_TRACE_FILE or off)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
@@ -307,6 +380,7 @@ def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
         backend=args.backend,
         max_retries=args.max_retries,
         on_error=args.on_error,
+        trace=args.trace,
     )
 
 
@@ -516,6 +590,54 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .runtime.telemetry import read_journal, render_summary, summarize_journal
+
+    if args.trace_command == "check":
+        records = read_journal(args.journal)
+        runs = {record["run_id"] for record in records}
+        print(
+            f"{args.journal}: {len(records)} events across {len(runs)} "
+            f"run(s), all schema-valid"
+        )
+        return 0
+    summary = summarize_journal(
+        args.journal, run_id=args.run_id, top=args.top
+    )
+    print(render_summary(summary, fmt=args.format))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from .runtime import ResultStore
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    if cache_dir is None:
+        raise ReproError(
+            "cache info needs a store: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    stats = ResultStore(cache_dir).stats(group_prefix=args.group)
+    print(f"store            : {stats['root']}")
+    print(f"entries          : {stats['entries']}")
+    print(f"total bytes      : {stats['bytes']:,}")
+    print(
+        f"cell entries     : {stats['cells']['entries']} "
+        f"({stats['cells']['bytes']:,} bytes)"
+    )
+    grouped = sum(entry["entries"] for entry in stats["groups"].values())
+    print(f"shard entries    : {grouped} in {len(stats['groups'])} group(s)")
+    for group, entry in stats["groups"].items():
+        print(
+            f"  {group[:16]}…  {entry['entries']:>5} entries  "
+            f"{entry['bytes']:>12,} bytes"
+        )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
@@ -524,6 +646,8 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "study": _cmd_study,
     "worker": _cmd_worker,
+    "trace": _cmd_trace,
+    "cache": _cmd_cache,
 }
 
 

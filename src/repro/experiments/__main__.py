@@ -106,6 +106,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_ON_ERROR or raise)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append structured lifecycle events (JSONL) of every "
+        "runtime-routed experiment to this journal; digest with "
+        "'python -m repro trace summarize' "
+        "(default: $REPRO_TRACE_FILE or off)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/timing lines to stderr",
@@ -132,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         max_retries=args.max_retries,
         on_error=args.on_error,
+        trace=args.trace,
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

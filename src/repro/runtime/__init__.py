@@ -37,6 +37,15 @@ aborts with a :class:`PlanExecutionError` carrying every
 :class:`TaskFailure`, ``"continue"`` quarantines the failed cell and
 returns the survivors plus the failure records on the
 :class:`PlanOutcome`.
+
+Every run is observable: a :class:`RunTelemetry` event bus narrates
+the full lifecycle (cache scan, unit queued/submitted/finished,
+retries, worker-side spans, dead letters, chaos injections) into an
+always-on in-memory :class:`MetricsAggregate` (``outcome.metrics``)
+and — when ``REPRO_TRACE_FILE`` or ``trace=``/``--trace`` names a
+file — a JSONL journal summarised by ``python -m repro trace
+summarize``.  Telemetry is strictly non-semantic: tracing on or off
+changes no result bytes, cache tokens, or seeds.
 """
 
 from .backends import (
@@ -85,6 +94,17 @@ from .faults import (
 )
 from .progress import ProgressReporter
 from .scheduler import PlanScheduler
+from .telemetry import (
+    EVENT_TYPES,
+    JsonlTraceSink,
+    MetricsAggregate,
+    RunTelemetry,
+    TelemetryEvent,
+    read_journal,
+    render_summary,
+    replay_metrics,
+    summarize_journal,
+)
 from .spec import (
     CACHE_VERSION,
     CellShard,
@@ -153,4 +173,13 @@ __all__ = [
     "configure",
     "default_executor",
     "execute",
+    "EVENT_TYPES",
+    "JsonlTraceSink",
+    "MetricsAggregate",
+    "RunTelemetry",
+    "TelemetryEvent",
+    "read_journal",
+    "render_summary",
+    "replay_metrics",
+    "summarize_journal",
 ]

@@ -111,6 +111,15 @@ class ExecutionBackend(abc.ABC):
     #: Spec-string name, recorded on the run's :class:`PlanOutcome`.
     name: str = "?"
 
+    #: The owning run's :class:`~repro.runtime.telemetry.RunTelemetry`
+    #: bus, attached by the executor before ``open`` and detached after
+    #: ``close``; ``None`` between runs.  Backends with their own
+    #: observability (chaos injections, spool worker spans, lease
+    #: reclaims) emit through it when present — strictly optional, and
+    #: strictly non-semantic: a backend must behave identically with
+    #: telemetry attached or not.
+    telemetry = None
+
     def open(
         self, workers: int, tasks: int, settings: "ExperimentSettings"
     ) -> None:

@@ -165,10 +165,15 @@ class ChaosBackend(ExecutionBackend):
 
     def open(self, workers: int, tasks: int, settings) -> None:
         self._injected = set()
+        # Forward the run's telemetry bus so the inner backend's own
+        # events (spool worker spans, lease reclaims) still surface
+        # when wrapped in chaos.
+        self.inner.telemetry = self.telemetry
         self.inner.open(workers, tasks, settings)
 
     def close(self) -> None:
         self.inner.close()
+        self.inner.telemetry = None
 
     def _fault_for(self, token: str) -> str | None:
         """The fault kind scheduled for *token*, or ``None`` for a
@@ -187,6 +192,10 @@ class ChaosBackend(ExecutionBackend):
             # At most one fault per unit per run, so retries converge.
             self._injected.add(token)
         label = getattr(task, "label", repr(task))
+        if kind is not None and self.telemetry is not None:
+            self.telemetry.emit(
+                "chaos_inject", kind=kind, token=token, label=str(label)
+            )
         if kind == "before":
             return _FailedFuture(
                 ChaosFault(f"injected fault before executing {label}")

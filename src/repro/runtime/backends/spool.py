@@ -56,6 +56,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import socket
 import threading
 import time
 import traceback
@@ -188,10 +189,22 @@ def _bury(
         f"task {task_id} ({label}) moved to {_DEAD_DIR}/ after "
         f"{payload.get('deliveries')} deliveries: {reason}"
     )
+    # ``buried`` marks the error result as a dead-letter answer: the
+    # collecting run's future emits a ``dead_letter`` telemetry event
+    # from it, so the journal records the burial even when it happened
+    # in a detached worker on another host.
     _write_result(
         root,
         task_id,
-        {"id": task_id, "error": SpoolTaskError(message), "traceback": None},
+        {
+            "id": task_id,
+            "error": SpoolTaskError(message),
+            "traceback": None,
+            "buried": True,
+            "label": label,
+            "deliveries": payload.get("deliveries"),
+            "reason": reason,
+        },
     )
     if log is not None:
         log(message)
@@ -271,15 +284,20 @@ def _execute_payload(task_id: str, payload: dict) -> dict:
     return {"id": task_id, "value": value, "seconds": seconds, "error": None}
 
 
-def _heartbeat(claimed: Path, interval: float) -> tuple[threading.Event, threading.Thread]:
+def _heartbeat(
+    claimed: Path, interval: float
+) -> tuple[threading.Event, threading.Thread, dict]:
     """Start a daemon thread re-stamping *claimed* every *interval* s.
 
     Keeps the lease visibly alive while its task executes, so a
     long-running task is never mistaken for an orphaned lease by the
     stale-lease reclaim sweep.  Stops at the returned event, or silently
     when the claim file disappears (the lease was taken away anyway).
+    The returned counter dict tallies successful stamps — recorded in
+    the task's worker-side span as evidence the lease stayed live.
     """
     stop = threading.Event()
+    counter = {"beats": 0}
 
     def _beat() -> None:
         while not stop.wait(interval):
@@ -287,12 +305,13 @@ def _heartbeat(claimed: Path, interval: float) -> tuple[threading.Event, threadi
                 os.utime(claimed)
             except OSError:
                 return
+            counter["beats"] += 1
 
     thread = threading.Thread(
         target=_beat, name=f"spool-heartbeat-{claimed.stem}", daemon=True
     )
     thread.start()
-    return stop, thread
+    return stop, thread, counter
 
 
 def _drain_one(
@@ -342,9 +361,11 @@ def _drain_one(
             if log is not None:
                 log(f"skipping task {task_id}: cannot deserialise here")
             continue
+        claimed_at = time.time()
         beat = None
         if heartbeat_seconds is not None and heartbeat_seconds > 0:
             beat = _heartbeat(claimed, heartbeat_seconds)
+        started = time.perf_counter()
         try:
             result = _execute_payload(task_id, payload)
         except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -353,6 +374,26 @@ def _drain_one(
         finally:
             if beat is not None:
                 beat[0].set()
+        label = str(getattr(payload.get("task"), "label", task_id))
+        submitted_at = payload.get("submitted_at")
+        # The worker-side span travels home inside the result payload,
+        # so the scheduler's journal covers execution on other
+        # processes and (on a shared filesystem) other hosts.  Claim
+        # latency uses wall clocks from both sides — subject to clock
+        # skew across hosts, exact on one.
+        result["span"] = {
+            "label": label,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "claim_latency": (
+                round(max(0.0, claimed_at - submitted_at), 6)
+                if isinstance(submitted_at, (int, float))
+                else None
+            ),
+            "execute_seconds": round(time.perf_counter() - started, 6),
+            "heartbeats": beat[2]["beats"] if beat is not None else 0,
+            "deliveries": int(payload.get("deliveries", 0)),
+        }
         if not claimed.exists():
             # The lease was taken away mid-execution — a stale-lease
             # reclaim (this claimant looked dead) or the owning run's
@@ -365,11 +406,17 @@ def _drain_one(
         _write_result(root, task_id, result)
         claimed.unlink(missing_ok=True)
         if log is not None:
-            label = getattr(payload.get("task"), "label", task_id)
+            deliveries = result["span"]["deliveries"]
             if result.get("error") is None:
-                log(f"executed {task_id} ({label}) in {result['seconds']:.2f}s")
+                log(
+                    f"executed {task_id} ({label}) in "
+                    f"{result['seconds']:.2f}s (deliveries {deliveries})"
+                )
             else:
-                log(f"task {task_id} ({label}) failed: {result['error']!r}")
+                log(
+                    f"task {task_id} ({label}) failed after "
+                    f"{deliveries} deliveries: {result['error']!r}"
+                )
         return task_id
     return None
 
@@ -397,6 +444,7 @@ class _SpoolFuture(BackendFuture):
         except FileNotFoundError:
             return False
         path.unlink(missing_ok=True)
+        self._backend._note_payload(self.task_id, self._payload)
         return True
 
     def result(self) -> tuple[Any, float]:
@@ -506,12 +554,16 @@ class SpoolBackend(ExecutionBackend):
         self._seq += 1
         future = _SpoolFuture(self, task_id)
         try:
+            # ``submitted_at`` is stamped unconditionally (trace on or
+            # off) so telemetry never changes what travels through the
+            # queue; claimants use it for span claim latency.
             blob = pickle.dumps(
                 {
                     "id": task_id,
                     "task": task,
                     "settings": settings,
                     "deliveries": 0,
+                    "submitted_at": time.time(),
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -523,6 +575,30 @@ class SpoolBackend(ExecutionBackend):
         _atomic_write(self.root / _TASK_DIR / f"{task_id}{_TASK_SUFFIX}", blob)
         self._submitted.append(task_id)
         return future
+
+    def _note_payload(self, task_id: str, payload: dict) -> None:
+        """Surface a collected result's embedded observability.
+
+        Worker-side spans and dead-letter markers travel inside result
+        payloads (the only channel back from detached workers); this
+        re-emits them as telemetry events in the scheduler process when
+        a bus is attached.  Pure observation — collection behaves
+        identically without one.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        span = payload.get("span")
+        if span:
+            telemetry.emit("worker_span", task_id=task_id, **span)
+        if payload.get("buried"):
+            telemetry.emit(
+                "dead_letter",
+                task_id=task_id,
+                label=payload.get("label"),
+                deliveries=payload.get("deliveries"),
+                reason=payload.get("reason"),
+            )
 
     def wait_any(self, outstanding):
         while True:
@@ -559,6 +635,12 @@ class SpoolBackend(ExecutionBackend):
             except OSError:
                 continue
             if stale:
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "lease_reclaim",
+                        task_id=future.task_id,
+                        stale_seconds=round(self.reclaim_seconds, 6),
+                    )
                 _requeue(
                     self.root,
                     claimed,

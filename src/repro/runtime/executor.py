@@ -55,10 +55,17 @@ The module-level :func:`execute` is the convenience entry point the
 experiment modules use: it builds a default executor from
 :func:`configure` overrides and the ``REPRO_WORKERS`` /
 ``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS`` /
-``REPRO_BACKEND`` / ``REPRO_MAX_RETRIES`` / ``REPRO_ON_ERROR``
-environment variables, read at call time so CI can flip the whole
-suite to parallel, sharded, spool-dispatched, or fault-injected
-execution without code changes.
+``REPRO_BACKEND`` / ``REPRO_MAX_RETRIES`` / ``REPRO_ON_ERROR`` /
+``REPRO_TRACE_FILE`` environment variables, read at call time so CI
+can flip the whole suite to parallel, sharded, spool-dispatched,
+fault-injected, or journalled execution without code changes.
+
+Every run additionally narrates itself into a structured telemetry
+stream (:mod:`repro.runtime.telemetry`): an in-memory metrics
+aggregate always rides on the returned outcome (``outcome.metrics``),
+and a JSONL event journal is appended when ``trace`` /
+``REPRO_TRACE_FILE`` names a file.  Telemetry is observation only —
+it never changes results, cache tokens, or seeds.
 """
 
 from __future__ import annotations
@@ -97,6 +104,14 @@ from .scheduler import (
 )
 from .spec import CellShard, StudyPlan, cache_token, shard_token
 from .store import ResultStore
+from .telemetry import (
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    MetricsAggregate,
+    ProgressSubscriber,
+    RunTelemetry,
+    resolve_trace_file,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.config import ExperimentSettings
@@ -170,6 +185,18 @@ def _resolve_chunk_seconds(chunk_seconds: float | None) -> float | None:
     return chunk_seconds
 
 
+def _unit_fields(item: tuple) -> dict:
+    """Identifying telemetry fields of one pending-queue entry."""
+    task = task_of(item)
+    if isinstance(task, CellShard):
+        return {
+            "unit": "shard",
+            "label": task.label,
+            "kind": type(task.cell).__name__,
+        }
+    return {"unit": "cell", "label": task.label, "kind": type(task).__name__}
+
+
 class ParallelExecutor:
     """Executes study plans over a pluggable backend with a result cache.
 
@@ -236,6 +263,14 @@ class ParallelExecutor:
         A full :class:`~repro.runtime.faults.RetryPolicy` (backoff
         shape included).  Mutually exclusive with ``max_retries``,
         which is the convenience form for the common case.
+    trace:
+        Path of a JSONL trace journal: every run of this executor
+        appends its structured lifecycle events (see
+        :mod:`repro.runtime.telemetry`) to the file.  ``None`` reads
+        ``REPRO_TRACE_FILE`` (default: no journal).  Strictly
+        non-semantic — tracing on or off changes no result bytes, no
+        cache tokens, and no seeds.  The in-memory metrics aggregate
+        is always attached to the outcome, journal or not.
     """
 
     def __init__(
@@ -249,6 +284,7 @@ class ParallelExecutor:
         max_retries: int | None = None,
         on_error: str | None = None,
         retry_policy: RetryPolicy | None = None,
+        trace: Union[str, Path, None] = None,
     ):
         self.workers = _resolve_workers(workers)
         if chunk_size is not None and chunk_seconds is not None:
@@ -289,6 +325,7 @@ class ParallelExecutor:
         elif progress is False:
             progress = None
         self.progress: Callable[[int, int, CellResult], None] | None = progress
+        self.trace = resolve_trace_file(trace)
 
     def _backend_for(self, pending: int) -> ExecutionBackend:
         """The backend this run dispatches through.
@@ -311,7 +348,10 @@ class ParallelExecutor:
     _PILOT_REPS = 4
 
     def _calibrate_chunk(
-        self, plan: StudyPlan, settings: "ExperimentSettings"
+        self,
+        plan: StudyPlan,
+        settings: "ExperimentSettings",
+        telemetry: RunTelemetry,
     ) -> tuple[ChunkCalibration | None, tuple | None]:
         """Derive reps-per-shard from one timed pilot shard.
 
@@ -362,9 +402,14 @@ class ParallelExecutor:
                 pilot_seconds=seconds,
                 chunk_size=chunk,
             )
-            update = getattr(self.progress, "calibration_update", None)
-            if update is not None:
-                update(calibration)
+            telemetry.emit(
+                "calibration",
+                payload=calibration,
+                cell="/".join(str(part) for part in cell.key),
+                pilot_repetitions=pilot_reps,
+                pilot_seconds=round(seconds, 6),
+                chunk_size=chunk,
+            )
             return calibration, (index, pilot_reps, value, seconds)
         return None, None
 
@@ -385,53 +430,115 @@ class ParallelExecutor:
         first and fixes this run's reps-per-shard (see
         :meth:`_calibrate_chunk`); the resulting chunk size is recorded
         on the outcome's ``calibration`` and never in any result.
+
+        Every run narrates itself into a fresh
+        :class:`~repro.runtime.telemetry.RunTelemetry` bus: the metrics
+        aggregate is always attached (``outcome.metrics``), the JSONL
+        journal only when ``trace``/``REPRO_TRACE_FILE`` is set, and
+        the progress reporter is just another subscriber.  Telemetry is
+        observation only — it never feeds back into scheduling.
         """
         start = time.perf_counter()
         settings = plan.settings
-        default_chunk = self.chunk_size
-        calibration = None
-        pilot = None
-        if self.chunk_seconds is not None:
-            calibration, pilot = self._calibrate_chunk(plan, settings)
-            if calibration is not None:
-                default_chunk = calibration.chunk_size
-        scheduler = PlanScheduler(
-            plan,
-            store=self.store,
-            progress=self.progress,
-            default_chunk=default_chunk,
-            pilot=pilot,
-        )
-        pending = scheduler.scan()
-        backend = self._backend_for(len(pending))
+        telemetry = RunTelemetry()
+        metrics = MetricsAggregate()
+        telemetry.subscribe(metrics)
+        if self.trace is not None:
+            telemetry.subscribe(JsonlTraceSink(self.trace))
+        if self.progress is not None:
+            telemetry.subscribe(ProgressSubscriber(self.progress))
+        status = "aborted"
+        backend = None
         retries = 0
-        failure_log: list[TaskFailure] = []
-        if pending:
-            backend.open(workers=self.workers, tasks=len(pending), settings=settings)
-            try:
-                # future -> (queue item, attempt number); failed futures
-                # are replaced by their retry's future, so the map always
-                # holds exactly the in-flight attempts.
-                futures: dict = {}
+        try:
+            telemetry.emit(
+                "run_start",
+                plan=plan.name or "plan",
+                cells=len(plan.cells),
+                workers=self.workers,
+                schema=TRACE_SCHEMA_VERSION,
+            )
+            default_chunk = self.chunk_size
+            calibration = None
+            pilot = None
+            if self.chunk_seconds is not None:
+                calibration, pilot = self._calibrate_chunk(
+                    plan, settings, telemetry
+                )
+                if calibration is not None:
+                    default_chunk = calibration.chunk_size
+            scheduler = PlanScheduler(
+                plan,
+                store=self.store,
+                default_chunk=default_chunk,
+                pilot=pilot,
+                telemetry=telemetry,
+            )
+            pending = scheduler.scan()
+            backend = self._backend_for(len(pending))
+            failure_log: list[TaskFailure] = []
+            if pending:
+                tokens = {
+                    id(item): unit_token(task_of(item), settings)
+                    for item in pending
+                }
                 for item in pending:
-                    futures[backend.submit(task_of(item), settings)] = (item, 1)
-                outstanding = set(futures)
-                while outstanding:
-                    ready, outstanding = backend.wait_any(outstanding)
-                    for future in ready:
-                        item, attempt = futures.pop(future)
-                        try:
-                            value, seconds = future.result()
-                        except Exception as exc:
-                            retried = self._handle_failure(
-                                backend, settings, item, attempt, exc,
-                                futures, outstanding, failure_log, scheduler,
+                    telemetry.emit(
+                        "unit_queued", token=tokens[id(item)], **_unit_fields(item)
+                    )
+                backend.telemetry = telemetry
+                backend.open(
+                    workers=self.workers, tasks=len(pending), settings=settings
+                )
+                try:
+                    # future -> (queue item, attempt number); failed
+                    # futures are replaced by their retry's future, so the
+                    # map always holds exactly the in-flight attempts.
+                    futures: dict = {}
+                    for item in pending:
+                        telemetry.emit(
+                            "unit_submitted",
+                            token=tokens[id(item)],
+                            attempt=1,
+                            backend=backend.name,
+                            **_unit_fields(item),
+                        )
+                        futures[backend.submit(task_of(item), settings)] = (item, 1)
+                    outstanding = set(futures)
+                    while outstanding:
+                        ready, outstanding = backend.wait_any(outstanding)
+                        for future in ready:
+                            item, attempt = futures.pop(future)
+                            try:
+                                value, seconds = future.result()
+                            except Exception as exc:
+                                retried = self._handle_failure(
+                                    backend, settings, item, attempt, exc,
+                                    futures, outstanding, failure_log,
+                                    scheduler, telemetry,
+                                )
+                                retries += retried
+                                continue
+                            telemetry.emit(
+                                "unit_finished",
+                                token=tokens[id(item)],
+                                attempt=attempt,
+                                seconds=round(seconds, 6),
+                                backend=backend.name,
+                                **_unit_fields(item),
                             )
-                            retries += retried
-                            continue
-                        scheduler.finish(item, value, seconds)
-            finally:
-                backend.close()
+                            scheduler.finish(item, value, seconds)
+                finally:
+                    backend.close()
+                    backend.telemetry = None
+            status = "ok"
+        finally:
+            telemetry.emit(
+                "run_finish",
+                status=status,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+            telemetry.close()
         return PlanOutcome(
             plan=plan,
             cells=scheduler.cells(),
@@ -441,6 +548,7 @@ class ParallelExecutor:
             backend=backend.name,
             failures=scheduler.failed(),
             retries=retries,
+            metrics=metrics,
         )
 
     def _handle_failure(
@@ -454,6 +562,7 @@ class ParallelExecutor:
         outstanding: set,
         failure_log: list[TaskFailure],
         scheduler: PlanScheduler,
+        telemetry: RunTelemetry,
     ) -> int:
         """Consult the retry policy for one failed attempt.
 
@@ -467,23 +576,49 @@ class ParallelExecutor:
         token = unit_token(task, settings)
         failure = failure_from(task, token, attempt, exc, backend.name)
         failure_log.append(failure)
+        telemetry.emit(
+            "unit_failed",
+            token=token,
+            attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+            backend=backend.name,
+            **_unit_fields(item),
+        )
         policy = self.retry_policy
         if attempt <= policy.max_retries:
             delay = policy.delay(attempt, token)
-            update = getattr(self.progress, "retry_update", None)
-            if update is not None:
-                update(failure, attempt + 1, policy.attempts, delay)
+            telemetry.emit(
+                "retry",
+                payload=failure,
+                token=token,
+                attempt=attempt + 1,
+                max_attempts=policy.attempts,
+                delay=round(delay, 6),
+                **_unit_fields(item),
+            )
             if delay > 0.0:
                 time.sleep(delay)
+            telemetry.emit(
+                "unit_submitted",
+                token=token,
+                attempt=attempt + 1,
+                backend=backend.name,
+                **_unit_fields(item),
+            )
             replacement = backend.submit(task, settings)
             futures[replacement] = (item, attempt + 1)
             outstanding.add(replacement)
             return 1
         if self.on_error == "continue":
             scheduler.quarantine(item, failure)
-            update = getattr(self.progress, "failure_update", None)
-            if update is not None:
-                update(failure)
+            telemetry.emit(
+                "quarantine",
+                payload=failure,
+                token=token,
+                attempts=failure.attempts,
+                error=failure.error,
+                **_unit_fields(item),
+            )
             return 0
         raise PlanExecutionError(
             f"plan execution aborted: {failure.summary()}",
@@ -497,7 +632,7 @@ class ParallelExecutor:
             f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds}, "
             f"backend={self.backend!r}, "
             f"max_retries={self.retry_policy.max_retries}, "
-            f"on_error={self.on_error!r})"
+            f"on_error={self.on_error!r}, trace={self.trace!r})"
         )
 
 
@@ -515,6 +650,7 @@ _defaults: dict[str, Any] = {
     "backend": None,
     "max_retries": None,
     "on_error": None,
+    "trace": None,
 }
 
 
@@ -527,6 +663,7 @@ def configure(
     backend=_UNSET,
     max_retries=_UNSET,
     on_error=_UNSET,
+    trace=_UNSET,
 ) -> None:
     """Set process-wide defaults for :func:`execute`.
 
@@ -534,8 +671,8 @@ def configure(
     configured executor without threading parameters through each
     ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
     ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, ``REPRO_CHUNK_SECONDS``,
-    ``REPRO_BACKEND``, ``REPRO_MAX_RETRIES``, and ``REPRO_ON_ERROR``
-    at call time.
+    ``REPRO_BACKEND``, ``REPRO_MAX_RETRIES``, ``REPRO_ON_ERROR``, and
+    ``REPRO_TRACE_FILE`` at call time.
     """
     if workers is not _UNSET:
         _defaults["workers"] = workers
@@ -553,6 +690,8 @@ def configure(
         _defaults["max_retries"] = max_retries
     if on_error is not _UNSET:
         _defaults["on_error"] = on_error
+    if trace is not _UNSET:
+        _defaults["trace"] = trace
 
 
 def default_executor() -> ParallelExecutor:
@@ -569,6 +708,7 @@ def default_executor() -> ParallelExecutor:
         backend=_defaults["backend"],
         max_retries=_defaults["max_retries"],
         on_error=_defaults["on_error"],
+        trace=_defaults["trace"],
     )
 
 

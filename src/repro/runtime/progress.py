@@ -16,6 +16,7 @@ terminals — never as per-shard lines that would flood piped logs.
 from __future__ import annotations
 
 import sys
+import time
 from typing import IO, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,11 +35,22 @@ class ProgressReporter:
     stream:
         Output stream; defaults to ``sys.stderr`` (resolved at call
         time so pytest capture and redirection behave).
+    tick_interval:
+        Minimum seconds between shard-ticker redraws (default 0.1 —
+        ~10 redraws/sec).  A ``chunk_size=1`` run can complete
+        thousands of shards per second; without the throttle every
+        completion rewrites the terminal line, flooding slow terminals
+        with escape sequences.  The final tick of a cell always draws
+        so the ticker never freezes short of ``shards_total``.
     """
 
-    def __init__(self, stream: IO[str] | None = None):
+    def __init__(
+        self, stream: IO[str] | None = None, tick_interval: float = 0.1
+    ):
         self._stream = stream
         self._ticking = False
+        self.tick_interval = float(tick_interval)
+        self._last_tick = float("-inf")
 
     def _resolve_stream(self) -> IO[str]:
         return self._stream if self._stream is not None else sys.stderr
@@ -120,11 +132,20 @@ class ProgressReporter:
 
         Written only to interactive terminals (carriage-return rewrite,
         no newline), so piped logs and CI output see one line per cell
-        regardless of how many shards it split into.
+        regardless of how many shards it split into.  Redraws are
+        throttled to one per ``tick_interval`` seconds; a cell's final
+        tick (``shards_done == shards_total``) always draws.
         """
         stream = self._resolve_stream()
         if not getattr(stream, "isatty", lambda: False)():
             return
+        now = time.monotonic()
+        if (
+            shards_done < shards_total
+            and now - self._last_tick < self.tick_interval
+        ):
+            return
+        self._last_tick = now
         print(
             f"\r\x1b[K  {cell.label}: {shards_done}/{shards_total} shards "
             f"({reps_done}/{reps_total} reps)",
@@ -133,6 +154,17 @@ class ProgressReporter:
             flush=True,
         )
         self._ticking = True
+
+    def finish_update(self, status: str) -> None:
+        """End-of-run hook (fired for clean and aborted runs alike).
+
+        Exists to uphold one guarantee: whatever state the run died in
+        — mid-ticker included, e.g. a
+        :class:`~repro.runtime.faults.PlanExecutionError` abort between
+        shard completions — the in-place ticker is cleared, so the
+        traceback or next prompt starts on a clean line.
+        """
+        self._clear_ticker(self._resolve_stream())
 
     def _clear_ticker(self, stream: IO[str]) -> None:
         if self._ticking:

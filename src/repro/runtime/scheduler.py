@@ -33,6 +33,7 @@ from .cells import (
 from .faults import TaskFailure
 from .spec import CellShard, CellSpec, StudyPlan, cache_token, shard_ranges, shard_token
 from .store import ResultStore
+from .telemetry import ProgressSubscriber, RunTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.config import ExperimentSettings
@@ -110,6 +111,11 @@ class PlanOutcome:
     backend: str = "serial"
     failures: tuple[TaskFailure, ...] = ()
     retries: int = 0
+    #: The run's :class:`~repro.runtime.telemetry.MetricsAggregate`
+    #: (cache hit ratio, queue-wait vs execute time, fault counts).
+    #: Volatile: excluded from equality/repr, never cached or
+    #: serialised — the journal is the durable record.
+    metrics: Any = field(default=None, compare=False, repr=False)
 
     @property
     def results(self) -> dict[tuple, Any]:
@@ -211,6 +217,12 @@ class PlanScheduler:
         ``(cell_index, pilot_reps, value, seconds)`` of an adaptive
         calibration pilot whose leading window should be reused instead
         of re-executed, or ``None``.
+    telemetry:
+        The run's :class:`~repro.runtime.telemetry.RunTelemetry` bus.
+        Every scheduling decision is narrated into it (cache hits,
+        queue contents, shard merges, cell completions); progress
+        reporting is just a subscriber.  ``None`` creates a private
+        bus, so directly-constructed schedulers work unchanged.
     """
 
     def __init__(
@@ -221,6 +233,7 @@ class PlanScheduler:
         progress: Callable[[int, int, CellResult], None] | None = None,
         default_chunk: int | None = None,
         pilot: tuple | None = None,
+        telemetry: RunTelemetry | None = None,
     ):
         self.plan = plan
         self.settings: "ExperimentSettings" = plan.settings
@@ -228,6 +241,9 @@ class PlanScheduler:
         self.progress = progress
         self.default_chunk = default_chunk
         self.pilot = pilot
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        if progress is not None:
+            self.telemetry.subscribe(ProgressSubscriber(progress))
         self._entries: dict[int, CellResult] = {}
         self._failed: dict[int, TaskFailure] = {}
         self._done = 0
@@ -279,6 +295,7 @@ class PlanScheduler:
         ``("shard", state, shard)``; either way :func:`task_of` yields
         the unit a backend should execute.
         """
+        self.telemetry.emit("scan_start", cells=len(self.plan.cells))
         pending: list[tuple] = []
         for index, cell in enumerate(self.plan.cells):
             # Explicit None check: an empty ResultStore has len() == 0
@@ -289,6 +306,12 @@ class PlanScheduler:
             if token is not None:
                 payload = self.store.load(token)
                 if payload is not None:
+                    self.telemetry.emit(
+                        "cache_hit",
+                        label=cell.label,
+                        kind=type(cell).__name__,
+                        token=token,
+                    )
                     self._entries[index] = CellResult(
                         cell=cell, value=payload["value"], seconds=0.0, cached=True
                     )
@@ -328,6 +351,12 @@ class PlanScheduler:
                         # seconds stays at compute-performed-this-run:
                         # resumed shards contribute their value, not
                         # their historical wall-clock.
+                        self.telemetry.emit(
+                            "shard_cache_hit",
+                            label=shard.label,
+                            kind=type(cell).__name__,
+                            token=stoken,
+                        )
                         state.partials[shard.index] = payload["value"]
                         state.cached_shards += 1
                         continue
@@ -340,6 +369,11 @@ class PlanScheduler:
                 self._merge_cell(state)
             else:
                 pending.extend(incomplete)
+        self.telemetry.emit(
+            "scan_finish",
+            pending=len(pending),
+            cached=sum(1 for entry in self._entries.values() if entry.cached),
+        )
         return pending
 
     # -- completions ----------------------------------------------------
@@ -390,8 +424,18 @@ class PlanScheduler:
 
     def _report(self, result: CellResult) -> None:
         self._done += 1
-        if self.progress is not None:
-            self.progress(self._done, len(self.plan.cells), result)
+        self.telemetry.emit(
+            "cell_finished",
+            payload=result,
+            done=self._done,
+            total=len(self.plan.cells),
+            label=result.cell.label,
+            kind=type(result.cell).__name__,
+            cached=result.cached,
+            seconds=round(result.seconds, 6),
+            shards=result.shards,
+            shards_cached=result.shards_cached,
+        )
 
     def _finish_cell(
         self, index: int, cell: CellSpec, token: str | None, value, seconds
@@ -428,6 +472,14 @@ class PlanScheduler:
             # so this also sweeps stale windows left by interrupted
             # runs under a different chunk size.
             self.store.discard_group(state.token)
+        self.telemetry.emit(
+            "shard_merged",
+            label=state.cell.label,
+            kind=type(state.cell).__name__,
+            shards=len(state.shards),
+            shards_cached=state.cached_shards,
+            seconds=round(state.seconds, 6),
+        )
         self._entries[state.index] = CellResult(
             cell=state.cell,
             value=value,
@@ -439,15 +491,15 @@ class PlanScheduler:
         self._report(self._entries[state.index])
 
     def _shard_progress(self, state: _ShardedCell) -> None:
-        update = getattr(self.progress, "shard_update", None)
-        if update is not None:
-            update(
-                state.cell,
-                len(state.partials),
-                len(state.shards),
-                state.reps_done,
-                state.repetitions,
-            )
+        self.telemetry.emit(
+            "shard_progress",
+            payload=state.cell,
+            label=state.cell.label,
+            shards_done=len(state.partials),
+            shards_total=len(state.shards),
+            reps_done=state.reps_done,
+            reps_total=state.repetitions,
+        )
 
     def _finish_shard(
         self, state: _ShardedCell, shard: CellShard, value, seconds

@@ -175,6 +175,51 @@ class ResultStore:
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
 
+    def stats(self, group_prefix: str | None = None) -> dict:
+        """Entry counts and byte totals, broken down by group.
+
+        Returns ``{"root": ..., "entries", "bytes", "cells": {...},
+        "groups": {group: {"entries", "bytes"}, ...}}`` where
+        ``cells`` covers the top-level (merged cell) entries and each
+        ``groups`` key is one sharded cell's transient resume group.
+        *group_prefix* restricts the group breakdown to groups whose
+        token starts with the prefix.  Read-only: the operational
+        companion (``python -m repro cache info``) to the journal's
+        cache-hit metrics.
+        """
+        cells = {"entries": 0, "bytes": 0}
+        groups: dict[str, dict] = {}
+        if self.root.exists():
+            shards_root = self.root / "shards"
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - entry raced a sweep
+                    continue
+                try:
+                    relative = path.relative_to(shards_root)
+                except ValueError:
+                    cells["entries"] += 1
+                    cells["bytes"] += size
+                    continue
+                group = relative.parts[1] if len(relative.parts) > 2 else "?"
+                if group_prefix is not None and not group.startswith(
+                    group_prefix
+                ):
+                    continue
+                entry = groups.setdefault(group, {"entries": 0, "bytes": 0})
+                entry["entries"] += 1
+                entry["bytes"] += size
+        grouped = sum(entry["entries"] for entry in groups.values())
+        grouped_bytes = sum(entry["bytes"] for entry in groups.values())
+        return {
+            "root": str(self.root),
+            "entries": cells["entries"] + grouped,
+            "bytes": cells["bytes"] + grouped_bytes,
+            "cells": cells,
+            "groups": dict(sorted(groups.items())),
+        }
+
     def clear(self) -> int:
         """Remove every entry (grouped included); returns the number removed.
 
