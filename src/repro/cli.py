@@ -9,6 +9,9 @@ Subcommands::
     python -m repro plan --mu 0.9 [options]        predict the budget
     python -m repro study [options]                Monte-Carlo study grid
     python -m repro worker <spool-dir>             serve a spool backend
+    python -m repro serve [--socket|--port]        audit-as-a-service daemon
+    python -m repro submit [options]               send a study to a service
+    python -m repro status [--connect ADDR]        list a service's requests
     python -m repro trace summarize <journal>      digest a trace journal
     python -m repro trace check <journal>          validate journal schema
     python -m repro cache info [--group PREFIX]    inspect a result store
@@ -40,6 +43,16 @@ result files the scheduling run collects.  Unless ``--quiet``, each
 executed task logs one attributable line (id, label, seconds,
 delivery count) to stderr.
 
+The serve subcommand keeps all of that resident: a long-lived asyncio
+service that accepts concurrent study requests over newline-delimited
+JSON (unix socket or TCP), builds an immutable per-request
+:class:`~repro.runtime.settings.RunContext` for each one, and executes
+them over one shared result store — so overlapping requests share
+cache hits, and a grid submitted through ``submit`` renders the same
+table, byte for byte, as the equivalent ``study`` run.  ``submit``
+streams the request's progress events; ``status`` lists every request
+the service has seen.
+
 Observability: ``--trace FILE`` (or ``REPRO_TRACE_FILE``) makes any
 runtime-routed run append its structured lifecycle events to a JSONL
 journal; ``trace summarize`` digests a journal into slowest-cell,
@@ -64,7 +77,7 @@ from .intervals.wilson import WilsonInterval
 from .kg.datasets import PROFILES, load_dataset
 from .kg.io import load_kg, save_kg
 from .kg.stats import describe_kg
-from .runtime import ParallelExecutor, StudyCell, StudyPlan
+from .runtime import ParallelExecutor, RunContext
 from .sampling.srs import SimpleRandomSampling
 from .sampling.stratified import StratifiedPredicateSampling
 from .sampling.twcs import TwoStageWeightedClusterSampling
@@ -244,6 +257,99 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-task lines"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the audit service: concurrent study requests over "
+        "newline-delimited JSON, one shared result store",
+    )
+    endpoint = serve.add_mutually_exclusive_group()
+    endpoint.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a unix socket at PATH (default: TCP)",
+    )
+    endpoint.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: 0, pick a free port)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL trace journal per request under DIR "
+        "(default: journal only if --trace/$REPRO_TRACE_FILE is set)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests executing simultaneously (default: 8)",
+    )
+    _add_runtime_options(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one study grid to a running audit service",
+    )
+    submit.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help="service endpoint: unix-socket path or host:port "
+        "(default: $REPRO_SERVICE)",
+    )
+    for grid_arg in (
+        ("--datasets", dict(default="NELL")),
+        ("--strategies", dict(default="srs,twcs")),
+        ("--methods", dict(default="wald,wilson,ahpd")),
+        ("--reps", dict(type=int, default=100)),
+        ("--m", dict(type=int, default=3)),
+        ("--alpha", dict(type=float, default=0.05)),
+        ("--epsilon", dict(type=float, default=0.05)),
+        ("--seed", dict(type=int, default=0)),
+    ):
+        submit.add_argument(grid_arg[0], **grid_arg[1])
+    # Per-request context overrides: the subset of runtime knobs a
+    # client may set (the store is the service's, and trace journals
+    # are assigned per request by the service).
+    submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--backend", default=None)
+    submit.add_argument("--chunk-size", type=int, default=None)
+    submit.add_argument("--chunk-seconds", type=float, default=None)
+    submit.add_argument("--max-retries", type=int, default=None, metavar="N")
+    submit.add_argument("--on-error", default=None, choices=("raise", "continue"))
+    submit.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    status = sub.add_parser(
+        "status", help="list every request a running audit service has seen"
+    )
+    status.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help="service endpoint: unix-socket path or host:port "
+        "(default: $REPRO_SERVICE)",
+    )
+    status.add_argument(
+        "--ping",
+        action="store_true",
+        help="print the liveness summary instead of the request list",
+    )
+    status.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the service to finish in-flight requests and exit",
+    )
+
     trace = sub.add_parser(
         "trace", help="inspect a JSONL trace journal written via --trace"
     )
@@ -369,12 +475,12 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
-    """Build the runtime executor a parallel subcommand asked for."""
-    return ParallelExecutor(
+def _context_from(args: argparse.Namespace, progress: bool = True) -> RunContext:
+    """Resolve the :class:`RunContext` a parallel subcommand asked for."""
+    return RunContext(
         workers=args.workers,
         store=args.cache_dir,
-        progress=not args.quiet,
+        progress=progress and not args.quiet,
         chunk_size=args.chunk_size,
         chunk_seconds=args.chunk_seconds,
         backend=args.backend,
@@ -382,6 +488,11 @@ def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
         on_error=args.on_error,
         trace=args.trace,
     )
+
+
+def _executor_from(args: argparse.Namespace) -> ParallelExecutor:
+    """Build the runtime executor a parallel subcommand asked for."""
+    return ParallelExecutor.from_context(_context_from(args))
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -483,74 +594,32 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_study(args: argparse.Namespace) -> int:
-    # Imported here: the experiments layer is heavier than the rest of
-    # the CLI and only the study grid needs its settings object.
-    from .experiments.config import ExperimentSettings
-    from .experiments.report import render_table
+def _study_request(args: argparse.Namespace) -> "StudyRequest":
+    """The :class:`StudyRequest` of a ``study``/``submit`` invocation."""
+    from .runtime.service import StudyRequest
 
-    datasets = [d.strip().upper() for d in args.datasets.split(",") if d.strip()]
-    strategies = [s.strip().lower() for s in args.strategies.split(",") if s.strip()]
-    methods = [m.strip().lower() for m in args.methods.split(",") if m.strip()]
-    if not datasets or not strategies or not methods:
-        raise ReproError("study needs at least one dataset, strategy, and method")
-    strategy_specs = {
-        "srs": "SRS",
-        "twcs": f"TWCS:{args.m}",
-        "wcs": "WCS",
-        "strat": "STRAT",
-    }
-    cells = []
-    for di, dataset in enumerate(datasets):
-        for si, strategy in enumerate(strategies):
-            spec = strategy_specs.get(strategy)
-            if spec is None:
-                raise ReproError(f"unknown strategy {strategy!r}")
-            for method in methods:
-                cells.append(
-                    StudyCell(
-                        key=(dataset, strategy, method),
-                        label=f"{dataset}/{strategy}/{method}",
-                        method=method,
-                        dataset=dataset,
-                        strategy=spec,
-                        # One stream per (dataset, strategy): methods are
-                        # paired on the same sample paths, as in the paper.
-                        seed_stream=(20_000 + 10 * di + si,),
-                    )
-                )
-    settings = ExperimentSettings(
+    return StudyRequest(
+        datasets=args.datasets,
+        strategies=args.strategies,
+        methods=args.methods,
         repetitions=args.reps,
-        seed=args.seed,
+        m=args.m,
         alpha=args.alpha,
         epsilon=args.epsilon,
+        seed=args.seed,
     )
-    plan = StudyPlan(settings=settings, cells=tuple(cells), name="study")
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    # The plan and table come from the same StudyRequest code path the
+    # audit service uses, so a grid run here is byte-identical to the
+    # same grid submitted over `python -m repro submit`.
+    from .runtime.service import render_study_table
+
+    request = _study_request(args)
+    plan = request.build_plan()
     outcome = _executor_from(args).run(plan)
-    results = outcome.results
-    rows = []
-    for dataset, strategy, method in (cell.key for cell in plan.cells):
-        # Quarantined cells (on_error="continue") have no result row;
-        # they are reported below instead of crashing the table.
-        study = results.get((dataset, strategy, method))
-        if study is None:
-            continue
-        rows.append(
-            [
-                dataset,
-                strategy,
-                method,
-                study.triples_summary.format(0),
-                study.cost_summary.format(2),
-                f"{study.convergence_rate:.0%}",
-            ]
-        )
-    print(
-        render_table(
-            ("dataset", "strategy", "method", "triples", "cost_hours", "converged"),
-            rows,
-        )
-    )
+    print(render_study_table(plan, outcome))
     for failure in outcome.failures:
         print(f"FAILED {failure.summary()}", file=sys.stderr)
     print(outcome.summary())
@@ -590,6 +659,122 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime.service import AuditService
+
+    service = AuditService(
+        defaults=_context_from(args, progress=False),
+        trace_dir=args.trace_dir,
+        max_concurrent=args.max_concurrent,
+        quiet=args.quiet,
+    )
+    try:
+        if args.socket is not None:
+            service.run(socket_path=args.socket)
+        else:
+            service.run(host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        print("serve interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .runtime.service import submit_request
+    from .runtime.settings import resolve_service_address
+
+    context = {
+        key: value
+        for key, value in (
+            ("workers", args.workers),
+            ("backend", args.backend),
+            ("chunk_size", args.chunk_size),
+            ("chunk_seconds", args.chunk_seconds),
+            ("max_retries", args.max_retries),
+            ("on_error", args.on_error),
+        )
+        if value is not None
+    }
+
+    def on_event(event: dict) -> None:
+        kind = event["event"]
+        if kind == "accepted" and not args.quiet:
+            print(
+                f"[{event['id']}] accepted: {event['cells']} cell(s)",
+                file=sys.stderr,
+            )
+        elif kind == "progress" and not args.quiet:
+            label = event.get("label") or ""
+            cached = " (cached)" if event.get("cached") else ""
+            print(
+                f"[{event['id']}] {event['done']}/{event['total']} "
+                f"{label}{cached}",
+                file=sys.stderr,
+            )
+
+    event = submit_request(
+        resolve_service_address(args.connect),
+        request=_study_request(args).to_payload(),
+        context=context,
+        on_event=on_event,
+    )
+    if event["event"] == "failed":
+        print(f"error: {event['error']}", file=sys.stderr)
+        for line in event.get("failures", []):
+            print(f"FAILED {line}", file=sys.stderr)
+        return 1
+    # Stdout carries exactly the table `python -m repro study` prints,
+    # so service results diff clean against standalone runs.
+    print(event["table"])
+    for line in event["failures"]:
+        print(f"FAILED {line}", file=sys.stderr)
+    if not args.quiet:
+        print(
+            f"[{event['id']}] {event['cells']} cell(s), "
+            f"{event['cache_hits']} cached, {event['backend']} backend, "
+            f"{event['seconds']:.2f}s",
+            file=sys.stderr,
+        )
+    return event["exit_code"]
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime.service import ping_service, service_status, shutdown_service
+    from .runtime.settings import resolve_service_address
+
+    address = resolve_service_address(args.connect)
+    if args.shutdown:
+        shutdown_service(address)
+        print("service shutting down")
+        return 0
+    if args.ping:
+        print(json.dumps(ping_service(address), indent=2, sort_keys=True))
+        return 0
+    snapshot = service_status(address)
+    requests = snapshot.get("requests", [])
+    if not requests:
+        print("no requests yet")
+        return 0
+    for record in requests:
+        grid = record["request"]
+        spec = (
+            f"{','.join(grid['datasets'])} × {','.join(grid['strategies'])} "
+            f"× {','.join(grid['methods'])} reps={grid['repetitions']}"
+        )
+        line = f"{record['id']:<8} {record['status']:<8} {spec}"
+        if record["status"] == "done":
+            line += (
+                f"  cells={record['cells']} cache_hits={record['cache_hits']}"
+                f" seconds={record['seconds']}"
+            )
+        elif record["error"]:
+            line += f"  error={record['error']}"
+        print(line)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .runtime.telemetry import read_journal, render_summary, summarize_journal
 
@@ -609,13 +794,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    import os
-
     from .runtime import ResultStore
+    from .runtime.settings import resolve_cache_dir
 
-    cache_dir = args.cache_dir
-    if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    cache_dir = resolve_cache_dir(args.cache_dir)
     if cache_dir is None:
         raise ReproError(
             "cache info needs a store: pass --cache-dir or set REPRO_CACHE_DIR"
@@ -646,6 +828,9 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "study": _cmd_study,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
     "trace": _cmd_trace,
     "cache": _cmd_cache,
 }

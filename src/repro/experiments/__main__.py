@@ -17,7 +17,7 @@ import argparse
 import sys
 import time
 
-from ..runtime import configure
+from ..runtime import RunContext, configure
 from . import EXPERIMENTS, ExperimentSettings
 
 
@@ -129,19 +129,23 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         return 0
-    # Route every grid-shaped experiment through the runtime layer with
-    # the requested parallelism / cache; unset values fall back to the
-    # REPRO_WORKERS / REPRO_CACHE_DIR environment at execution time.
+    # Route every grid-shaped experiment through the runtime layer:
+    # resolve the requested parallelism / cache / fault knobs (unset
+    # values fall back to the REPRO_* environment) into one immutable
+    # RunContext, installed as the session default for every execute()
+    # call the experiments make.
     configure(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        progress=True if args.progress else None,
-        chunk_size=args.chunk_size,
-        chunk_seconds=args.chunk_seconds,
-        backend=args.backend,
-        max_retries=args.max_retries,
-        on_error=args.on_error,
-        trace=args.trace,
+        context=RunContext(
+            workers=args.workers,
+            store=args.cache_dir,
+            progress=args.progress,
+            chunk_size=args.chunk_size,
+            chunk_seconds=args.chunk_seconds,
+            backend=args.backend,
+            max_retries=args.max_retries,
+            on_error=args.on_error,
+            trace=args.trace,
+        )
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]

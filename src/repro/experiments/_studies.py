@@ -22,7 +22,7 @@ from ..evaluation.runner import StudyResult, run_study
 from ..exceptions import ValidationError
 from ..intervals.base import IntervalMethod
 from ..kg.base import TripleStore
-from ..runtime import ParallelExecutor, StudyPlan, execute
+from ..runtime import ParallelExecutor, RunContext, StudyPlan, execute
 from ..sampling.base import SamplingStrategy
 from ..sampling.srs import SimpleRandomSampling
 from ..sampling.twcs import TwoStageWeightedClusterSampling
@@ -65,9 +65,16 @@ def strategy_spec(kind: str, dataset: str) -> str:
 def run_cells(
     plan: StudyPlan,
     executor: ParallelExecutor | None = None,
+    context: "RunContext | None" = None,
 ) -> Mapping[tuple, StudyResult]:
-    """Execute *plan* through the runtime; results keyed by cell key."""
-    return execute(plan, executor=executor).results
+    """Execute *plan* through the runtime; results keyed by cell key.
+
+    Pass an *executor*, an immutable per-request *context* (see
+    :class:`~repro.runtime.settings.RunContext`), or neither to run
+    under the session default installed by
+    :func:`~repro.runtime.executor.configure`.
+    """
+    return execute(plan, executor=executor, context=context).results
 
 
 def run_configuration(

@@ -17,6 +17,15 @@ repetitions split into independent sub-cell windows (:class:`CellShard`)
 that fan out across workers and merge back bit-identically, so one
 1,000-repetition cell no longer serialises on a single worker.
 
+Execution configuration is an immutable per-request :class:`RunContext`
+(:mod:`repro.runtime.settings`): every knob below resolves — explicit
+value, else ``REPRO_*`` environment variable, else default — exactly
+once, at context construction, and
+``ParallelExecutor.from_context(ctx)`` / ``execute(plan, context=ctx)``
+thread the snapshot through scheduler and backend without touching
+process state, so differently-configured runs coexist in one process
+(the basis of ``python -m repro serve``).
+
 Environment knobs (read when :func:`execute` builds the default
 executor): ``REPRO_WORKERS`` sets the worker count, ``REPRO_CACHE_DIR``
 roots a result store, ``REPRO_CHUNK_SIZE`` turns on repetition
@@ -83,9 +92,12 @@ from .executor import (
     ParallelExecutor,
     PlanOutcome,
     configure,
+    default_context,
     default_executor,
     execute,
+    reset_defaults,
 )
+from .settings import KNOBS, RunContext, env_knob
 from .faults import (
     PlanExecutionError,
     RetryPolicy,
@@ -170,9 +182,14 @@ __all__ = [
     "runner_for",
     "shard_runner_for",
     "shard_reducer_for",
+    "KNOBS",
+    "RunContext",
     "configure",
+    "default_context",
     "default_executor",
+    "env_knob",
     "execute",
+    "reset_defaults",
     "EVENT_TYPES",
     "JsonlTraceSink",
     "MetricsAggregate",

@@ -31,12 +31,13 @@ default (see :func:`resolve_backend_spec`).
 from __future__ import annotations
 
 import abc
-import os
+import inspect
 import time
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ...exceptions import ValidationError
 from ..cells import runner_for, shard_runner_for
+from ..settings import resolve_backend
 from ..spec import CellShard, CellSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,7 +47,9 @@ __all__ = [
     "BackendFuture",
     "ExecutionBackend",
     "Task",
+    "close_backend",
     "make_backend",
+    "open_backend",
     "register_backend",
     "resolve_backend_spec",
     "run_cell",
@@ -111,22 +114,46 @@ class ExecutionBackend(abc.ABC):
     #: Spec-string name, recorded on the run's :class:`PlanOutcome`.
     name: str = "?"
 
-    #: The owning run's :class:`~repro.runtime.telemetry.RunTelemetry`
-    #: bus, attached by the executor before ``open`` and detached after
-    #: ``close``; ``None`` between runs.  Backends with their own
-    #: observability (chaos injections, spool worker spans, lease
-    #: reclaims) emit through it when present — strictly optional, and
-    #: strictly non-semantic: a backend must behave identically with
-    #: telemetry attached or not.
+    #: The current run's :class:`~repro.runtime.telemetry.RunTelemetry`
+    #: bus — *context-scoped*: it arrives as the ``telemetry`` keyword
+    #: of :meth:`open` (one run's bus, never process state) and is
+    #: cleared by :meth:`close`, so ``None`` between runs.  Backends
+    #: with their own observability (chaos injections, spool worker
+    #: spans, lease reclaims) emit through it when present — strictly
+    #: optional, and strictly non-semantic: a backend must behave
+    #: identically with telemetry attached or not.  Pre-telemetry
+    #: backends whose ``open`` lacks the keyword still work: the
+    #: executor falls back to assigning this slot (see
+    #: :func:`open_backend`).
     telemetry = None
 
     def open(
-        self, workers: int, tasks: int, settings: "ExperimentSettings"
+        self,
+        workers: int,
+        tasks: int,
+        settings: "ExperimentSettings",
+        telemetry=None,
     ) -> None:
-        """Prepare for one run of up to *tasks* units (lifecycle hook)."""
+        """Prepare for one run of up to *tasks* units (lifecycle hook).
+
+        *telemetry* is the run's event bus (or ``None``); the base hook
+        binds it for the duration of the run.  Overrides should call
+        ``super().open(workers, tasks, settings, telemetry)`` first.
+        Passing ``None`` leaves an already-attached bus alone, so code
+        written against the legacy slot protocol (assign
+        ``backend.telemetry``, then ``open()``) still observes its bus
+        during the run; :meth:`close` detaches either way.
+        """
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     def close(self) -> None:
-        """Release run-scoped resources (lifecycle hook)."""
+        """Release run-scoped resources (lifecycle hook).
+
+        The base hook detaches the run's telemetry bus; overrides
+        should end with ``super().close()``.
+        """
+        self.telemetry = None
 
     @abc.abstractmethod
     def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
@@ -149,6 +176,54 @@ class ExecutionBackend(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def open_backend(
+    backend: ExecutionBackend,
+    *,
+    workers: int,
+    tasks: int,
+    settings: "ExperimentSettings",
+    telemetry=None,
+) -> None:
+    """Open *backend* with the run's context-scoped telemetry bus.
+
+    The bus travels as the ``telemetry`` keyword of
+    :meth:`ExecutionBackend.open` — per-run state, so two concurrently
+    executing contexts in one process never trample each other's
+    observability.  Custom backends written against the pre-telemetry
+    protocol (``open(workers, tasks, settings)``) are still honoured:
+    when the signature doesn't accept the keyword, the bus is assigned
+    to the legacy ``telemetry`` slot around the call instead.
+    """
+    try:
+        parameters = inspect.signature(backend.open).parameters
+        accepts = "telemetry" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+    except (TypeError, ValueError):  # uninspectable callable: assume legacy
+        accepts = False
+    if accepts:
+        backend.open(
+            workers=workers, tasks=tasks, settings=settings, telemetry=telemetry
+        )
+    else:
+        backend.telemetry = telemetry
+        backend.open(workers=workers, tasks=tasks, settings=settings)
+
+
+def close_backend(backend: ExecutionBackend) -> None:
+    """Close *backend* and detach any telemetry bus it still holds.
+
+    The trailing slot-clear is what keeps legacy backends (attached via
+    the slot by :func:`open_backend`) from leaking one run's bus into
+    the next; for context-scoped backends it is a no-op.
+    """
+    try:
+        backend.close()
+    finally:
+        backend.telemetry = None
 
 
 # ----------------------------------------------------------------------
@@ -195,15 +270,15 @@ def resolve_backend_spec(
 
     Returns ``None`` for the automatic policy (serial at ``workers=1``,
     process pool otherwise), a validated spec string, or a ready
-    instance passed through untouched.  Validation happens here — at
-    executor construction — so a typo in ``REPRO_BACKEND`` fails fast
-    instead of at the first plan execution.
+    instance passed through untouched.  The environment fallback comes
+    from :mod:`repro.runtime.settings`; validation against the registry
+    happens here — at context construction — so a typo in
+    ``REPRO_BACKEND`` fails fast instead of at the first plan
+    execution.
     """
+    backend = resolve_backend(backend)
     if backend is None:
-        raw = os.environ.get("REPRO_BACKEND", "").strip()
-        if not raw:
-            return None
-        backend = raw
+        return None
     if isinstance(backend, ExecutionBackend):
         return backend
     spec = str(backend)

@@ -30,17 +30,19 @@ run.  The hypothesis suite drives exactly that property.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import TYPE_CHECKING, Any, Union
 
-from ...exceptions import ReproError, ValidationError
+from ...exceptions import ReproError
 from ..faults import _unit_fraction, unit_token
+from ..settings import resolve_chaos_rate, resolve_chaos_seed
 from .base import (
     BackendFuture,
     ExecutionBackend,
     Task,
+    close_backend,
     make_backend,
+    open_backend,
     register_backend,
 )
 
@@ -59,39 +61,6 @@ _MAX_DELAY = 0.05
 class ChaosFault(ReproError):
     """An injected fault from the chaos backend — always transient:
     the same unit is never faulted twice in one run."""
-
-
-def resolve_chaos_seed(seed: int | None) -> int:
-    """Explicit seed, or the ``REPRO_CHAOS_SEED`` default (0)."""
-    if seed is not None:
-        return int(seed)
-    raw = os.environ.get("REPRO_CHAOS_SEED", "").strip()
-    if not raw:
-        return 0
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValidationError(
-            f"REPRO_CHAOS_SEED must be an integer, got {raw!r}"
-        ) from None
-
-
-def resolve_chaos_rate(rate: float | None) -> float:
-    """Explicit rate, or the ``REPRO_CHAOS_RATE`` default (0.25)."""
-    if rate is None:
-        raw = os.environ.get("REPRO_CHAOS_RATE", "").strip()
-        if not raw:
-            return 0.25
-        try:
-            rate = float(raw)
-        except ValueError:
-            raise ValidationError(
-                f"REPRO_CHAOS_RATE must be a float, got {raw!r}"
-            ) from None
-    rate = float(rate)
-    if not 0.0 <= rate <= 1.0:
-        raise ValidationError(f"chaos rate must be in [0, 1], got {rate}")
-    return rate
 
 
 class _FailedFuture(BackendFuture):
@@ -163,17 +132,23 @@ class ChaosBackend(ExecutionBackend):
         self.name = f"chaos:{self.inner.name}"
         self._injected: set[str] = set()
 
-    def open(self, workers: int, tasks: int, settings) -> None:
+    def open(self, workers: int, tasks: int, settings, telemetry=None) -> None:
+        super().open(workers, tasks, settings, telemetry)
         self._injected = set()
         # Forward the run's telemetry bus so the inner backend's own
         # events (spool worker spans, lease reclaims) still surface
         # when wrapped in chaos.
-        self.inner.telemetry = self.telemetry
-        self.inner.open(workers, tasks, settings)
+        open_backend(
+            self.inner,
+            workers=workers,
+            tasks=tasks,
+            settings=settings,
+            telemetry=telemetry,
+        )
 
     def close(self) -> None:
-        self.inner.close()
-        self.inner.telemetry = None
+        close_backend(self.inner)
+        super().close()
 
     def _fault_for(self, token: str) -> str | None:
         """The fault kind scheduled for *token*, or ``None`` for a

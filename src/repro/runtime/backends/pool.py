@@ -69,7 +69,8 @@ class ProcessPoolBackend(ExecutionBackend):
         self.workers = workers
         self._pool: ProcessPoolExecutor | None = None
 
-    def open(self, workers: int, tasks: int, settings) -> None:
+    def open(self, workers: int, tasks: int, settings, telemetry=None) -> None:
+        super().open(workers, tasks, settings, telemetry)
         count = self.workers if self.workers is not None else workers
         self._pool = ProcessPoolExecutor(
             max_workers=max(1, min(count, tasks)), mp_context=_pool_context()
@@ -79,6 +80,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        super().close()
 
     def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
         return _PoolFuture(self._pool.submit(run_task, task, settings))

@@ -66,11 +66,13 @@ class SerialBackend(ExecutionBackend):
     def __init__(self) -> None:
         self._queue: deque[_SerialFuture] = deque()
 
-    def open(self, workers, tasks, settings) -> None:
+    def open(self, workers, tasks, settings, telemetry=None) -> None:
+        super().open(workers, tasks, settings, telemetry)
         self._queue.clear()
 
     def close(self) -> None:
         self._queue.clear()
+        super().close()
 
     def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
         future = _SerialFuture(task, settings)

@@ -64,7 +64,7 @@ import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
 
-from ...exceptions import ValidationError
+from ..settings import resolve_spool_dir
 from .base import BackendFuture, ExecutionBackend, Task, register_backend, run_task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,15 +95,7 @@ class SpoolTaskError(RuntimeError):
 
 
 def _resolve_root(root: Union[str, Path, None]) -> Path:
-    if root is None or root == "":
-        raw = os.environ.get("REPRO_SPOOL_DIR", "").strip()
-        if not raw:
-            raise ValidationError(
-                "the spool backend needs a directory: pass "
-                "backend='spool:<dir>' or set REPRO_SPOOL_DIR"
-            )
-        root = raw
-    return Path(root)
+    return resolve_spool_dir(root)
 
 
 def _ensure_layout(root: Path) -> None:
@@ -520,7 +512,8 @@ class SpoolBackend(ExecutionBackend):
         self._poisoned: set[str] = set()
         self._submitted: list[str] = []
 
-    def open(self, workers: int, tasks: int, settings) -> None:
+    def open(self, workers: int, tasks: int, settings, telemetry=None) -> None:
+        super().open(workers, tasks, settings, telemetry)
         self.root = _resolve_root(self._root_spec)
         _ensure_layout(self.root)
         self._run_id = uuid.uuid4().hex[:12]
@@ -537,6 +530,7 @@ class SpoolBackend(ExecutionBackend):
         # next one, strand a lease, or busy a worker with work nobody
         # will collect.
         if self.root is None:
+            super().close()
             return
         for task_id in self._submitted:
             for directory, suffix in (
@@ -548,6 +542,7 @@ class SpoolBackend(ExecutionBackend):
                     missing_ok=True
                 )
         self._submitted = []
+        super().close()
 
     def submit(self, task: Task, settings: "ExperimentSettings") -> BackendFuture:
         task_id = f"{self._run_id}-{self._seq:06d}"

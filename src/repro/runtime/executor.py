@@ -51,13 +51,18 @@ reported on the outcome).  Because cells are seeded at plan-build
 time, a retry recomputes byte-identical numbers — the chaos backend
 (``chaos:<inner>``) exploits that to prove the failure path.
 
-The module-level :func:`execute` is the convenience entry point the
-experiment modules use: it builds a default executor from
-:func:`configure` overrides and the ``REPRO_WORKERS`` /
-``REPRO_CACHE_DIR`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_CHUNK_SECONDS`` /
-``REPRO_BACKEND`` / ``REPRO_MAX_RETRIES`` / ``REPRO_ON_ERROR`` /
-``REPRO_TRACE_FILE`` environment variables, read at call time so CI
-can flip the whole suite to parallel, sharded, spool-dispatched,
+Configuration is an immutable, per-request
+:class:`~repro.runtime.settings.RunContext`: every constructor
+argument below is resolved through :mod:`repro.runtime.settings` (the
+one owner of all ``REPRO_*`` environment fallbacks) into a frozen
+snapshot, and :meth:`ParallelExecutor.from_context` builds an executor
+from a ready-made context — which is how the service front end
+(:mod:`repro.runtime.service`) runs many concurrently-configured
+requests in one process.  The module-level :func:`execute` is the
+convenience entry point the experiment modules use: it accepts an
+explicit ``context`` or builds the module-default context from
+:func:`configure` overrides plus the environment, read at call time so
+CI can flip the whole suite to parallel, sharded, spool-dispatched,
 fault-injected, or journalled execution without code changes.
 
 Every run additionally narrates itself into a structured telemetry
@@ -70,7 +75,6 @@ it never changes results, cache tokens, or seeds.
 
 from __future__ import annotations
 
-import os
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
@@ -81,20 +85,17 @@ from .backends import (
     ProcessPoolBackend,
     SerialBackend,
     make_backend,
-    resolve_backend_spec,
     run_shard,
 )
+from .backends.base import close_backend, open_backend
 from .cells import cell_repetitions, is_shardable
 from .faults import (
     PlanExecutionError,
     RetryPolicy,
     TaskFailure,
     failure_from,
-    resolve_max_retries,
-    resolve_on_error,
     unit_token,
 )
-from .progress import ProgressReporter
 from .scheduler import (
     CellResult,
     ChunkCalibration,
@@ -102,6 +103,7 @@ from .scheduler import (
     PlanScheduler,
     task_of,
 )
+from .settings import RunContext
 from .spec import CellShard, StudyPlan, cache_token, shard_token
 from .store import ResultStore
 from .telemetry import (
@@ -110,7 +112,6 @@ from .telemetry import (
     MetricsAggregate,
     ProgressSubscriber,
     RunTelemetry,
-    resolve_trace_file,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -123,66 +124,14 @@ __all__ = [
     "PlanOutcome",
     "ParallelExecutor",
     "RetryPolicy",
+    "RunContext",
     "TaskFailure",
     "configure",
+    "default_context",
     "default_executor",
     "execute",
+    "reset_defaults",
 ]
-
-
-def _resolve_workers(workers: int | None) -> int:
-    """Explicit worker count, or the ``REPRO_WORKERS`` default (1)."""
-    if workers is None:
-        raw = os.environ.get("REPRO_WORKERS", "").strip()
-        if raw:
-            try:
-                workers = int(raw)
-            except ValueError:
-                raise ValidationError(
-                    f"REPRO_WORKERS must be an integer, got {raw!r}"
-                ) from None
-        else:
-            workers = 1
-    workers = int(workers)
-    if workers < 1:
-        raise ValidationError(f"workers must be >= 1, got {workers}")
-    return workers
-
-
-def _resolve_chunk_size(chunk_size: int | None) -> int | None:
-    """Explicit chunk size, or the ``REPRO_CHUNK_SIZE`` default (off)."""
-    if chunk_size is None:
-        raw = os.environ.get("REPRO_CHUNK_SIZE", "").strip()
-        if not raw:
-            return None
-        try:
-            chunk_size = int(raw)
-        except ValueError:
-            raise ValidationError(
-                f"REPRO_CHUNK_SIZE must be an integer, got {raw!r}"
-            ) from None
-    chunk_size = int(chunk_size)
-    if chunk_size < 1:
-        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
-    return chunk_size
-
-
-def _resolve_chunk_seconds(chunk_seconds: float | None) -> float | None:
-    """Explicit target, or the ``REPRO_CHUNK_SECONDS`` default (off)."""
-    if chunk_seconds is None:
-        raw = os.environ.get("REPRO_CHUNK_SECONDS", "").strip()
-        if not raw:
-            return None
-        try:
-            chunk_seconds = float(raw)
-        except ValueError:
-            raise ValidationError(
-                f"REPRO_CHUNK_SECONDS must be a number, got {raw!r}"
-            ) from None
-    chunk_seconds = float(chunk_seconds)
-    if chunk_seconds <= 0.0:
-        raise ValidationError(f"chunk_seconds must be > 0, got {chunk_seconds}")
-    return chunk_seconds
 
 
 def _unit_fields(item: tuple) -> dict:
@@ -286,46 +235,52 @@ class ParallelExecutor:
         retry_policy: RetryPolicy | None = None,
         trace: Union[str, Path, None] = None,
     ):
-        self.workers = _resolve_workers(workers)
-        if chunk_size is not None and chunk_seconds is not None:
-            raise ValidationError(
-                "chunk_size and chunk_seconds are mutually exclusive; pass "
-                "at most one (fixed reps-per-shard vs seconds-per-shard)"
+        self._bind(
+            RunContext(
+                workers=workers,
+                store=store,
+                progress=progress,
+                chunk_size=chunk_size,
+                chunk_seconds=chunk_seconds,
+                backend=backend,
+                max_retries=max_retries,
+                on_error=on_error,
+                retry_policy=retry_policy,
+                trace=trace,
             )
-        self.chunk_size = _resolve_chunk_size(chunk_size)
-        self.chunk_seconds = _resolve_chunk_seconds(chunk_seconds)
-        if self.chunk_size is not None and self.chunk_seconds is not None:
-            if chunk_size is not None:
-                self.chunk_seconds = None  # explicit size beats env seconds
-            elif chunk_seconds is not None:
-                self.chunk_size = None  # explicit seconds beats env size
-            else:
-                raise ValidationError(
-                    "REPRO_CHUNK_SIZE and REPRO_CHUNK_SECONDS are both set; "
-                    "unset one (fixed reps-per-shard vs seconds-per-shard)"
-                )
-        self.backend = resolve_backend_spec(backend)
-        if retry_policy is not None:
-            if max_retries is not None:
-                raise ValidationError(
-                    "max_retries and retry_policy are mutually exclusive; "
-                    "set max_retries on the policy instead"
-                )
-            self.retry_policy = retry_policy
-        else:
-            self.retry_policy = RetryPolicy(
-                max_retries=resolve_max_retries(max_retries)
+        )
+
+    @classmethod
+    def from_context(cls, context: RunContext) -> "ParallelExecutor":
+        """An executor bound to an already-resolved :class:`RunContext`.
+
+        The context is taken as-is — no environment variable is
+        consulted (resolution happened when *context* was built), so
+        two executors created from different contexts share nothing and
+        can run concurrently in one process.
+        """
+        if not isinstance(context, RunContext):
+            raise TypeError(
+                f"from_context expects a RunContext, got {context!r}"
             )
-        self.on_error = resolve_on_error(on_error)
-        if isinstance(store, (str, Path)):
-            store = ResultStore(store)
-        self.store = store
-        if progress is True:
-            progress = ProgressReporter()
-        elif progress is False:
-            progress = None
-        self.progress: Callable[[int, int, CellResult], None] | None = progress
-        self.trace = resolve_trace_file(trace)
+        executor = cls.__new__(cls)
+        executor._bind(context)
+        return executor
+
+    def _bind(self, context: RunContext) -> None:
+        """Adopt *context*, mirroring its fields as attributes."""
+        self.context = context
+        self.workers = context.workers
+        self.chunk_size = context.chunk_size
+        self.chunk_seconds = context.chunk_seconds
+        self.backend = context.backend
+        self.retry_policy = context.retry_policy
+        self.on_error = context.on_error
+        self.store = context.store
+        self.progress: Callable[[int, int, CellResult], None] | None = (
+            context.progress
+        )
+        self.trace = context.trace
 
     def _backend_for(self, pending: int) -> ExecutionBackend:
         """The backend this run dispatches through.
@@ -486,9 +441,12 @@ class ParallelExecutor:
                     telemetry.emit(
                         "unit_queued", token=tokens[id(item)], **_unit_fields(item)
                     )
-                backend.telemetry = telemetry
-                backend.open(
-                    workers=self.workers, tasks=len(pending), settings=settings
+                open_backend(
+                    backend,
+                    workers=self.workers,
+                    tasks=len(pending),
+                    settings=settings,
+                    telemetry=telemetry,
                 )
                 try:
                     # future -> (queue item, attempt number); failed
@@ -529,8 +487,7 @@ class ParallelExecutor:
                             )
                             scheduler.finish(item, value, seconds)
                 finally:
-                    backend.close()
-                    backend.telemetry = None
+                    close_backend(backend)
             status = "ok"
         finally:
             telemetry.emit(
@@ -637,11 +594,12 @@ class ParallelExecutor:
 
 
 # ----------------------------------------------------------------------
-# Module-level defaults used by the experiment modules
+# Module-default context: thin wrappers over RunContext for the
+# pre-context API (configure()/default_executor()/execute(plan)).
 # ----------------------------------------------------------------------
 
 _UNSET = object()
-_defaults: dict[str, Any] = {
+_overrides: dict[str, Any] = {
     "workers": None,
     "cache_dir": None,
     "progress": None,
@@ -664,56 +622,132 @@ def configure(
     max_retries=_UNSET,
     on_error=_UNSET,
     trace=_UNSET,
+    context: RunContext | None = None,
 ) -> None:
     """Set process-wide defaults for :func:`execute`.
 
-    Used by CLIs to route every subsequently-run experiment through a
-    configured executor without threading parameters through each
-    ``run_*`` signature.  Unset values fall back to ``REPRO_WORKERS``,
-    ``REPRO_CACHE_DIR``, ``REPRO_CHUNK_SIZE``, ``REPRO_CHUNK_SECONDS``,
-    ``REPRO_BACKEND``, ``REPRO_MAX_RETRIES``, ``REPRO_ON_ERROR``, and
-    ``REPRO_TRACE_FILE`` at call time.
+    Thin wrapper over the per-request API: the values set here become
+    the module-default :class:`~repro.runtime.settings.RunContext` that
+    :func:`default_context` builds at call time (unset values fall back
+    to the ``REPRO_*`` environment knobs via
+    :mod:`repro.runtime.settings`).  Used by CLIs to route every
+    subsequently-run experiment through a configured executor without
+    threading parameters through each ``run_*`` signature.  New code
+    that needs isolated or concurrent configurations should build a
+    :class:`~repro.runtime.settings.RunContext` and pass it to
+    :func:`execute` or :meth:`ParallelExecutor.from_context` instead of
+    mutating process-wide state.
+
+    Passing ``context=`` adopts every setting of an already-resolved
+    :class:`~repro.runtime.settings.RunContext` as the module defaults
+    in one call (mutually exclusive with the individual keywords).
     """
+    if context is not None:
+        if any(
+            value is not _UNSET
+            for value in (
+                workers, cache_dir, progress, chunk_size, chunk_seconds,
+                backend, max_retries, on_error, trace,
+            )
+        ):
+            raise ValidationError(
+                "configure(context=...) is mutually exclusive with the "
+                "individual keyword overrides"
+            )
+        _overrides.update(
+            workers=context.workers,
+            cache_dir=context.store,
+            progress=context.progress,
+            chunk_size=context.chunk_size,
+            chunk_seconds=context.chunk_seconds,
+            backend=context.backend,
+            max_retries=None,
+            on_error=context.on_error,
+            trace=context.trace,
+        )
+        _overrides["retry_policy"] = context.retry_policy
+        return
+    _overrides.pop("retry_policy", None)
     if workers is not _UNSET:
-        _defaults["workers"] = workers
+        _overrides["workers"] = workers
     if cache_dir is not _UNSET:
-        _defaults["cache_dir"] = cache_dir
+        _overrides["cache_dir"] = cache_dir
     if progress is not _UNSET:
-        _defaults["progress"] = progress
+        _overrides["progress"] = progress
     if chunk_size is not _UNSET:
-        _defaults["chunk_size"] = chunk_size
+        _overrides["chunk_size"] = chunk_size
     if chunk_seconds is not _UNSET:
-        _defaults["chunk_seconds"] = chunk_seconds
+        _overrides["chunk_seconds"] = chunk_seconds
     if backend is not _UNSET:
-        _defaults["backend"] = backend
+        _overrides["backend"] = backend
     if max_retries is not _UNSET:
-        _defaults["max_retries"] = max_retries
+        _overrides["max_retries"] = max_retries
     if on_error is not _UNSET:
-        _defaults["on_error"] = on_error
+        _overrides["on_error"] = on_error
     if trace is not _UNSET:
-        _defaults["trace"] = trace
+        _overrides["trace"] = trace
 
 
-def default_executor() -> ParallelExecutor:
-    """An executor from :func:`configure` defaults and the environment."""
-    cache_dir = _defaults["cache_dir"]
-    if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
-    return ParallelExecutor(
-        workers=_defaults["workers"],
-        store=cache_dir,
-        progress=_defaults["progress"],
-        chunk_size=_defaults["chunk_size"],
-        chunk_seconds=_defaults["chunk_seconds"],
-        backend=_defaults["backend"],
-        max_retries=_defaults["max_retries"],
-        on_error=_defaults["on_error"],
-        trace=_defaults["trace"],
+def reset_defaults() -> None:
+    """Clear every :func:`configure` override (back to env fallback).
+
+    After this, :func:`default_context` resolves purely from the
+    ``REPRO_*`` environment again — what a fresh process sees.  Mainly
+    for tests and long-lived hosts embedding several CLIs.
+    """
+    for key in _overrides:
+        _overrides[key] = None
+    _overrides.pop("retry_policy", None)
+
+
+def default_context() -> RunContext:
+    """The module-default :class:`RunContext`, built fresh at call time.
+
+    :func:`configure` overrides are applied where set; everything else
+    resolves through the ``REPRO_*`` environment knobs *now*, so a CI
+    leg exporting ``REPRO_BACKEND`` after import still takes effect.
+    """
+    return RunContext(
+        workers=_overrides["workers"],
+        store=_overrides["cache_dir"],
+        progress=_overrides["progress"],
+        chunk_size=_overrides["chunk_size"],
+        chunk_seconds=_overrides["chunk_seconds"],
+        backend=_overrides["backend"],
+        max_retries=_overrides["max_retries"],
+        on_error=_overrides["on_error"],
+        retry_policy=_overrides.get("retry_policy"),
+        trace=_overrides["trace"],
     )
 
 
-def execute(plan: StudyPlan, executor: ParallelExecutor | None = None) -> PlanOutcome:
-    """Run *plan* on *executor* (or the configured/env default)."""
-    if executor is None:
+def default_executor() -> ParallelExecutor:
+    """An executor over :func:`default_context`.
+
+    Thin wrapper kept for the pre-context API; equivalent to
+    ``ParallelExecutor.from_context(default_context())``.
+    """
+    return ParallelExecutor.from_context(default_context())
+
+
+def execute(
+    plan: StudyPlan,
+    executor: ParallelExecutor | None = None,
+    context: RunContext | None = None,
+) -> PlanOutcome:
+    """Run *plan* on *executor*, *context*, or the module default.
+
+    Passing ``context=`` executes under that exact
+    :class:`~repro.runtime.settings.RunContext` (mutually exclusive
+    with ``executor=``); with neither, the :func:`configure`/
+    environment default context applies.
+    """
+    if executor is not None and context is not None:
+        raise ValidationError(
+            "execute() takes an executor or a context, not both"
+        )
+    if context is not None:
+        executor = ParallelExecutor.from_context(context)
+    elif executor is None:
         executor = default_executor()
     return executor.run(plan)

@@ -35,12 +35,12 @@ exactly that property to prove the whole failure path end to end.
 from __future__ import annotations
 
 import hashlib
-import os
 import traceback as _traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..exceptions import ReproError, ValidationError
+from . import settings as _settings
 from .spec import CellShard, cache_token
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -238,34 +238,18 @@ def failure_from(
 
 
 def resolve_max_retries(max_retries: int | None) -> int:
-    """Explicit retry count, or the ``REPRO_MAX_RETRIES`` default (0)."""
-    if max_retries is None:
-        raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
-        if not raw:
-            return 0
-        try:
-            max_retries = int(raw)
-        except ValueError:
-            raise ValidationError(
-                f"REPRO_MAX_RETRIES must be an integer, got {raw!r}"
-            ) from None
-    max_retries = int(max_retries)
-    if max_retries < 0:
-        raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
-    return max_retries
+    """Explicit retry count, or the ``REPRO_MAX_RETRIES`` default (0).
+
+    Thin delegate kept for import stability; the resolution logic lives
+    in :func:`repro.runtime.settings.resolve_max_retries`.
+    """
+    return _settings.resolve_max_retries(max_retries)
 
 
 def resolve_on_error(on_error: str | None) -> str:
-    """Explicit mode, or the ``REPRO_ON_ERROR`` default (``"raise"``)."""
-    if on_error is None:
-        raw = os.environ.get("REPRO_ON_ERROR", "").strip().lower()
-        if not raw:
-            return "raise"
-        on_error = raw
-    on_error = str(on_error).strip().lower()
-    if on_error not in ON_ERROR_MODES:
-        raise ValidationError(
-            f"on_error must be one of {', '.join(ON_ERROR_MODES)}; "
-            f"got {on_error!r}"
-        )
-    return on_error
+    """Explicit mode, or the ``REPRO_ON_ERROR`` default (``"raise"``).
+
+    Thin delegate kept for import stability; the resolution logic lives
+    in :func:`repro.runtime.settings.resolve_on_error`.
+    """
+    return _settings.resolve_on_error(on_error)

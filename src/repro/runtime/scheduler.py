@@ -234,7 +234,19 @@ class PlanScheduler:
         default_chunk: int | None = None,
         pilot: tuple | None = None,
         telemetry: RunTelemetry | None = None,
+        context=None,
     ):
+        if context is not None:
+            # A RunContext supplies the scheduler-relevant settings the
+            # caller didn't pass explicitly; explicit keywords win so
+            # the executor can still override the chunk size with a
+            # calibrated one.
+            if store is None:
+                store = context.store
+            if progress is None:
+                progress = context.progress
+            if default_chunk is None:
+                default_chunk = context.chunk_size
         self.plan = plan
         self.settings: "ExperimentSettings" = plan.settings
         self.store = store

@@ -1,0 +1,51 @@
+"""Audit-as-a-service front end for the runtime layer.
+
+A long-lived asyncio service (``python -m repro serve``) that accepts
+many concurrent audit requests over newline-delimited JSON — each
+request a study grid ("estimate accuracy of these KG profiles under
+these sampling strategies to ±ε") — builds a
+:class:`~repro.runtime.spec.StudyPlan` plus an immutable per-request
+:class:`~repro.runtime.settings.RunContext` for each one, and executes
+them concurrently over one shared
+:class:`~repro.runtime.store.ResultStore`, so overlapping requests
+share cache hits and a run interrupted by one client resumes for the
+next.  Per-request progress and telemetry stream back to the client as
+events (``python -m repro submit`` / ``status``); each request can
+journal its run to its own JSONL trace file via the existing
+``--trace`` machinery.
+
+The package splits client-visible request semantics
+(:mod:`~repro.runtime.service.requests` — request schema, plan
+construction, result rendering, shared byte-for-byte with ``python -m
+repro study``), the asyncio server
+(:mod:`~repro.runtime.service.server`), and the blocking client used
+by the CLI and tests (:mod:`~repro.runtime.service.client`).
+"""
+
+from .client import (
+    parse_address,
+    ping_service,
+    service_status,
+    shutdown_service,
+    submit_request,
+)
+from .requests import (
+    STUDY_COLUMNS,
+    StudyRequest,
+    render_study_table,
+    study_rows,
+)
+from .server import AuditService
+
+__all__ = [
+    "AuditService",
+    "STUDY_COLUMNS",
+    "StudyRequest",
+    "parse_address",
+    "ping_service",
+    "render_study_table",
+    "service_status",
+    "shutdown_service",
+    "study_rows",
+    "submit_request",
+]

@@ -1,0 +1,158 @@
+"""Blocking client for the audit service's newline-delimited JSON protocol.
+
+Used by ``python -m repro submit`` / ``status`` and by the test suite;
+deliberately synchronous (plain sockets, no asyncio) so callers stay
+one straight-line function.  :func:`connect` retries briefly, so a
+client started in the same breath as ``python -m repro serve`` (CI
+smoke legs, test fixtures) wins the startup race without sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Callable, Iterator, Union
+
+from ...exceptions import ReproError, ValidationError
+
+__all__ = [
+    "parse_address",
+    "ping_service",
+    "request_events",
+    "service_status",
+    "shutdown_service",
+    "submit_request",
+]
+
+#: Seconds :func:`connect` keeps retrying a refused/missing endpoint.
+CONNECT_TIMEOUT = 10.0
+
+Address = Union[str, tuple]
+
+
+def parse_address(address: Address) -> tuple:
+    """Normalise an endpoint to ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepts the tuple forms verbatim, ``"host:port"``, a bare port
+    (``"8631"``), or a Unix-socket path (anything containing a ``/``).
+    """
+    if isinstance(address, tuple):
+        if len(address) == 2 and address[0] in ("unix", "tcp"):
+            return address
+        if len(address) == 2:  # (host, port)
+            return ("tcp", (str(address[0]), int(address[1])))
+        raise ValidationError(f"bad service address {address!r}")
+    text = str(address).strip()
+    if not text:
+        raise ValidationError("service address must not be empty")
+    if "/" in text:
+        return ("unix", text)
+    host, sep, port = text.rpartition(":")
+    if sep:
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    return ("tcp", ("127.0.0.1", int(text)))
+
+
+def connect(address: Address, timeout: float = CONNECT_TIMEOUT) -> socket.socket:
+    """Connect to the service, retrying for up to *timeout* seconds."""
+    kind, where = parse_address(address)
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while True:
+        try:
+            if kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(where)
+            else:
+                sock = socket.create_connection(where, timeout=timeout)
+                sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            last = exc
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"could not reach audit service at {where!r}: {last}"
+                ) from last
+            time.sleep(0.05)
+
+
+def _roundtrip(address: Address, op: dict) -> Iterator[dict]:
+    """Send one op; yield every event line until the connection closes
+    or the caller stops consuming."""
+    sock = connect(address)
+    try:
+        sock.sendall(json.dumps(op).encode("utf-8") + b"\n")
+        with sock.makefile("r", encoding="utf-8") as lines:
+            for line in lines:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+    finally:
+        sock.close()
+
+
+def _one_event(address: Address, op: dict) -> dict:
+    for event in _roundtrip(address, op):
+        return event
+    raise ReproError("audit service closed the connection without replying")
+
+
+def request_events(
+    address: Address,
+    request: dict | None = None,
+    context: dict | None = None,
+) -> Iterator[dict]:
+    """Submit one study request; yield its event stream.
+
+    Yields the ``accepted`` event, then ``progress`` events as cells
+    finish, and finally exactly one ``done`` or ``failed`` (at which
+    point the iterator ends).  A protocol-level ``error`` event (bad
+    request, unknown context knob) is raised as
+    :class:`~repro.exceptions.ReproError`.
+    """
+    op = {"op": "submit", "request": request or {}, "context": context or {}}
+    for event in _roundtrip(address, op):
+        kind = event.get("event")
+        if kind == "error":
+            raise ReproError(f"audit service rejected the request: {event.get('error')}")
+        yield event
+        if kind in ("done", "failed"):
+            return
+    raise ReproError("audit service closed the connection mid-request")
+
+
+def submit_request(
+    address: Address,
+    request: dict | None = None,
+    context: dict | None = None,
+    on_event: Callable[[dict], None] | None = None,
+) -> dict:
+    """Submit one study request and block until it finishes.
+
+    Returns the terminal ``done``/``failed`` event; *on_event* (when
+    given) observes every event, terminal one included.
+    """
+    terminal: dict | None = None
+    for event in request_events(address, request, context):
+        if on_event is not None:
+            on_event(event)
+        if event.get("event") in ("done", "failed"):
+            terminal = event
+    assert terminal is not None  # request_events ends on a terminal event
+    return terminal
+
+
+def service_status(address: Address) -> dict:
+    """The service's ``status`` snapshot (every request it has seen)."""
+    return _one_event(address, {"op": "status"})
+
+
+def ping_service(address: Address) -> dict:
+    """The service's ``pong`` liveness summary."""
+    return _one_event(address, {"op": "ping"})
+
+
+def shutdown_service(address: Address) -> dict:
+    """Ask the service to stop accepting work and exit."""
+    return _one_event(address, {"op": "shutdown"})

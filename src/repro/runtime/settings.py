@@ -1,0 +1,495 @@
+"""Execution-configuration settings: the one place ``REPRO_*`` lives.
+
+Every environment knob the runtime honours resolves through this
+module.  :data:`KNOBS` enumerates them — one entry per variable, with
+the parser/validator that turns its raw text into a typed value — and
+:func:`env_knob` is the only function in the package that is allowed to
+read a ``REPRO_*`` variable from ``os.environ`` (a test enforces this
+by scanning the source tree), so a new knob cannot be added without a
+resolver entry and documentation here.
+
+On top of the resolvers sits :class:`RunContext`: an immutable,
+fully-resolved snapshot of one execution's configuration — workers,
+result store, backend spec, chunking, retry policy, error mode, trace
+sink, progress — built once (environment fallbacks applied at
+construction time) and then *threaded* through the runtime instead of
+being read from module globals.  ``ParallelExecutor.from_context(ctx)``
+and ``execute(plan, context=ctx)`` consume it directly; the service
+front end (:mod:`repro.runtime.service`) builds one per request, which
+is what makes concurrent, differently-configured runs in one process
+possible.
+
+The pre-context API keeps working: :func:`repro.runtime.configure` and
+:func:`repro.runtime.default_executor` are thin wrappers that build a
+module-default :class:`RunContext` at call time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import InitVar, dataclass
+from pathlib import Path
+from typing import Any, Callable, Union
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "KNOBS",
+    "RunContext",
+    "env_knob",
+    "resolve_backend",
+    "resolve_cache_dir",
+    "resolve_chaos_rate",
+    "resolve_chaos_seed",
+    "resolve_chunk_seconds",
+    "resolve_chunk_size",
+    "resolve_max_retries",
+    "resolve_on_error",
+    "resolve_progress",
+    "resolve_service_address",
+    "resolve_spool_dir",
+    "resolve_store",
+    "resolve_trace_file",
+    "resolve_workers",
+]
+
+
+def _parse_int(name: str):
+    def parse(raw: str) -> int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{name} must be an integer, got {raw!r}"
+            ) from None
+
+    return parse
+
+
+def _parse_float(name: str):
+    def parse(raw: str) -> float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{name} must be a number, got {raw!r}"
+            ) from None
+
+    return parse
+
+
+def _parse_text(name: str):
+    return lambda raw: raw
+
+
+#: Every ``REPRO_*`` environment knob the codebase honours, mapped to
+#: ``(parser, description)``.  The test suite scans the source tree for
+#: ``REPRO_`` tokens and fails on any mention that is not registered
+#: here — adding a knob without a resolver entry is a test failure, not
+#: a silent drift.
+KNOBS: dict[str, tuple[Callable[[str], Any], str]] = {
+    "REPRO_WORKERS": (
+        _parse_int("REPRO_WORKERS"),
+        "worker processes for plan execution (int >= 1; default 1)",
+    ),
+    "REPRO_CACHE_DIR": (
+        _parse_text("REPRO_CACHE_DIR"),
+        "result-store directory for caching and resume (default: none)",
+    ),
+    "REPRO_CHUNK_SIZE": (
+        _parse_int("REPRO_CHUNK_SIZE"),
+        "fixed repetition-sharding granularity (int >= 1; default: off)",
+    ),
+    "REPRO_CHUNK_SECONDS": (
+        _parse_float("REPRO_CHUNK_SECONDS"),
+        "adaptive sharding wall-clock target per shard (float > 0; "
+        "default: off; mutually exclusive with REPRO_CHUNK_SIZE)",
+    ),
+    "REPRO_BACKEND": (
+        _parse_text("REPRO_BACKEND"),
+        "execution backend spec: serial, process[:n], spool[:dir], "
+        "chaos[:inner] (default: automatic)",
+    ),
+    "REPRO_SPOOL_DIR": (
+        _parse_text("REPRO_SPOOL_DIR"),
+        "default spool directory for the spool backend and "
+        "`python -m repro worker`",
+    ),
+    "REPRO_MAX_RETRIES": (
+        _parse_int("REPRO_MAX_RETRIES"),
+        "resubmissions allowed per failed unit of work "
+        "(int >= 0; default 0, fail fast)",
+    ),
+    "REPRO_ON_ERROR": (
+        _parse_text("REPRO_ON_ERROR"),
+        "what to do once a unit exhausts its retries: raise | continue "
+        "(default: raise)",
+    ),
+    "REPRO_TRACE_FILE": (
+        _parse_text("REPRO_TRACE_FILE"),
+        "JSONL journal file appended with structured lifecycle events "
+        "(default: no journal)",
+    ),
+    "REPRO_CHAOS_SEED": (
+        _parse_int("REPRO_CHAOS_SEED"),
+        "fault-schedule seed for the chaos backend (int; default 0)",
+    ),
+    "REPRO_CHAOS_RATE": (
+        _parse_float("REPRO_CHAOS_RATE"),
+        "fraction of units the chaos backend faults "
+        "(float in [0, 1]; default 0.25)",
+    ),
+    "REPRO_SERVICE": (
+        _parse_text("REPRO_SERVICE"),
+        "audit-service endpoint for `python -m repro submit`/`status`: "
+        "a unix-socket path or host:port (default: none)",
+    ),
+}
+
+
+def env_knob(name: str) -> Any | None:
+    """The parsed value of registered knob *name*, or ``None`` if unset.
+
+    The single point where ``REPRO_*`` environment variables are read:
+    unregistered names raise (the registry is the contract), empty or
+    whitespace-only values count as unset, and the registered parser
+    turns the raw text into a typed value — raising a
+    :class:`~repro.exceptions.ValidationError` naming the variable on
+    malformed input.
+    """
+    try:
+        parse, _ = KNOBS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unregistered environment knob {name!r}; add it to "
+            "repro.runtime.settings.KNOBS"
+        ) from None
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    return parse(raw)
+
+
+# ----------------------------------------------------------------------
+# Per-knob resolvers: explicit value, else environment, else default —
+# with the validation each knob has always had.
+# ----------------------------------------------------------------------
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Explicit worker count, or the ``REPRO_WORKERS`` default (1)."""
+    if workers is None:
+        workers = env_knob("REPRO_WORKERS")
+        if workers is None:
+            workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_chunk_size(chunk_size: int | None) -> int | None:
+    """Explicit chunk size, or the ``REPRO_CHUNK_SIZE`` default (off)."""
+    if chunk_size is None:
+        chunk_size = env_knob("REPRO_CHUNK_SIZE")
+        if chunk_size is None:
+            return None
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def resolve_chunk_seconds(chunk_seconds: float | None) -> float | None:
+    """Explicit target, or the ``REPRO_CHUNK_SECONDS`` default (off)."""
+    if chunk_seconds is None:
+        chunk_seconds = env_knob("REPRO_CHUNK_SECONDS")
+        if chunk_seconds is None:
+            return None
+    chunk_seconds = float(chunk_seconds)
+    if chunk_seconds <= 0.0:
+        raise ValidationError(f"chunk_seconds must be > 0, got {chunk_seconds}")
+    return chunk_seconds
+
+
+def resolve_cache_dir(cache_dir: Union[str, Path, None]) -> Path | None:
+    """Explicit store directory, or ``REPRO_CACHE_DIR`` (default none)."""
+    if cache_dir is None:
+        cache_dir = env_knob("REPRO_CACHE_DIR")
+        if cache_dir is None:
+            return None
+    return Path(cache_dir)
+
+
+def resolve_store(store: Any):
+    """Coerce *store* into a ``ResultStore`` (or ``None``).
+
+    Accepts a ready :class:`~repro.runtime.store.ResultStore`, a
+    directory path to root one at, or ``None`` — which falls back to
+    ``REPRO_CACHE_DIR`` and, when that is unset too, disables caching.
+    """
+    from .store import ResultStore  # runtime import: keep settings leaf-light
+
+    if isinstance(store, ResultStore):
+        return store
+    root = resolve_cache_dir(store)
+    return None if root is None else ResultStore(root)
+
+
+def resolve_backend(backend: Any) -> Any:
+    """Explicit backend spec/instance, or the ``REPRO_BACKEND`` default.
+
+    Environment fallback only — semantic validation against the backend
+    registry happens in
+    :func:`repro.runtime.backends.base.resolve_backend_spec`, which
+    calls this first.  ``None`` (auto policy) stays ``None`` when the
+    environment is silent.
+    """
+    if backend is None:
+        return env_knob("REPRO_BACKEND")
+    return backend
+
+
+def resolve_spool_dir(root: Union[str, Path, None]) -> Path:
+    """Explicit spool directory, or the ``REPRO_SPOOL_DIR`` default.
+
+    The spool backend cannot run without one, so exhausting both
+    sources is an error rather than a silent temp directory.
+    """
+    if root is None or root == "":
+        root = env_knob("REPRO_SPOOL_DIR")
+        if root is None:
+            raise ValidationError(
+                "the spool backend needs a directory: pass "
+                "backend='spool:<dir>' or set REPRO_SPOOL_DIR"
+            )
+    return Path(root)
+
+
+def resolve_max_retries(max_retries: int | None) -> int:
+    """Explicit retry count, or the ``REPRO_MAX_RETRIES`` default (0)."""
+    if max_retries is None:
+        max_retries = env_knob("REPRO_MAX_RETRIES")
+        if max_retries is None:
+            return 0
+    max_retries = int(max_retries)
+    if max_retries < 0:
+        raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+def resolve_on_error(on_error: str | None) -> str:
+    """Explicit mode, or the ``REPRO_ON_ERROR`` default (``"raise"``)."""
+    if on_error is None:
+        on_error = env_knob("REPRO_ON_ERROR")
+        if on_error is None:
+            return "raise"
+    on_error = str(on_error).strip().lower()
+    if on_error not in ("raise", "continue"):
+        raise ValidationError(
+            f"on_error must be one of raise, continue; got {on_error!r}"
+        )
+    return on_error
+
+
+def resolve_trace_file(trace: Union[str, Path, None]) -> Path | None:
+    """Explicit journal path, or the ``REPRO_TRACE_FILE`` default (off)."""
+    if trace is None:
+        trace = env_knob("REPRO_TRACE_FILE")
+        if trace is None:
+            return None
+    return Path(trace)
+
+
+def resolve_service_address(address: str | None) -> str:
+    """Explicit endpoint, or the ``REPRO_SERVICE`` default (required).
+
+    The audit-service endpoint used by ``python -m repro submit`` /
+    ``status``: a unix-socket path or ``host:port`` text, parsed by
+    :func:`repro.runtime.service.client.parse_address`.
+    """
+    if address is None:
+        address = env_knob("REPRO_SERVICE")
+        if address is None:
+            raise ValidationError(
+                "no audit service endpoint: pass --connect or set "
+                "REPRO_SERVICE to a socket path or host:port"
+            )
+    return str(address)
+
+
+def resolve_chaos_seed(seed: int | None) -> int:
+    """Explicit seed, or the ``REPRO_CHAOS_SEED`` default (0)."""
+    if seed is None:
+        seed = env_knob("REPRO_CHAOS_SEED")
+        if seed is None:
+            return 0
+    return int(seed)
+
+
+def resolve_chaos_rate(rate: float | None) -> float:
+    """Explicit rate, or the ``REPRO_CHAOS_RATE`` default (0.25)."""
+    if rate is None:
+        rate = env_knob("REPRO_CHAOS_RATE")
+        if rate is None:
+            return 0.25
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(f"chaos rate must be in [0, 1], got {rate}")
+    return rate
+
+
+def resolve_progress(progress: Any) -> Callable | None:
+    """Coerce *progress* into a per-cell callable (or ``None``).
+
+    ``True`` builds the default stderr
+    :class:`~repro.runtime.progress.ProgressReporter`; ``False`` and
+    ``None`` are silence; a callable passes through.
+    """
+    if progress is True:
+        from .progress import ProgressReporter  # runtime import (leaf-light)
+
+        return ProgressReporter()
+    if progress is False or progress is None:
+        return None
+    if not callable(progress):
+        raise ValidationError(
+            "progress must be True, False, None, or a callable "
+            f"(done, total, CellResult) -> None; got {progress!r}"
+        )
+    return progress
+
+
+# ----------------------------------------------------------------------
+# RunContext: the immutable, fully-resolved per-request configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """One execution's complete, immutable configuration.
+
+    Construction *is* resolution: every field accepts the same loose
+    inputs the executor always did (``None`` for "fall back to the
+    environment", paths or stores, spec strings or instances, ``True``
+    for the default reporter) and ``__post_init__`` normalises them —
+    applying the ``REPRO_*`` fallbacks from :data:`KNOBS` exactly once,
+    at construction time.  The result is a frozen snapshot: changing
+    the environment afterwards changes nothing about this context, and
+    two requests holding different contexts can execute concurrently in
+    one process without sharing any configuration state.
+
+    Resolved field types
+    --------------------
+    * ``workers`` — ``int`` (>= 1)
+    * ``store`` — :class:`~repro.runtime.store.ResultStore` or ``None``
+    * ``progress`` — callable ``(done, total, CellResult)`` or ``None``
+    * ``chunk_size`` — ``int`` or ``None``
+    * ``chunk_seconds`` — ``float`` or ``None`` (never both set)
+    * ``backend`` — validated spec string, ready
+      :class:`~repro.runtime.backends.ExecutionBackend`, or ``None``
+      for the automatic policy
+    * ``retry_policy`` — :class:`~repro.runtime.faults.RetryPolicy`
+      (``max_retries`` is the convenience init-only form)
+    * ``on_error`` — ``"raise"`` or ``"continue"``
+    * ``trace`` — :class:`~pathlib.Path` or ``None``
+
+    Use :meth:`replace` to derive a variant (new context, same
+    immutability); use :meth:`describe` for a JSON-ready summary.
+    """
+
+    workers: Any = None
+    store: Any = None
+    progress: Any = None
+    chunk_size: Any = None
+    chunk_seconds: Any = None
+    backend: Any = None
+    on_error: Any = None
+    retry_policy: Any = None
+    trace: Any = None
+    max_retries: InitVar[Any] = None
+
+    def __post_init__(self, max_retries: Any) -> None:
+        set_field = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
+        set_field("workers", resolve_workers(self.workers))
+        if self.chunk_size is not None and self.chunk_seconds is not None:
+            raise ValidationError(
+                "chunk_size and chunk_seconds are mutually exclusive; pass "
+                "at most one (fixed reps-per-shard vs seconds-per-shard)"
+            )
+        explicit_size = self.chunk_size is not None
+        explicit_seconds = self.chunk_seconds is not None
+        set_field("chunk_size", resolve_chunk_size(self.chunk_size))
+        set_field("chunk_seconds", resolve_chunk_seconds(self.chunk_seconds))
+        if self.chunk_size is not None and self.chunk_seconds is not None:
+            if explicit_size:
+                set_field("chunk_seconds", None)  # explicit size beats env
+            elif explicit_seconds:
+                set_field("chunk_size", None)  # explicit seconds beats env
+            else:
+                raise ValidationError(
+                    "REPRO_CHUNK_SIZE and REPRO_CHUNK_SECONDS are both set; "
+                    "unset one (fixed reps-per-shard vs seconds-per-shard)"
+                )
+        # Runtime import: the backend registry imports this module for
+        # its environment fallback, so settings must stay import-leaf.
+        from .backends.base import resolve_backend_spec
+
+        set_field("backend", resolve_backend_spec(self.backend))
+        from .faults import RetryPolicy
+
+        if self.retry_policy is not None:
+            if max_retries is not None:
+                raise ValidationError(
+                    "max_retries and retry_policy are mutually exclusive; "
+                    "set max_retries on the policy instead"
+                )
+            if not isinstance(self.retry_policy, RetryPolicy):
+                raise ValidationError(
+                    f"retry_policy must be a RetryPolicy, got "
+                    f"{self.retry_policy!r}"
+                )
+        else:
+            set_field(
+                "retry_policy",
+                RetryPolicy(max_retries=resolve_max_retries(max_retries)),
+            )
+        set_field("on_error", resolve_on_error(self.on_error))
+        set_field("store", resolve_store(self.store))
+        set_field("progress", resolve_progress(self.progress))
+        set_field("trace", resolve_trace_file(self.trace))
+
+    def replace(self, **overrides: Any) -> "RunContext":
+        """A new context with *overrides* applied (re-validated).
+
+        Setting one of the mutually-exclusive chunking knobs clears the
+        other automatically, so ``ctx.replace(chunk_seconds=0.5)`` works
+        on a context that resolved a fixed chunk size; likewise
+        ``replace(max_retries=2)`` supersedes the carried-over
+        ``retry_policy`` instead of colliding with it.
+        """
+        if "chunk_size" in overrides and "chunk_seconds" not in overrides:
+            overrides["chunk_seconds"] = None
+        elif "chunk_seconds" in overrides and "chunk_size" not in overrides:
+            overrides["chunk_size"] = None
+        if "max_retries" in overrides and "retry_policy" not in overrides:
+            overrides["retry_policy"] = None
+        return dataclasses.replace(self, **overrides)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary (telemetry, service status endpoints)."""
+        backend = self.backend
+        if backend is not None and not isinstance(backend, str):
+            backend = getattr(backend, "name", type(backend).__name__)
+        return {
+            "workers": self.workers,
+            "cache_dir": None if self.store is None else str(self.store.root),
+            "chunk_size": self.chunk_size,
+            "chunk_seconds": self.chunk_seconds,
+            "backend": backend,
+            "max_retries": self.retry_policy.max_retries,
+            "on_error": self.on_error,
+            "trace": None if self.trace is None else str(self.trace),
+            "progress": self.progress is not None,
+        }

@@ -22,18 +22,53 @@ merge time instead of stranding them on disk.
 
 Writes are atomic (temp file + ``os.replace``), so a crash mid-write
 leaves no corrupt entry; unreadable entries are treated as misses.
+
+The store is additionally safe for **concurrent same-process writers**:
+the service front end (:mod:`repro.runtime.service`) shares one store
+across many simultaneously-executing requests, so any number of
+:class:`ResultStore` instances rooted at the same directory — in any
+number of threads — may save, discard, consolidate, and scan at once.
+A process-wide lock per resolved root serialises the mutating paths
+(temp-file names are also thread-distinct, so two threads persisting
+the same token can never collide on one temp file), and the scan paths
+tolerate entries vanishing mid-iteration under a racing sweep.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import shutil
+import threading
 import warnings
 from pathlib import Path
 from typing import Any, Union
 
 __all__ = ["ResultStore"]
+
+#: Distinguishes concurrent writers' temp files within one process —
+#: pid alone is not enough once two threads persist the same token.
+_TMP_COUNTER = itertools.count()
+
+#: One re-entrant lock per resolved store root, shared by every
+#: ResultStore instance in the process that points at that directory.
+#: Keyed by absolute path so two instances built from different
+#: relative spellings of the same root still serialise against each
+#: other.  Cross-*process* writers were already safe (atomic replace,
+#: unreadable-entry-as-miss); this closes the same-process races the
+#: service's shared store introduces (mkdir vs prune, save vs rmtree).
+_ROOT_LOCKS: dict[str, threading.RLock] = {}
+_ROOT_LOCKS_GUARD = threading.Lock()
+
+
+def _lock_for(root: Path) -> threading.RLock:
+    key = str(root.expanduser().absolute())
+    with _ROOT_LOCKS_GUARD:
+        lock = _ROOT_LOCKS.get(key)
+        if lock is None:
+            lock = _ROOT_LOCKS[key] = threading.RLock()
+        return lock
 
 
 class ResultStore:
@@ -50,6 +85,7 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self._lock = _lock_for(self.root)
 
     def _path(self, token: str, group: str | None = None) -> Path:
         if group is None:
@@ -85,13 +121,33 @@ class ResultStore:
             return None
 
     def save(self, token: str, payload: Any, group: str | None = None) -> Path:
-        """Atomically persist *payload* under *token*; returns the path."""
+        """Atomically persist *payload* under *token*; returns the path.
+
+        Thread-safe: the root lock serialises the mkdir/replace pair
+        against concurrent prunes and group sweeps, and the temp-file
+        name is unique per writer (pid *and* a process-wide counter),
+        so simultaneous saves of the same token from different threads
+        each complete atomically — last replace wins, both payloads
+        identical by content addressing.
+        """
         path = self._path(token, group)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+        )
+        with self._lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                with tmp.open("wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                # A foreign *process* pruned the freshly-made parent
+                # between mkdir and replace (same-process prunes hold
+                # our lock).  Rebuild and retry once.
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with tmp.open("wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
         return path
 
     def contains(self, token: str, group: str | None = None) -> bool:
@@ -107,11 +163,12 @@ class ResultStore:
         behind.
         """
         path = self._path(token, group)
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            return False
-        self._prune(path.parent)
+        with self._lock:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                return False
+            self._prune(path.parent)
         return True
 
     def discard_many(self, tokens, group: str | None = None) -> int:
@@ -122,16 +179,17 @@ class ResultStore:
         """
         removed = 0
         parents = set()
-        for token in tokens:
-            path = self._path(token, group)
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                continue
-            removed += 1
-            parents.add(path.parent)
-        for parent in parents:
-            self._prune(parent)
+        with self._lock:
+            for token in tokens:
+                path = self._path(token, group)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                removed += 1
+                parents.add(path.parent)
+            for parent in parents:
+                self._prune(parent)
         return removed
 
     def discard_group(self, group: str) -> int:
@@ -145,11 +203,12 @@ class ResultStore:
         scaffolding leaves no skeleton behind.
         """
         directory = self._group_dir(group)
-        if not directory.exists():
-            return 0
-        removed = sum(1 for _ in directory.glob("*.pkl"))
-        shutil.rmtree(directory, ignore_errors=True)
-        self._prune(directory.parent)
+        with self._lock:
+            if not directory.exists():
+                return 0
+            removed = sum(1 for _ in directory.glob("*.pkl"))
+            shutil.rmtree(directory, ignore_errors=True)
+            self._prune(directory.parent)
         return removed
 
     def _prune(self, directory: Path) -> None:
@@ -170,10 +229,25 @@ class ResultStore:
                 return
             directory = directory.parent
 
+    def _entries(self) -> list[Path]:
+        """Snapshot of every ``.pkl`` entry currently on disk.
+
+        Built on :func:`os.walk`, which skips directories that vanish
+        mid-scan (a racing sweep in another process), instead of
+        ``rglob`` which raises; same-process sweeps are excluded by the
+        root lock callers hold.
+        """
+        entries = []
+        for dirpath, _, filenames in os.walk(self.root):
+            base = Path(dirpath)
+            entries.extend(
+                base / name for name in filenames if name.endswith(".pkl")
+            )
+        return entries
+
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.rglob("*.pkl"))
+        with self._lock:
+            return len(self._entries())
 
     def stats(self, group_prefix: str | None = None) -> dict:
         """Entry counts and byte totals, broken down by group.
@@ -189,9 +263,9 @@ class ResultStore:
         """
         cells = {"entries": 0, "bytes": 0}
         groups: dict[str, dict] = {}
-        if self.root.exists():
+        with self._lock:
             shards_root = self.root / "shards"
-            for path in self.root.rglob("*.pkl"):
+            for path in self._entries():
                 try:
                     size = path.stat().st_size
                 except OSError:  # pragma: no cover - entry raced a sweep
@@ -226,17 +300,21 @@ class ResultStore:
         Empty subdirectories are swept too: after a clear the store
         root holds nothing at all.
         """
-        removed = 0
-        for path in list(self.root.rglob("*.pkl")):
-            path.unlink(missing_ok=True)
-            removed += 1
-        for directory in sorted(
-            (path for path in self.root.rglob("*") if path.is_dir()), reverse=True
-        ):
-            try:
-                directory.rmdir()
-            except OSError:
-                pass
+        with self._lock:
+            removed = 0
+            for path in self._entries():
+                path.unlink(missing_ok=True)
+                removed += 1
+            directories = [
+                Path(dirpath)
+                for dirpath, _, _ in os.walk(self.root)
+                if Path(dirpath) != self.root
+            ]
+            for directory in sorted(directories, reverse=True):
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
         return removed
 
     def __repr__(self) -> str:

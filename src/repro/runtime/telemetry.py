@@ -35,7 +35,6 @@ a bit-identity test.
 from __future__ import annotations
 
 import json
-import os
 import time
 import uuid
 from collections import defaultdict
@@ -44,6 +43,7 @@ from pathlib import Path
 from typing import IO, Any, Callable, Iterable, Union
 
 from ..exceptions import ValidationError
+from . import settings as _settings
 
 __all__ = [
     "EVENT_TYPES",
@@ -187,13 +187,12 @@ class RunTelemetry:
 
 
 def resolve_trace_file(trace: Union[str, Path, None]) -> Path | None:
-    """Explicit journal path, or the ``REPRO_TRACE_FILE`` default (off)."""
-    if trace is None:
-        raw = os.environ.get("REPRO_TRACE_FILE", "").strip()
-        if not raw:
-            return None
-        trace = raw
-    return Path(trace)
+    """Explicit journal path, or the ``REPRO_TRACE_FILE`` default (off).
+
+    Thin delegate kept for import stability; the resolution logic lives
+    in :func:`repro.runtime.settings.resolve_trace_file`.
+    """
+    return _settings.resolve_trace_file(trace)
 
 
 class JsonlTraceSink:

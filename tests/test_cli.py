@@ -5,6 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.__main__ import main
+from repro.runtime import reset_defaults
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime_defaults():
+    # main() installs its RunContext as the process-wide default via
+    # configure(context=...); don't leak it into other tests.
+    yield
+    reset_defaults()
 
 
 class TestCLI:

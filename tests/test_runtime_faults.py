@@ -404,8 +404,10 @@ class TestCliWiring:
         captured = {}
 
         class FakeExecutor:
-            def __init__(self, **kwargs):
-                captured.update(kwargs)
+            @classmethod
+            def from_context(cls, context):
+                captured.update(context.describe())
+                return cls()
 
             def run(self, plan):
                 raise ValidationError("stop here")
@@ -442,8 +444,9 @@ class TestCliWiring:
             ["nope", "--max-retries", "3", "--on-error", "continue"]
         )
         assert rc == 2
-        assert captured["max_retries"] == 3
-        assert captured["on_error"] == "continue"
+        context = captured["context"].describe()
+        assert context["max_retries"] == 3
+        assert context["on_error"] == "continue"
 
     def test_study_cli_reports_failed_cells_and_exits_nonzero(
         self, monkeypatch, capsys, tmp_path
@@ -462,8 +465,9 @@ class TestCliWiring:
         ).run(plan_of([broken, study_cell()]))
 
         class CannedExecutor:
-            def __init__(self, **kwargs):
-                pass
+            @classmethod
+            def from_context(cls, context):
+                return cls()
 
             def run(self, plan):
                 return outcome

@@ -1,0 +1,324 @@
+"""Tests for the audit service: requests, concurrency, cache sharing.
+
+The service promises three things worth testing hard: a request
+submitted over the wire is *byte-identical* to the same grid run
+standalone (shared StudyRequest code path), concurrent requests with
+different RunContexts share one ResultStore (cache hits cross
+requests), and one request failing never poisons its siblings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ReproError, ValidationError
+from repro.runtime import ResultStore, execute
+from repro.runtime.service import (
+    AuditService,
+    StudyRequest,
+    parse_address,
+    ping_service,
+    render_study_table,
+    service_status,
+    shutdown_service,
+    submit_request,
+)
+from repro.runtime.settings import RunContext
+
+GRID = {
+    "datasets": "NELL",
+    "strategies": "srs",
+    "methods": "wald,wilson",
+    "repetitions": 4,
+}
+GRID_ARGS = [
+    "--datasets", "NELL", "--strategies", "srs",
+    "--methods", "wald,wilson", "--reps", "4",
+]
+
+
+def standalone_table(capsys, extra=()) -> str:
+    """The table `python -m repro study` prints for GRID (summary line
+    stripped — it carries volatile wall-clock seconds)."""
+    assert cli_main(["study", *GRID_ARGS, "--quiet", *extra]) == 0
+    out = capsys.readouterr().out
+    return "\n".join(out.splitlines()[:-1])
+
+
+class running_service:
+    """Context manager: an AuditService on a unix socket, in a thread."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.socket_path = tmp_path / "svc.sock"
+        kwargs.setdefault("quiet", True)
+        self.service = AuditService(**kwargs)
+        self.thread = None
+
+    def __enter__(self):
+        loop = asyncio.new_event_loop()
+        ready = loop.create_future()
+        self.thread = threading.Thread(
+            target=lambda: loop.run_until_complete(
+                self.service.serve(socket_path=self.socket_path, ready=ready)
+            ),
+            daemon=True,
+        )
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while not ready.done():
+            assert time.monotonic() < deadline, "service did not start"
+            time.sleep(0.01)
+        return self
+
+    @property
+    def address(self):
+        return ("unix", str(self.socket_path))
+
+    def __exit__(self, *exc):
+        try:
+            shutdown_service(self.address)
+        except ReproError:
+            pass
+        self.thread.join(timeout=10)
+        assert not self.thread.is_alive()
+
+
+class TestStudyRequest:
+    def test_normalises_names_and_folds_case(self):
+        request = StudyRequest(
+            datasets="nell, yago", strategies=("SRS",), methods="Wald"
+        )
+        assert request.datasets == ("NELL", "YAGO")
+        assert request.strategies == ("srs",)
+        assert request.methods == ("wald",)
+
+    def test_from_payload_reps_alias_and_defaults(self):
+        request = StudyRequest.from_payload({"reps": 7})
+        assert request.repetitions == 7
+        assert request.datasets == ("NELL",)
+
+    def test_from_payload_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="repetitionz"):
+            StudyRequest.from_payload({"repetitionz": 2})
+
+    def test_rejects_empty_grid_and_unknown_strategy(self):
+        with pytest.raises(ReproError, match="at least one"):
+            StudyRequest(datasets="")
+        with pytest.raises(ReproError, match="unknown strategy"):
+            StudyRequest(strategies="srs,quantum")
+
+    def test_payload_round_trip(self):
+        request = StudyRequest.from_payload(dict(GRID))
+        assert StudyRequest.from_payload(request.to_payload()) == request
+
+    def test_build_plan_matches_cli_construction(self):
+        plan = StudyRequest(
+            datasets="NELL,YAGO", strategies="srs,twcs", methods="wald", m=3
+        ).build_plan()
+        assert [cell.label for cell in plan.cells] == [
+            "NELL/srs/wald", "NELL/twcs/wald",
+            "YAGO/srs/wald", "YAGO/twcs/wald",
+        ]
+        # One seed stream per (dataset, strategy), methods paired on it.
+        assert [cell.seed_stream for cell in plan.cells] == [
+            (20_000,), (20_001,), (20_010,), (20_011,)
+        ]
+        assert plan.cells[1].strategy == "TWCS:3"
+
+
+class TestParseAddress:
+    def test_forms(self):
+        assert parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("127.0.0.1:9") == ("tcp", ("127.0.0.1", 9))
+        assert parse_address("9") == ("tcp", ("127.0.0.1", 9))
+        assert parse_address(("localhost", 9)) == ("tcp", ("localhost", 9))
+        assert parse_address(("unix", "/x")) == ("unix", "/x")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            parse_address("")
+        with pytest.raises(ValidationError):
+            parse_address(("a", "b", "c"))
+
+    def test_connect_timeout_names_the_endpoint(self, tmp_path):
+        from repro.runtime.service.client import connect
+
+        with pytest.raises(ReproError, match="could not reach"):
+            connect(str(tmp_path / "nowhere.sock"), timeout=0.2)
+
+
+class TestTwoContextStoreConcurrency:
+    def test_concurrent_contexts_share_one_store(self, tmp_path):
+        # Two differently-configured immutable contexts, one store dir,
+        # executing at the same time in one process: both runs must
+        # succeed, agree bit-for-bit, and land their cells in the
+        # shared store without tripping over each other's tmp files.
+        store = tmp_path / "cache"
+        contexts = [
+            RunContext(workers=1, store=store, backend="serial"),
+            RunContext(workers=2, store=store, backend="process", chunk_size=2),
+        ]
+        plan = StudyRequest.from_payload(dict(GRID)).build_plan()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            outcomes = list(
+                pool.map(lambda ctx: execute(plan, context=ctx), contexts)
+            )
+        tables = {render_study_table(plan, outcome) for outcome in outcomes}
+        assert len(tables) == 1  # bit-identical across contexts
+        assert len(ResultStore(store)) == len(plan.cells)
+        # A third context reads everything back from the shared store.
+        rerun = execute(plan, context=RunContext(store=store))
+        assert rerun.cache_hits == len(plan.cells)
+
+
+class TestServiceRequests:
+    def test_concurrent_contexts_bit_identical_and_cache_shared(
+        self, tmp_path, capsys
+    ):
+        expected = standalone_table(capsys)
+        with running_service(tmp_path, store=tmp_path / "cache") as svc:
+            contexts = [
+                {"backend": "serial"},
+                {"backend": "process", "workers": 2, "chunk_size": 2},
+            ]
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                done = list(
+                    pool.map(
+                        lambda ctx: submit_request(svc.address, GRID, ctx),
+                        contexts,
+                    )
+                )
+            assert [event["event"] for event in done] == ["done", "done"]
+            assert {event["table"] for event in done} == {expected}
+            assert {event["exit_code"] for event in done} == {0}
+            # The grid ran concurrently under two contexts; every cell
+            # is now in the shared store, so a third differently-
+            # configured request is served entirely from cache.
+            third = submit_request(
+                svc.address, GRID, {"backend": "serial", "max_retries": 1}
+            )
+            assert third["table"] == expected
+            assert third["cache_hits"] == third["cells"] == 2
+
+    def test_progress_events_stream_per_request(self, tmp_path):
+        with running_service(tmp_path) as svc:
+            events = []
+            done = submit_request(svc.address, GRID, on_event=events.append)
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "accepted"
+            assert kinds[-1] == "done"
+            progress = [e for e in events if e["event"] == "progress"]
+            assert len(progress) == done["cells"] == 2
+            assert progress[-1]["done"] == progress[-1]["total"] == 2
+            assert {e["id"] for e in events} == {done["id"]}
+
+    def test_failing_request_does_not_poison_siblings(self, tmp_path, capsys):
+        expected = standalone_table(capsys)
+        bad = dict(GRID, datasets="NOPE")
+        with running_service(tmp_path, store=tmp_path / "cache") as svc:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [
+                    pool.submit(submit_request, svc.address, bad),
+                    pool.submit(submit_request, svc.address, GRID),
+                ]
+                events = [future.result() for future in futures]
+            by_kind = {event["event"]: event for event in events}
+            assert set(by_kind) == {"failed", "done"}
+            assert "NOPE" in by_kind["failed"]["error"]
+            assert by_kind["done"]["table"] == expected
+            # The service is still healthy: next request runs from cache.
+            after = submit_request(svc.address, GRID)
+            assert after["event"] == "done"
+            assert after["cache_hits"] == after["cells"]
+            status = service_status(svc.address)
+            states = {
+                record["id"]: record["status"]
+                for record in status["requests"]
+            }
+            assert sorted(states.values()) == ["done", "done", "failed"]
+
+    def test_per_request_trace_journals(self, tmp_path):
+        from repro.runtime.telemetry import read_journal
+
+        with running_service(
+            tmp_path, store=tmp_path / "cache", trace_dir=tmp_path / "traces"
+        ) as svc:
+            first = submit_request(svc.address, GRID)
+            second = submit_request(svc.address, GRID)
+        journals = sorted((tmp_path / "traces").glob("*.jsonl"))
+        assert [path.stem for path in journals] == [first["id"], second["id"]]
+        for path, event in zip(journals, (first, second)):
+            assert event["trace"] == str(path)
+            records = read_journal(path)  # schema-valid, one run each
+            assert {record["run_id"] for record in records}
+
+    def test_ping_and_status(self, tmp_path):
+        with running_service(tmp_path, store=tmp_path / "cache") as svc:
+            pong = ping_service(svc.address)
+            assert pong["event"] == "pong"
+            assert pong["requests"] == 0
+            assert pong["store"].endswith("cache")
+            submit_request(svc.address, GRID)
+            record = service_status(svc.address)["requests"][0]
+            assert record["status"] == "done"
+            assert record["request"]["repetitions"] == 4
+            assert record["context"]["workers"] >= 1
+            assert record["seconds"] is not None
+
+    def test_validation_errors_come_back_as_error_events(self, tmp_path):
+        with running_service(tmp_path) as svc:
+            with pytest.raises(ReproError, match="repetitionz"):
+                submit_request(svc.address, {"repetitionz": 3})
+            with pytest.raises(ReproError, match="store"):
+                submit_request(svc.address, GRID, {"store": "/elsewhere"})
+            with pytest.raises(ReproError, match="workers"):
+                submit_request(svc.address, GRID, {"workers": 0})
+
+    def test_malformed_lines_keep_the_connection_alive(self, tmp_path):
+        with running_service(tmp_path) as svc:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(str(svc.socket_path))
+            try:
+                stream = sock.makefile("r", encoding="utf-8")
+                sock.sendall(b"this is not json\n")
+                assert "bad JSON" in json.loads(stream.readline())["error"]
+                sock.sendall(b'["a", "list"]\n')
+                assert "JSON object" in json.loads(stream.readline())["error"]
+                sock.sendall(b'{"op": "frobnicate"}\n')
+                assert "unknown op" in json.loads(stream.readline())["error"]
+                sock.sendall(b'{"op": "ping"}\n')  # still serving
+                assert json.loads(stream.readline())["event"] == "pong"
+            finally:
+                sock.close()
+
+    def test_tcp_endpoint(self, tmp_path):
+        service = AuditService(quiet=True)
+        loop = asyncio.new_event_loop()
+        ready = loop.create_future()
+        thread = threading.Thread(
+            target=lambda: loop.run_until_complete(
+                service.serve(port=0, ready=ready)
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not ready.done():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        host, port = service.address[1]
+        address = f"{host}:{port}"
+        assert ping_service(address)["event"] == "pong"
+        done = submit_request(address, GRID)
+        assert done["event"] == "done"
+        shutdown_service(address)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
