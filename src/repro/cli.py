@@ -292,6 +292,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="requests executing simultaneously (default: 8)",
     )
+    serve.add_argument(
+        "--solve-batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="coalescing window for cross-request interval-solve "
+        "batching; 0 disables it (default: "
+        "$REPRO_SOLVE_BATCH_WINDOW or 0.005; never changes results)",
+    )
+    serve.add_argument(
+        "--solve-batch-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max coalesced callers per solve-batch flush "
+        "(default: $REPRO_SOLVE_BATCH_MAX or 64)",
+    )
     _add_runtime_options(serve)
 
     submit = sub.add_parser(
@@ -666,6 +683,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         defaults=_context_from(args, progress=False),
         trace_dir=args.trace_dir,
         max_concurrent=args.max_concurrent,
+        solve_batch_window=args.solve_batch_window,
+        solve_batch_max=args.solve_batch_max,
         quiet=args.quiet,
     )
     try:

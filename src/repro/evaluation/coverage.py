@@ -110,7 +110,7 @@ def coverage_from_counts(
     observed = np.flatnonzero(counts)
     weights = counts[observed]
     evidences = [Evidence.from_counts_fast(int(tau), n) for tau in observed]
-    batch = method.compute_batch(evidences, alpha)
+    batch = method.solve_batch(evidences, alpha)
     hits = int(weights @ batch.contains(mu))
     total_width = float(weights @ batch.width)
     return CoverageResult(

@@ -69,7 +69,13 @@ class IntervalMemo:
         self.cache_misses = 0
 
     def _compute_interval(self, evidence, alpha: float) -> Interval:
-        """Memoised ``method.compute`` over already-seen evidence states."""
+        """Memoised ``method.solve_batch`` over already-seen evidence states.
+
+        Misses go through the batch engine (as a batch of one) rather
+        than the scalar path so that cached intervals are bit-identical
+        to batch-solved ones everywhere — including when an ambient
+        solve pool coalesces this miss with other callers' work.
+        """
         key = (
             self.method,
             evidence.tau_effective,
@@ -82,7 +88,7 @@ class IntervalMemo:
             self.cache_misses += 1
             if len(self._interval_cache) >= self._CACHE_LIMIT:
                 self._interval_cache.clear()
-            interval = self.method.compute(evidence, alpha)
+            interval = self.method.solve_batch((evidence,), alpha)[0]
             self._interval_cache[key] = interval
         else:
             self.cache_hits += 1

@@ -98,7 +98,7 @@ class SampleSizePlanner:
         taus = np.arange(n + 1)
         weights = binomial_pmf(taus.astype(float), n, mu)
         evidences = [Evidence.from_counts_fast(int(tau), n) for tau in taus]
-        batch = method.compute_batch(evidences, alpha)
+        batch = method.solve_batch(evidences, alpha)
         return float(weights @ batch.moe)
 
     def plan(

@@ -19,8 +19,19 @@ path of the Monte-Carlo experiments.
 
 from .agresti_coull import AgrestiCoullInterval
 from .ahpd import AdaptiveHPD
-from .base import Interval, IntervalMethod, critical_value
-from .batch import BatchIntervals, et_bounds_batch, hpd_bounds_batch
+from .base import (
+    Interval,
+    IntervalMethod,
+    active_solve_pool,
+    critical_value,
+    use_solve_pool,
+)
+from .batch import (
+    BatchIntervals,
+    compute_batch_pooled,
+    et_bounds_batch,
+    hpd_bounds_batch,
+)
 from .clopper_pearson import ClopperPearsonInterval
 from .et import ETCredibleInterval, et_bounds
 from .transforms import ArcsineInterval, LogitInterval
@@ -34,7 +45,10 @@ __all__ = [
     "Interval",
     "IntervalMethod",
     "BatchIntervals",
+    "active_solve_pool",
+    "compute_batch_pooled",
     "critical_value",
+    "use_solve_pool",
     "WaldInterval",
     "WilsonInterval",
     "AgrestiCoullInterval",

@@ -12,9 +12,11 @@ inside the same minimisation loop.
 
 from __future__ import annotations
 
+import contextvars
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from scipy import special
 
@@ -25,7 +27,46 @@ from ..exceptions import ValidationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .batch import BatchIntervals
 
-__all__ = ["Interval", "IntervalMethod", "critical_value"]
+__all__ = [
+    "Interval",
+    "IntervalMethod",
+    "active_solve_pool",
+    "critical_value",
+    "use_solve_pool",
+]
+
+#: The ambient solve pool, if any.  A pool is an object with a
+#: ``solve(method, evidences, alpha) -> BatchIntervals`` method that may
+#: coalesce solves from several callers into one vectorised
+#: ``compute_batch`` call (see :mod:`repro.runtime.solvebatch`).  Kept
+#: as a context variable so concurrently-executing requests (service
+#: threads) each control their own routing without touching the others.
+_SOLVE_POOL: contextvars.ContextVar[Any] = contextvars.ContextVar(
+    "repro-solve-pool", default=None
+)
+
+
+def active_solve_pool() -> Any | None:
+    """The solve pool :meth:`IntervalMethod.solve_batch` routes through,
+    or ``None`` when solves run directly."""
+    return _SOLVE_POOL.get()
+
+
+@contextmanager
+def use_solve_pool(pool: Any) -> Iterator[Any]:
+    """Install *pool* as the ambient solve pool for the calling context.
+
+    Everything under the ``with`` block that solves intervals through
+    :meth:`IntervalMethod.solve_batch` hands its work to *pool* instead
+    of computing directly.  ``None`` is allowed and is a no-op install
+    (useful for unconditional ``with`` statements).  Pools never change
+    results — only who executes the vectorised solve.
+    """
+    token = _SOLVE_POOL.set(pool)
+    try:
+        yield pool
+    finally:
+        _SOLVE_POOL.reset(token)
 
 
 def critical_value(alpha: float) -> float:
@@ -134,6 +175,24 @@ class IntervalMethod(ABC):
             alpha=alpha,
             method=self.name,
         )
+
+    def solve_batch(
+        self, evidences: Sequence[Evidence], alpha: float
+    ) -> "BatchIntervals":
+        """The canonical batch-solve entry point for evaluation loops.
+
+        Identical to :meth:`compute_batch` when no solve pool is
+        installed; under :func:`use_solve_pool` the work is handed to
+        the ambient pool, which may pool it with other callers' pending
+        solves and flush them as one vectorised call.  Because every
+        built-in batch kernel is row-independent, the pooled slice this
+        returns is bit-identical to a direct :meth:`compute_batch` —
+        pooling changes wall-clock, never numbers.
+        """
+        pool = _SOLVE_POOL.get()
+        if pool is None:
+            return self.compute_batch(evidences, alpha)
+        return pool.solve(self, evidences, alpha)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

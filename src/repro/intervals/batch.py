@@ -34,7 +34,12 @@ from scipy import special
 
 from .._validation import check_alpha
 from ..exceptions import IntervalError, ValidationError
-from ..stats.beta import beta_cdf_batch, beta_pdf_batch, beta_ppf_batch
+from ..stats.beta import (
+    _beta_cdf_raw,
+    _beta_pdf_raw,
+    _beta_ppf_raw,
+    beta_ppf_batch,
+)
 from .base import Interval, critical_value
 from .posterior import BetaPosterior
 from .priors import BetaPrior
@@ -44,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "BatchIntervals",
+    "compute_batch_pooled",
     "evidence_arrays",
     "posterior_shapes_batch",
     "wald_bounds_batch",
@@ -174,6 +180,46 @@ class BatchIntervals:
             method=self.method,
             labels=self.labels,
         )
+
+
+def compute_batch_pooled(
+    method, segments: Sequence[Sequence["Evidence"]], alpha: float
+) -> list[BatchIntervals]:
+    """One vectorised solve over externally pooled evidence segments.
+
+    Flattens *segments* (one per caller), runs a single
+    ``method.compute_batch`` over the concatenation, and slices the
+    result back into one :class:`BatchIntervals` per segment.  Because
+    every batch kernel in this module is row-independent — each row's
+    bounds depend only on that row's evidence — the slice a caller gets
+    back is bit-identical to the ``compute_batch`` it would have run
+    alone.  This is the solving end of the cross-request solve broker
+    (:mod:`repro.runtime.solvebatch`): N overlapping requests pay one
+    vectorised solve instead of N.
+    """
+    segments = [tuple(segment) for segment in segments]
+    flat = [evidence for segment in segments for evidence in segment]
+    batch = method.compute_batch(flat, alpha)
+    slices: list[BatchIntervals] = []
+    offset = 0
+    for segment in segments:
+        stop = offset + len(segment)
+        labels = None if batch.labels is None else batch.labels[offset:stop]
+        if labels and all(label == batch.method for label in labels):
+            # Normalise all-default label runs to None, matching what a
+            # standalone compute_batch of just this segment produces.
+            labels = None
+        slices.append(
+            BatchIntervals(
+                lower=batch.lower[offset:stop].copy(),
+                upper=batch.upper[offset:stop].copy(),
+                alpha=batch.alpha,
+                method=batch.method,
+                labels=labels,
+            )
+        )
+        offset = stop
+    return slices
 
 
 def posterior_shapes_batch(
@@ -350,7 +396,14 @@ def hpd_bounds_batch(
     b = np.ascontiguousarray(b, dtype=float)
     if a.ndim != 1:
         raise ValidationError(f"expected 1-D shape arrays, got shape {a.shape}")
-    if a.size and (np.any(a <= 0.0) or np.any(b <= 0.0)):
+    # Validate once here; the Newton loop below runs on the raw
+    # (unvalidated) beta primitives, so this check is its only gate.
+    if a.size and (
+        not np.all(np.isfinite(a))
+        or not np.all(np.isfinite(b))
+        or np.any(a <= 0.0)
+        or np.any(b <= 0.0)
+    ):
         raise ValidationError("posterior shapes must be positive")
 
     a_gt1, b_gt1 = a > 1.0, b > 1.0
@@ -359,7 +412,7 @@ def hpd_bounds_batch(
     decreasing = b_gt1 & ~a_gt1
     flat = (a == 1.0) & (b == 1.0)
     bathtub = ~(interior | increasing | decreasing | flat)
-    if np.any(bathtub):
+    if bathtub.any():
         raise IntervalError(
             "the HPD region of a U-shaped posterior is not an interval; "
             f"{int(bathtub.sum())} batch row(s) have a, b < 1"
@@ -367,14 +420,14 @@ def hpd_bounds_batch(
 
     lower = np.zeros_like(a)
     upper = np.ones_like(a)
-    if np.any(increasing):
-        lower[increasing] = beta_ppf_batch(alpha, a[increasing], b[increasing])
-    if np.any(decreasing):
-        upper[decreasing] = beta_ppf_batch(1.0 - alpha, a[decreasing], b[decreasing])
-    if np.any(flat):
+    if increasing.any():
+        lower[increasing] = _beta_ppf_raw(alpha, a[increasing], b[increasing])
+    if decreasing.any():
+        upper[decreasing] = _beta_ppf_raw(1.0 - alpha, a[decreasing], b[decreasing])
+    if flat.any():
         lower[flat] = alpha / 2.0
         upper[flat] = 1.0 - alpha / 2.0
-    if np.any(interior):
+    if interior.any():
         idx = np.flatnonzero(interior)
         lo, hi = _newton_batch(a[idx], b[idx], alpha)
         lower[idx] = lo
@@ -385,7 +438,15 @@ def hpd_bounds_batch(
 def _newton_batch(
     a: np.ndarray, b: np.ndarray, alpha: float
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Damped-Newton HPD solve over interior-mode posterior rows."""
+    """Damped-Newton HPD solve over interior-mode posterior rows.
+
+    The loop body runs on the raw (validation-free) beta primitives
+    under one ``errstate`` guard: ``hpd_bounds_batch`` validated the
+    shapes already, and re-validating four times per iteration was the
+    dominant cost of the small batches the memoised evaluator path
+    produces.  The arithmetic is unchanged — results stay bit-identical
+    to the validated primitives.
+    """
     target = 1.0 - alpha
     eps = 1e-12
     mode = (a - 1.0) / (a + b - 2.0)
@@ -393,39 +454,46 @@ def _newton_batch(
     # two-sided bracketing; send them straight to the scalar fallback.
     failed = (mode <= 2.0 * eps) | (mode >= 1.0 - 2.0 * eps)
 
-    lower, upper = et_bounds_batch(a, b, alpha)
-    with np.errstate(invalid="ignore"):
-        lower = np.clip(lower, eps, mode - eps)
-        upper = np.clip(np.minimum(upper, 1.0 - eps), mode + eps, 1.0 - eps)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lower = _beta_ppf_raw(alpha / 2.0, a, b)
+        upper = _beta_ppf_raw(1.0 - alpha / 2.0, a, b)
+        lower = np.minimum(np.maximum(lower, eps), mode - eps)
+        upper = np.minimum(
+            np.maximum(np.minimum(upper, 1.0 - eps), mode + eps), 1.0 - eps
+        )
 
-    active = np.flatnonzero(~failed)
-    for _ in range(_NEWTON_MAX_ITER):
-        if active.size == 0:
-            break
+        active = np.flatnonzero(~failed)
+        # Gather the active-row views once; the loop maintains them
+        # in lock-step with ``active`` instead of re-slicing the full
+        # arrays every iteration (pure bookkeeping — same values).
         a_i, b_i = a[active], b[active]
         l_i, u_i = lower[active], upper[active]
-        f_l = beta_pdf_batch(l_i, a_i, b_i)
-        f_u = beta_pdf_batch(u_i, a_i, b_i)
-        mass = beta_cdf_batch(u_i, a_i, b_i) - beta_cdf_batch(l_i, a_i, b_i)
-        r1 = f_l - f_u
-        r2 = mass - target
-        converged = (np.abs(r1) <= 1e-12 * np.maximum(np.maximum(f_l, f_u), 1.0)) & (
-            np.abs(r2) <= 1e-12
-        )
-        if np.all(converged):
-            break
-        keep = ~converged
-        active = active[keep]
-        a_i, b_i = a_i[keep], b_i[keep]
-        l_i, u_i = l_i[keep], u_i[keep]
-        f_l, f_u = f_l[keep], f_u[keep]
-        r1, r2 = r1[keep], r2[keep]
         m_i = mode[active]
+        for _ in range(_NEWTON_MAX_ITER):
+            if active.size == 0:
+                break
+            f_l = _beta_pdf_raw(l_i, a_i, b_i)
+            f_u = _beta_pdf_raw(u_i, a_i, b_i)
+            mass = _beta_cdf_raw(u_i, a_i, b_i) - _beta_cdf_raw(l_i, a_i, b_i)
+            r1 = f_l - f_u
+            r2 = mass - target
+            converged = (
+                np.abs(r1) <= 1e-12 * np.maximum(np.maximum(f_l, f_u), 1.0)
+            ) & (np.abs(r2) <= 1e-12)
+            if converged.all():
+                break
+            if converged.any():
+                keep = ~converged
+                active = active[keep]
+                a_i, b_i = a_i[keep], b_i[keep]
+                l_i, u_i = l_i[keep], u_i[keep]
+                f_l, f_u = f_l[keep], f_u[keep]
+                r1, r2 = r1[keep], r2[keep]
+                m_i = m_i[keep]
 
-        # Analytic 2x2 Jacobian of the optimality system.  Rows whose
-        # iterate grazes a boundary produce non-finite entries here and
-        # are routed to the scalar fallback below.
-        with np.errstate(divide="ignore", invalid="ignore"):
+            # Analytic 2x2 Jacobian of the optimality system.  Rows
+            # whose iterate grazes a boundary produce non-finite entries
+            # here and are routed to the scalar fallback below.
             j11 = f_l * ((a_i - 1.0) / l_i - (b_i - 1.0) / (1.0 - l_i))
             j12 = -f_u * ((a_i - 1.0) / u_i - (b_i - 1.0) / (1.0 - u_i))
             j21 = -f_l
@@ -436,10 +504,9 @@ def _newton_batch(
             step_l = (r1 * j22 - r2 * j12) / det
             step_u = (r2 * j11 - r1 * j21) / det
 
-        # Feasibility-limited damping: the largest per-row scale that
-        # keeps ``l in (0, mode)`` and ``u in (mode, 1)``, backed off to
-        # 90% so iterates stay strictly interior.
-        with np.errstate(divide="ignore", invalid="ignore"):
+            # Feasibility-limited damping: the largest per-row scale
+            # that keeps ``l in (0, mode)`` and ``u in (mode, 1)``,
+            # backed off to 90% so iterates stay strictly interior.
             s_l = np.where(
                 step_l > 0.0,
                 l_i / step_l,
@@ -450,20 +517,30 @@ def _newton_batch(
                 (1.0 - u_i) / -step_u,
                 np.where(step_u > 0.0, (u_i - m_i) / step_u, np.inf),
             )
-        scale = np.minimum(1.0, 0.9 * np.minimum(s_l, s_u))
-        stuck = singular | ~np.isfinite(step_l) | ~np.isfinite(step_u) | (scale <= 1e-6)
-        if np.any(stuck):
-            failed[active[stuck]] = True
-        new_l = l_i - scale * step_l
-        new_u = u_i - scale * step_u
-        ok = ~stuck
-        lower[active[ok]] = new_l[ok]
-        upper[active[ok]] = new_u[ok]
-        active = active[ok]
+            scale = np.minimum(1.0, 0.9 * np.minimum(s_l, s_u))
+            stuck = (
+                singular
+                | ~np.isfinite(step_l)
+                | ~np.isfinite(step_u)
+                | (scale <= 1e-6)
+            )
+            new_l = l_i - scale * step_l
+            new_u = u_i - scale * step_u
+            if stuck.any():
+                failed[active[stuck]] = True
+                ok = ~stuck
+                active = active[ok]
+                a_i, b_i = a_i[ok], b_i[ok]
+                m_i = m_i[ok]
+                l_i, u_i = new_l[ok], new_u[ok]
+            else:
+                l_i, u_i = new_l, new_u
+            lower[active] = l_i
+            upper[active] = u_i
 
     # Validate every row exactly as the scalar path does; anything that
     # missed the mass tolerance joins the scalar-fallback set.
-    mass = beta_cdf_batch(upper, a, b) - beta_cdf_batch(lower, a, b)
+    mass = _beta_cdf_raw(upper, a, b) - _beta_cdf_raw(lower, a, b)
     bad = (
         failed
         | ~np.isfinite(lower)

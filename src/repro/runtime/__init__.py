@@ -55,6 +55,15 @@ and — when ``REPRO_TRACE_FILE`` or ``trace=``/``--trace`` names a
 file — a JSONL journal summarised by ``python -m repro trace
 summarize``.  Telemetry is strictly non-semantic: tracing on or off
 changes no result bytes, cache tokens, or seeds.
+
+Concurrent runs can additionally share a :class:`SolveBroker`
+(:mod:`repro.runtime.solvebatch`): interval solves arriving from
+several runs within a coalescing window (``REPRO_SOLVE_BATCH_WINDOW``,
+capped by ``REPRO_SOLVE_BATCH_MAX`` callers) flush as one vectorised
+``compute_batch`` call — the audit service wires its process-wide
+broker into every request's :class:`RunContext`.  Like every other
+scheduling knob here, batching is bit-identical: pooled slices match
+standalone solves byte for byte.
 """
 
 from .backends import (
@@ -98,6 +107,7 @@ from .executor import (
     reset_defaults,
 )
 from .settings import KNOBS, RunContext, env_knob
+from .solvebatch import BrokerChannel, SolveBroker
 from .faults import (
     PlanExecutionError,
     RetryPolicy,
@@ -184,6 +194,8 @@ __all__ = [
     "shard_reducer_for",
     "KNOBS",
     "RunContext",
+    "BrokerChannel",
+    "SolveBroker",
     "configure",
     "default_context",
     "default_executor",

@@ -76,10 +76,12 @@ it never changes results, cache tokens, or seeds.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ..exceptions import ValidationError
+from ..intervals.base import use_solve_pool
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -220,6 +222,12 @@ class ParallelExecutor:
         non-semantic — tracing on or off changes no result bytes, no
         cache tokens, and no seeds.  The in-memory metrics aggregate
         is always attached to the outcome, journal or not.
+    solve_pool:
+        A shared :class:`~repro.runtime.solvebatch.SolveBroker` (or
+        compatible object with a ``channel(telemetry)`` factory) to
+        coalesce this run's interval solves with other concurrent runs'.
+        ``None`` (the default) solves directly.  Pure scheduling: pooled
+        solves are bit-identical to direct ones.
     """
 
     def __init__(
@@ -234,6 +242,7 @@ class ParallelExecutor:
         on_error: str | None = None,
         retry_policy: RetryPolicy | None = None,
         trace: Union[str, Path, None] = None,
+        solve_pool: Any = None,
     ):
         self._bind(
             RunContext(
@@ -247,6 +256,7 @@ class ParallelExecutor:
                 on_error=on_error,
                 retry_policy=retry_policy,
                 trace=trace,
+                solve_pool=solve_pool,
             )
         )
 
@@ -281,6 +291,7 @@ class ParallelExecutor:
             context.progress
         )
         self.trace = context.trace
+        self.solve_pool = context.solve_pool
 
     def _backend_for(self, pending: int) -> ExecutionBackend:
         """The backend this run dispatches through.
@@ -405,6 +416,16 @@ class ParallelExecutor:
         status = "aborted"
         backend = None
         retries = 0
+        # Install the shared solve pool (if any) for everything this
+        # scheduler thread executes in-process — serial-backend units
+        # and the calibration pilot.  Out-of-process units solve
+        # directly in their workers, which is bit-identical anyway.
+        pool_stack = ExitStack()
+        if self.solve_pool is not None:
+            channel = pool_stack.enter_context(
+                self.solve_pool.channel(telemetry)
+            )
+            pool_stack.enter_context(use_solve_pool(channel))
         try:
             telemetry.emit(
                 "run_start",
@@ -490,6 +511,7 @@ class ParallelExecutor:
                     close_backend(backend)
             status = "ok"
         finally:
+            pool_stack.close()
             telemetry.emit(
                 "run_finish",
                 status=status,
@@ -589,7 +611,8 @@ class ParallelExecutor:
             f"chunk_size={self.chunk_size}, chunk_seconds={self.chunk_seconds}, "
             f"backend={self.backend!r}, "
             f"max_retries={self.retry_policy.max_retries}, "
-            f"on_error={self.on_error!r}, trace={self.trace!r})"
+            f"on_error={self.on_error!r}, trace={self.trace!r}, "
+            f"solve_pool={self.solve_pool!r})"
         )
 
 

@@ -49,9 +49,15 @@ def parse_address(address: Address) -> tuple:
     if "/" in text:
         return ("unix", text)
     host, sep, port = text.rpartition(":")
-    if sep:
-        return ("tcp", (host or "127.0.0.1", int(port)))
-    return ("tcp", ("127.0.0.1", int(text)))
+    try:
+        if sep:
+            return ("tcp", (host or "127.0.0.1", int(port)))
+        return ("tcp", ("127.0.0.1", int(text)))
+    except ValueError:
+        raise ValidationError(
+            f"bad service address {text!r}: the port must be an integer "
+            "(expected host:port, a bare port, or a unix-socket path)"
+        ) from None
 
 
 def connect(address: Address, timeout: float = CONNECT_TIMEOUT) -> socket.socket:
@@ -63,7 +69,13 @@ def connect(address: Address, timeout: float = CONNECT_TIMEOUT) -> socket.socket
         try:
             if kind == "unix":
                 sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.connect(where)
+                try:
+                    sock.connect(where)
+                except OSError:
+                    # create_connection closes its socket on failure;
+                    # mirror that here or every retry leaks one fd.
+                    sock.close()
+                    raise
             else:
                 sock = socket.create_connection(where, timeout=timeout)
                 sock.settimeout(None)

@@ -37,7 +37,12 @@ from typing import Any, Union
 from ...exceptions import ReproError, ValidationError
 from ..executor import ParallelExecutor
 from ..faults import PlanExecutionError
-from ..settings import RunContext
+from ..settings import (
+    RunContext,
+    resolve_solve_batch_max,
+    resolve_solve_batch_window,
+)
+from ..solvebatch import SolveBroker
 from ..store import ResultStore
 from .requests import STUDY_COLUMNS, StudyRequest, render_study_table, study_rows
 
@@ -112,6 +117,17 @@ class AuditService:
     max_concurrent:
         Requests executing simultaneously (thread-pool size; further
         requests queue).  Default 8.
+    solve_batch_window:
+        Coalescing window (seconds) of the service's shared
+        :class:`~repro.runtime.solvebatch.SolveBroker`: concurrent
+        requests' interval solves arriving within one window flush as a
+        single vectorised ``compute_batch`` call.  ``None`` reads
+        ``REPRO_SOLVE_BATCH_WINDOW`` (default 5 ms); ``0`` disables
+        cross-request batching.  Batching is pure scheduling — pooled
+        results are bit-identical to standalone runs.
+    solve_batch_max:
+        Coalesced-caller cap per flush; ``None`` reads
+        ``REPRO_SOLVE_BATCH_MAX`` (default 64).
     quiet:
         Suppress the per-request service log lines on stderr.
     """
@@ -123,6 +139,8 @@ class AuditService:
         defaults: RunContext | None = None,
         trace_dir: Union[str, Path, None] = None,
         max_concurrent: int = 8,
+        solve_batch_window: float | None = None,
+        solve_batch_max: int | None = None,
         quiet: bool = False,
     ):
         self.defaults = defaults if defaults is not None else RunContext()
@@ -133,6 +151,15 @@ class AuditService:
         else:
             self.store = ResultStore(store)
         self.trace_dir = None if trace_dir is None else Path(trace_dir)
+        window = resolve_solve_batch_window(solve_batch_window)
+        self.solve_broker = (
+            SolveBroker(
+                window=window,
+                max_batch=resolve_solve_batch_max(solve_batch_max),
+            )
+            if window > 0.0
+            else None
+        )
         self.quiet = quiet
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, int(max_concurrent)),
@@ -196,6 +223,12 @@ class AuditService:
                 task.cancel()
             if still_open:
                 await asyncio.wait(still_open, timeout=1)
+        # Drain ordering: requests have been gathered above, so no new
+        # solves are pending — release any straggler the broker still
+        # holds *before* the pool (whose threads would wait on it) is
+        # joined.
+        if self.solve_broker is not None:
+            self.solve_broker.close()
         self._pool.shutdown(wait=True)
         self._log("stopped")
 
@@ -294,6 +327,11 @@ class AuditService:
             "store": None if self.store is None else str(self.store.root),
             "requests": len(records),
             "active": sum(1 for r in records if r.status == "running"),
+            "solve_batching": (
+                None
+                if self.solve_broker is None
+                else self.solve_broker.describe()
+            ),
         }
 
     @staticmethod
@@ -303,6 +341,22 @@ class AuditService:
         async with send_lock:
             writer.write(json.dumps(event).encode("utf-8") + b"\n")
             await writer.drain()
+
+    async def _try_send(
+        self, writer: asyncio.StreamWriter, send_lock: asyncio.Lock, event: dict
+    ) -> bool:
+        """:meth:`_send`, absorbing a hung-up client.
+
+        A request whose client disconnected mid-run must keep draining
+        its executor future and finalising its record (the result still
+        lands in the shared store); returns ``False`` once the peer is
+        gone so callers stop producing events for it.
+        """
+        try:
+            await self._send(writer, send_lock, event)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return False
+        return True
 
     # -- request execution ----------------------------------------------
 
@@ -328,6 +382,7 @@ class AuditService:
             store=self.store,
             progress=None,
             trace=trace,
+            solve_pool=self.solve_broker,
             **overrides,
         )
 
@@ -341,8 +396,17 @@ class AuditService:
             if self.trace_dir is not None:
                 self.trace_dir.mkdir(parents=True, exist_ok=True)
                 trace = self.trace_dir / f"{request_id}.jsonl"
-            else:
-                trace = self.defaults.trace
+            elif self.defaults.trace is not None:
+                # Every request journals from its own executor thread;
+                # pointing them all at the defaults trace file would
+                # interleave (and corrupt) their journals.  Derive a
+                # per-request sibling instead — same directory, request
+                # id suffixed — preserving the one-journal-per-request
+                # guarantee without --trace-dir.
+                base = self.defaults.trace
+                trace = base.with_name(
+                    f"{base.stem}-{request_id}{base.suffix}"
+                )
             context = self.context_for(payload.get("context"), trace)
         except (ReproError, ValidationError) as exc:
             await self._send(
@@ -415,65 +479,97 @@ class AuditService:
 
         record.status = "running"
         future = loop.run_in_executor(self._pool, execute)
-        while True:
-            event = await events.get()
-            if event is _FINISHED:
-                break
-            await self._send(writer, send_lock, event)
+        # From here on the client may hang up at any moment; that must
+        # never abandon the executor future (the plan keeps running and
+        # its results land in the shared store) nor strand the record at
+        # "running".  Sends go through _try_send, the future is always
+        # awaited, and the record is finalised in the finally.
+        connected = True
         try:
-            outcome = await future
-        except PlanExecutionError as exc:
-            record.status, record.error = "failed", str(exc)
-            record.finished = time.time()
-            self._log(f"{request_id}: failed ({exc})")
-            await self._send(
-                writer,
-                send_lock,
-                {
-                    "event": "failed",
-                    "id": request_id,
-                    "error": str(exc),
-                    "failures": [
-                        failure.summary() for failure in exc.failures
-                    ],
-                },
+            while True:
+                event = await events.get()
+                if event is _FINISHED:
+                    break
+                if connected:
+                    connected = await self._try_send(writer, send_lock, event)
+            try:
+                outcome = await future
+            except PlanExecutionError as exc:
+                record.status, record.error = "failed", str(exc)
+                self._log(f"{request_id}: failed ({exc})")
+                if connected:
+                    await self._try_send(
+                        writer,
+                        send_lock,
+                        {
+                            "event": "failed",
+                            "id": request_id,
+                            "error": str(exc),
+                            "failures": [
+                                failure.summary() for failure in exc.failures
+                            ],
+                        },
+                    )
+                return
+            except Exception as exc:  # configuration/runtime errors stay local
+                record.status, record.error = (
+                    "failed",
+                    f"{type(exc).__name__}: {exc}",
+                )
+                self._log(f"{request_id}: failed ({record.error})")
+                if connected:
+                    await self._try_send(
+                        writer,
+                        send_lock,
+                        {
+                            "event": "failed",
+                            "id": request_id,
+                            "error": record.error,
+                        },
+                    )
+                return
+            record.status = "done"
+            record.cells = len(outcome.cells)
+            record.cache_hits = outcome.cache_hits
+            self._log(
+                f"{request_id}: done — {len(outcome.cells)} cell(s), "
+                f"{outcome.cache_hits} cache hit(s), backend {outcome.backend}"
             )
-            return
-        except Exception as exc:  # configuration/runtime errors stay local
-            record.status, record.error = "failed", f"{type(exc).__name__}: {exc}"
+            if connected:
+                connected = await self._try_send(
+                    writer,
+                    send_lock,
+                    {
+                        "event": "done",
+                        "id": request_id,
+                        "table": render_study_table(plan, outcome),
+                        "columns": list(STUDY_COLUMNS),
+                        "rows": study_rows(plan, outcome),
+                        "cells": len(outcome.cells),
+                        "cache_hits": outcome.cache_hits,
+                        "shard_cache_hits": outcome.metrics.shard_cache_hits,
+                        "backend": outcome.backend,
+                        "retries": outcome.retries,
+                        "seconds": round(outcome.seconds, 6),
+                        "failures": [f.summary() for f in outcome.failures],
+                        "trace": (
+                            None
+                            if context.trace is None
+                            else str(context.trace)
+                        ),
+                        "exit_code": 1 if outcome.failures else 0,
+                    },
+                )
+            if not connected:
+                self._log(
+                    f"{request_id}: client disconnected; "
+                    "result kept (store/cache) but not delivered"
+                )
+        finally:
             record.finished = time.time()
-            self._log(f"{request_id}: failed ({record.error})")
-            await self._send(
-                writer,
-                send_lock,
-                {"event": "failed", "id": request_id, "error": record.error},
-            )
-            return
-        record.status = "done"
-        record.finished = time.time()
-        record.cells = len(outcome.cells)
-        record.cache_hits = outcome.cache_hits
-        self._log(
-            f"{request_id}: done — {len(outcome.cells)} cell(s), "
-            f"{outcome.cache_hits} cache hit(s), backend {outcome.backend}"
-        )
-        await self._send(
-            writer,
-            send_lock,
-            {
-                "event": "done",
-                "id": request_id,
-                "table": render_study_table(plan, outcome),
-                "columns": list(STUDY_COLUMNS),
-                "rows": study_rows(plan, outcome),
-                "cells": len(outcome.cells),
-                "cache_hits": outcome.cache_hits,
-                "shard_cache_hits": outcome.metrics.shard_cache_hits,
-                "backend": outcome.backend,
-                "retries": outcome.retries,
-                "seconds": round(outcome.seconds, 6),
-                "failures": [f.summary() for f in outcome.failures],
-                "trace": None if context.trace is None else str(context.trace),
-                "exit_code": 1 if outcome.failures else 0,
-            },
-        )
+            if record.status == "running":
+                # The handler unwound without a verdict (e.g. cancelled
+                # during shutdown): never leave the record claiming it
+                # still runs.
+                record.status = "failed"
+                record.error = record.error or "request interrupted"

@@ -48,6 +48,8 @@ __all__ = [
     "resolve_on_error",
     "resolve_progress",
     "resolve_service_address",
+    "resolve_solve_batch_max",
+    "resolve_solve_batch_window",
     "resolve_spool_dir",
     "resolve_store",
     "resolve_trace_file",
@@ -144,6 +146,17 @@ KNOBS: dict[str, tuple[Callable[[str], Any], str]] = {
         _parse_text("REPRO_SERVICE"),
         "audit-service endpoint for `python -m repro submit`/`status`: "
         "a unix-socket path or host:port (default: none)",
+    ),
+    "REPRO_SOLVE_BATCH_WINDOW": (
+        _parse_float("REPRO_SOLVE_BATCH_WINDOW"),
+        "cross-request solve-batching coalescing window in seconds for "
+        "the audit service (float >= 0; 0 disables batching; "
+        "default 0.005)",
+    ),
+    "REPRO_SOLVE_BATCH_MAX": (
+        _parse_int("REPRO_SOLVE_BATCH_MAX"),
+        "max coalesced callers per cross-request solve batch flush "
+        "(int >= 1; default 64)",
     ),
 }
 
@@ -319,6 +332,45 @@ def resolve_service_address(address: str | None) -> str:
     return str(address)
 
 
+def resolve_solve_batch_window(window: float | None) -> float:
+    """Explicit window, or the ``REPRO_SOLVE_BATCH_WINDOW`` default.
+
+    The coalescing window (seconds) the audit service's
+    :class:`~repro.runtime.solvebatch.SolveBroker` holds a pending
+    interval solve open for co-batching with other requests.  ``0``
+    disables cross-request batching entirely; the default is 5 ms —
+    far below request latency, far above solve dispatch overhead.
+    """
+    if window is None:
+        window = env_knob("REPRO_SOLVE_BATCH_WINDOW")
+        if window is None:
+            return 0.005
+    window = float(window)
+    if window < 0.0:
+        raise ValidationError(
+            f"solve_batch_window must be >= 0, got {window}"
+        )
+    return window
+
+
+def resolve_solve_batch_max(max_batch: int | None) -> int:
+    """Explicit cap, or the ``REPRO_SOLVE_BATCH_MAX`` default (64).
+
+    The number of coalesced callers at which a pending solve batch
+    flushes immediately instead of waiting out the window.
+    """
+    if max_batch is None:
+        max_batch = env_knob("REPRO_SOLVE_BATCH_MAX")
+        if max_batch is None:
+            return 64
+    max_batch = int(max_batch)
+    if max_batch < 1:
+        raise ValidationError(
+            f"solve_batch_max must be >= 1, got {max_batch}"
+        )
+    return max_batch
+
+
 def resolve_chaos_seed(seed: int | None) -> int:
     """Explicit seed, or the ``REPRO_CHAOS_SEED`` default (0)."""
     if seed is None:
@@ -394,6 +446,11 @@ class RunContext:
       (``max_retries`` is the convenience init-only form)
     * ``on_error`` — ``"raise"`` or ``"continue"``
     * ``trace`` — :class:`~pathlib.Path` or ``None``
+    * ``solve_pool`` — a cross-request solve broker
+      (:class:`~repro.runtime.solvebatch.SolveBroker`) or ``None``;
+      shared infrastructure rather than per-run configuration, so it
+      has no environment fallback and is threaded in explicitly (the
+      audit service passes its process-wide broker here)
 
     Use :meth:`replace` to derive a variant (new context, same
     immutability); use :meth:`describe` for a JSON-ready summary.
@@ -408,6 +465,7 @@ class RunContext:
     on_error: Any = None
     retry_policy: Any = None
     trace: Any = None
+    solve_pool: Any = None
     max_retries: InitVar[Any] = None
 
     def __post_init__(self, max_retries: Any) -> None:
@@ -459,6 +517,14 @@ class RunContext:
         set_field("store", resolve_store(self.store))
         set_field("progress", resolve_progress(self.progress))
         set_field("trace", resolve_trace_file(self.trace))
+        if self.solve_pool is not None and not callable(
+            getattr(self.solve_pool, "channel", None)
+        ):
+            raise ValidationError(
+                "solve_pool must expose a channel(telemetry) factory "
+                f"(see repro.runtime.solvebatch.SolveBroker); got "
+                f"{self.solve_pool!r}"
+            )
 
     def replace(self, **overrides: Any) -> "RunContext":
         """A new context with *overrides* applied (re-validated).
@@ -492,4 +558,9 @@ class RunContext:
             "on_error": self.on_error,
             "trace": None if self.trace is None else str(self.trace),
             "progress": self.progress is not None,
+            "solve_pool": None
+            if self.solve_pool is None
+            else getattr(
+                self.solve_pool, "name", type(self.solve_pool).__name__
+            ),
         }

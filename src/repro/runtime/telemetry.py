@@ -88,6 +88,7 @@ EVENT_TYPES = frozenset(
         "lease_reclaim",  # a stale spool lease was requeued
         "dead_letter",  # a spool task was buried in dead/
         "chaos_inject",  # the chaos backend faulted a unit
+        "solve_batch_flush",  # cross-request interval-solve batch flushed
         "run_finish",  # run over; status ok/aborted, wall seconds
     }
 )
@@ -317,6 +318,10 @@ class MetricsAggregate:
         self.dead_letters = 0
         self.chaos_injections = 0
         self.lease_reclaims = 0
+        self.solve_flushes = 0
+        self.solve_coalesced_flushes = 0
+        self.solve_rows = 0
+        self.solve_max_callers = 0
         self.execute_seconds = 0.0
         self.queue_wait_seconds = 0.0
         self.wall_seconds = 0.0
@@ -355,6 +360,16 @@ class MetricsAggregate:
             self.chaos_injections += 1
         elif event.event == "lease_reclaim":
             self.lease_reclaims += 1
+        elif event.event == "solve_batch_flush":
+            # One event per flush this run rode; `rows_own` is this
+            # run's share, `callers` the coalesced-caller count of the
+            # whole flush (other callers journal their own shares).
+            self.solve_flushes += 1
+            self.solve_rows += int(fields.get("rows_own", fields.get("rows", 0)))
+            callers = int(fields.get("callers", 1))
+            self.solve_max_callers = max(self.solve_max_callers, callers)
+            if callers > 1:
+                self.solve_coalesced_flushes += 1
         elif event.event == "cell_finished":
             if not fields.get("cached", False):
                 self.cache_misses += 1
@@ -440,6 +455,12 @@ class MetricsAggregate:
             "timing": {
                 "execute_seconds": round(self.execute_seconds, 6),
                 "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            },
+            "solve_batching": {
+                "flushes": self.solve_flushes,
+                "coalesced_flushes": self.solve_coalesced_flushes,
+                "rows": self.solve_rows,
+                "max_callers": self.solve_max_callers,
             },
             "by_kind": {
                 kind: {
@@ -606,6 +627,16 @@ def render_summary(summary: dict, fmt: str = "text") -> str:
         f"  chaos injections   : {faults['chaos_injections']}",
         f"  lease reclaims     : {faults['lease_reclaims']}",
     ]
+    batching = aggregate.get("solve_batching", {})
+    if batching.get("flushes"):
+        lines += [
+            "",
+            "solve batching",
+            f"  flushes ridden     : {batching['flushes']}"
+            f"  (coalesced {batching['coalesced_flushes']})",
+            f"  rows solved        : {batching['rows']}",
+            f"  max callers/flush  : {batching['max_callers']}",
+        ]
     if aggregate["by_kind"]:
         lines += ["", "per cell kind (units, execute s, queue-wait s)"]
         for kind, totals in aggregate["by_kind"].items():

@@ -304,3 +304,103 @@ def test_from_counts_still_validates():
         Evidence.from_counts(31, 30)
     with pytest.raises(ValidationError):
         Evidence.from_counts(1, 0)
+
+
+# ----------------------------------------------------------------------
+# Pooled solving: compute_batch_pooled and the solve_batch surface
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings as hyp_settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.intervals import (  # noqa: E402
+    active_solve_pool,
+    compute_batch_pooled,
+    use_solve_pool,
+)
+
+segment_lists = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 25), st.integers(1, 25)).map(
+            lambda pair: (min(pair), max(max(pair), 1))
+        ),
+        min_size=0,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+@given(segments=segment_lists, alpha=st.sampled_from([0.10, 0.05, 0.01]))
+@hyp_settings(max_examples=25, deadline=None)
+def test_pooled_slices_bit_identical_to_standalone(method, segments, alpha):
+    # The broker's correctness foundation: pooling any segmentation of
+    # evidences into one compute_batch and slicing back must reproduce
+    # each segment's standalone compute_batch BYTE for byte — bounds,
+    # labels, and metadata alike.
+    evidence_segments = [
+        [Evidence.from_counts_fast(tau, n) for tau, n in segment]
+        for segment in segments
+    ]
+    pooled = compute_batch_pooled(method, evidence_segments, alpha)
+    assert len(pooled) == len(evidence_segments)
+    for batch, segment in zip(pooled, evidence_segments):
+        alone = method.compute_batch(segment, alpha)
+        assert batch.lower.tobytes() == alone.lower.tobytes()
+        assert batch.upper.tobytes() == alone.upper.tobytes()
+        assert batch.alpha == alone.alpha
+        assert batch.method == alone.method
+        assert batch.labels == alone.labels
+
+
+def test_solve_batch_is_compute_batch_without_a_pool():
+    evidences = outcome_evidences(8)
+    for method in ALL_METHODS:
+        direct = method.compute_batch(evidences, 0.05)
+        routed = method.solve_batch(evidences, 0.05)
+        assert routed.lower.tobytes() == direct.lower.tobytes()
+        assert routed.upper.tobytes() == direct.upper.tobytes()
+
+
+def test_solve_batch_routes_through_the_ambient_pool():
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def solve(self, method, evidences, alpha):
+            self.calls.append((method, tuple(evidences), alpha))
+            return method.compute_batch(evidences, alpha)
+
+    pool = Recorder()
+    evidences = outcome_evidences(4)
+    assert active_solve_pool() is None
+    with use_solve_pool(pool):
+        assert active_solve_pool() is pool
+        WilsonInterval().solve_batch(evidences, 0.05)
+    assert active_solve_pool() is None
+    assert len(pool.calls) == 1
+    assert pool.calls[0][2] == 0.05
+
+
+def test_use_solve_pool_is_per_context():
+    # Two threads installing different pools must not see each other's.
+    import threading
+
+    seen = {}
+
+    def install(name):
+        with use_solve_pool(name):
+            time_ordered.wait()
+            seen[name] = active_solve_pool()
+
+    time_ordered = threading.Barrier(2)
+    threads = [
+        threading.Thread(target=install, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert seen == {"a": "a", "b": "b"}

@@ -322,3 +322,465 @@ class TestServiceRequests:
         shutdown_service(address)
         thread.join(timeout=10)
         assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Cross-request solve batching
+# ----------------------------------------------------------------------
+
+import multiprocessing
+import os
+import pickle
+
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import Evidence
+from repro.intervals import (
+    AdaptiveHPD,
+    ETCredibleInterval,
+    HPDCredibleInterval,
+    WaldInterval,
+    WilsonInterval,
+    use_solve_pool,
+)
+from repro.runtime import SolveBroker
+from repro.runtime.telemetry import (
+    MetricsAggregate,
+    RunTelemetry,
+    read_journal,
+    replay_metrics,
+)
+
+BROKER_METHODS = (
+    WaldInterval(),
+    WilsonInterval(),
+    ETCredibleInterval(),
+    HPDCredibleInterval(),
+    AdaptiveHPD(),
+)
+
+caller_schedules = st.lists(
+    st.tuples(
+        st.integers(0, len(BROKER_METHODS) - 1),  # method
+        st.sampled_from([0.10, 0.05, 0.01]),  # alpha
+        st.lists(  # evidence segment
+            st.tuples(st.integers(0, 20), st.integers(1, 20)).map(
+                lambda pair: (min(pair), max(max(pair), 1))
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 3),  # start-delay bucket (ms)
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestSolveBroker:
+    @given(schedule=caller_schedules, window_ms=st.sampled_from([0, 5, 50]))
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_any_interleaving_is_bit_identical_to_standalone(
+        self, schedule, window_ms
+    ):
+        # The tentpole acceptance bar: whatever the window, the caller
+        # mix, and the arrival interleaving, every caller's slice of a
+        # brokered solve is byte-identical to running compute_batch
+        # alone — bounds, labels, and metadata.
+        callers = [
+            (
+                BROKER_METHODS[method_index],
+                alpha,
+                [Evidence.from_counts_fast(tau, n) for tau, n in segment],
+                delay_ms,
+            )
+            for method_index, alpha, segment, delay_ms in schedule
+        ]
+        standalone = [
+            method.compute_batch(evidences, alpha)
+            for method, alpha, evidences, _ in callers
+        ]
+        broker = SolveBroker(window=window_ms / 1000.0, max_batch=64)
+        channels = [broker.channel() for _ in callers]
+        for channel in channels:
+            channel.__enter__()
+        barrier = threading.Barrier(len(callers))
+        results: list = [None] * len(callers)
+
+        def work(index):
+            method, alpha, evidences, delay_ms = callers[index]
+            barrier.wait()
+            time.sleep(delay_ms / 1000.0)
+            with use_solve_pool(channels[index]):
+                results[index] = method.solve_batch(evidences, alpha)
+
+        threads = [
+            threading.Thread(target=work, args=(index,))
+            for index in range(len(callers))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for channel in channels:
+            channel.__exit__(None, None, None)
+        broker.close()
+        for got, want in zip(results, standalone):
+            assert got.lower.tobytes() == want.lower.tobytes()
+            assert got.upper.tobytes() == want.upper.tobytes()
+            assert got.alpha == want.alpha
+            assert got.method == want.method
+            assert got.labels == want.labels
+
+    def test_coalesces_and_journals_on_each_callers_own_bus(self):
+        # Deterministic coalescing: both participants attached before
+        # either solves, so the all-waiting trigger flushes the pair as
+        # ONE batch well inside the (huge) window — and each caller
+        # reports the shared flush on its own telemetry bus.
+        method = WilsonInterval()
+        segments = [
+            [Evidence.from_counts_fast(3, 10)],
+            [Evidence.from_counts_fast(7, 12), Evidence.from_counts_fast(0, 5)],
+        ]
+        broker = SolveBroker(window=30.0, max_batch=64)
+        buses = [RunTelemetry(), RunTelemetry()]
+        aggregates = [MetricsAggregate(), MetricsAggregate()]
+        for bus, aggregate in zip(buses, aggregates):
+            bus.subscribe(aggregate)
+        channels = [broker.channel(bus) for bus in buses]
+        for channel in channels:
+            channel.__enter__()
+        barrier = threading.Barrier(2)
+        results: list = [None, None]
+
+        def work(index):
+            barrier.wait()
+            with use_solve_pool(channels[index]):
+                results[index] = method.solve_batch(segments[index], 0.05)
+
+        threads = [
+            threading.Thread(target=work, args=(index,)) for index in (0, 1)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - start
+        for channel in channels:
+            channel.__exit__(None, None, None)
+        broker.close()
+        assert elapsed < 5.0  # all-waiting beat the 30 s window
+        assert broker.flushes == 1
+        assert broker.coalesced_flushes == 1
+        assert broker.rows_solved == 3
+        for index, aggregate in enumerate(aggregates):
+            assert aggregate.solve_flushes == 1
+            assert aggregate.solve_max_callers == 2
+            assert aggregate.solve_rows == len(segments[index])
+            batching = aggregate.as_dict()["solve_batching"]
+            assert batching["coalesced_flushes"] == 1
+        for index, batch in enumerate(results):
+            alone = method.compute_batch(segments[index], 0.05)
+            assert batch.lower.tobytes() == alone.lower.tobytes()
+            assert batch.upper.tobytes() == alone.upper.tobytes()
+
+    def test_max_batch_flushes_without_waiting_for_the_window(self):
+        broker = SolveBroker(window=30.0, max_batch=2)
+        method = WaldInterval()
+        results: list = [None, None]
+
+        def work(index):
+            # No attach: the all-waiting trigger stays dormant, so only
+            # max_batch can flush before the 30 s window.
+            channel = broker.channel()
+            with use_solve_pool(channel):
+                results[index] = method.solve_batch(
+                    [Evidence.from_counts_fast(index + 1, 9)], 0.05
+                )
+
+        threads = [
+            threading.Thread(target=work, args=(index,)) for index in (0, 1)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert time.monotonic() - start < 5.0
+        assert broker.flushes == 1
+        assert broker.coalesced_flushes == 1
+        broker.close()
+
+    def test_closed_broker_computes_directly(self):
+        broker = SolveBroker(window=5.0)
+        broker.close()
+        method = WilsonInterval()
+        evidences = [Evidence.from_counts_fast(4, 9)]
+        with use_solve_pool(broker.channel()):
+            routed = method.solve_batch(evidences, 0.05)
+        direct = method.compute_batch(evidences, 0.05)
+        assert routed.lower.tobytes() == direct.lower.tobytes()
+        assert broker.flushes == 0
+
+    def test_forked_children_never_wait_on_an_inherited_broker(self):
+        # Regression: the fork-start process pool clones the submitting
+        # thread — installed channel, broker lock, and PENDING GROUPS
+        # included.  A forked worker solving the same (method, alpha)
+        # used to join the copied group as a follower and wait forever
+        # for a leader thread that only exists in the parent.  The
+        # broker now detects the foreign pid and computes directly.
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        mp = multiprocessing.get_context("fork")
+        method = WilsonInterval()
+        evidences = [Evidence.from_counts_fast(4, 11)]
+        broker = SolveBroker(window=30.0, max_batch=64)
+        channels = [broker.channel(), broker.channel()]
+        for channel in channels:
+            channel.__enter__()
+        started = threading.Event()
+
+        def pending_leader():
+            # One of two participants solving => below the all-waiting
+            # trigger, so this group stays pending for the full window.
+            with use_solve_pool(channels[0]):
+                started.set()
+                method.solve_batch([Evidence.from_counts_fast(1, 7)], 0.05)
+
+        leader = threading.Thread(target=pending_leader, daemon=True)
+        leader.start()
+        assert started.wait(5)
+        time.sleep(0.2)  # leader is now parked on the 30 s window
+        queue = mp.SimpleQueue()
+
+        def child():
+            batch = method.solve_batch(evidences, 0.05)
+            queue.put((batch.lower.tobytes(), batch.upper.tobytes()))
+
+        with use_solve_pool(channels[1]):
+            proc = mp.Process(target=child)  # forks THIS thread's context
+            proc.start()
+        proc.join(timeout=30)
+        if proc.is_alive():
+            proc.kill()
+            pytest.fail("forked child hung on the inherited broker copy")
+        got = queue.get()
+        broker.close()
+        leader.join(timeout=10)
+        for channel in channels:
+            channel.__exit__(None, None, None)
+        alone = method.compute_batch(evidences, 0.05)
+        assert got == (alone.lower.tobytes(), alone.upper.tobytes())
+
+    def test_a_bad_segment_fails_only_its_own_caller(self):
+        # One caller pools garbage evidence; its batch-mate must still
+        # get its (bit-identical) result and only the bad caller raise.
+        broker = SolveBroker(window=30.0, max_batch=64)
+        method = HPDCredibleInterval()
+        good = [Evidence.from_counts_fast(5, 12)]
+        bad = ["not evidence"]  # poisons the pooled flush for this caller
+        channels = [broker.channel(), broker.channel()]
+        for channel in channels:
+            channel.__enter__()
+        barrier = threading.Barrier(2)
+        outcomes: dict = {}
+
+        def work(name, segment):
+            barrier.wait()
+            channel = channels[0] if name == "good" else channels[1]
+            with use_solve_pool(channel):
+                try:
+                    outcomes[name] = method.solve_batch(segment, 0.05)
+                except Exception as exc:
+                    outcomes[name] = exc
+
+        threads = [
+            threading.Thread(target=work, args=("good", good)),
+            threading.Thread(target=work, args=("bad", bad)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for channel in channels:
+            channel.__exit__(None, None, None)
+        broker.close()
+        assert isinstance(outcomes["bad"], Exception)
+        alone = method.compute_batch(good, 0.05)
+        assert outcomes["good"].lower.tobytes() == alone.lower.tobytes()
+
+
+def store_values(root) -> dict:
+    """Cache state as {relative path: serialised value payload}, with
+    the volatile wall-clock ``seconds`` field excluded."""
+    values = {}
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        values[str(path.relative_to(root))] = pickle.dumps(
+            {"value": payload["value"], "label": payload["label"]},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    return values
+
+
+class TestServiceSolveBatching:
+    def test_concurrent_requests_batch_solves_and_stay_bit_identical(
+        self, tmp_path, capsys
+    ):
+        # Standalone reference: same grid, batching disabled, own store.
+        plan = StudyRequest.from_payload(dict(GRID)).build_plan()
+        alone_store = tmp_path / "alone"
+        alone = execute(
+            plan,
+            context=RunContext(store=alone_store, backend="serial"),
+        )
+        expected = render_study_table(plan, alone)
+        service_store = tmp_path / "shared"
+        with running_service(
+            tmp_path,
+            store=service_store,
+            trace_dir=tmp_path / "traces",
+            solve_batch_window=0.25,
+        ) as svc:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                done = list(
+                    pool.map(
+                        lambda _: submit_request(
+                            svc.address, GRID, {"backend": "serial"}
+                        ),
+                        range(3),
+                    )
+                )
+            pong = ping_service(svc.address)
+        assert [event["event"] for event in done] == ["done"] * 3
+        # Tables byte-identical to the standalone, unbatched run.
+        assert {event["table"] for event in done} == {expected}
+        # Cache state byte-identical: same tokens, same value payloads.
+        assert store_values(service_store) == store_values(alone_store)
+        # The shared broker actually coalesced under concurrent load:
+        # service-wide stats plus per-request journal events agree.
+        batching = pong["solve_batching"]
+        assert batching["flushes"] > 0
+        assert batching["coalesced_flushes"] > 0
+        flush_events = []
+        for journal in (tmp_path / "traces").glob("*.jsonl"):
+            flush_events += [
+                record
+                for record in read_journal(journal)
+                if record["event"] == "solve_batch_flush"
+            ]
+        assert flush_events
+        assert max(record["callers"] for record in flush_events) >= 2
+        # Replayed journal metrics surface the same coalescing.
+        replayed = replay_metrics(
+            read_journal(next(iter((tmp_path / "traces").glob("*.jsonl"))))
+        )
+        assert replayed.as_dict()["solve_batching"]["flushes"] > 0
+
+    def test_window_zero_disables_the_broker(self, tmp_path):
+        with running_service(
+            tmp_path, store=tmp_path / "cache", solve_batch_window=0.0
+        ) as svc:
+            assert svc.service.solve_broker is None
+            done = submit_request(svc.address, GRID)
+            assert done["event"] == "done"
+            assert ping_service(svc.address)["solve_batching"] is None
+
+
+# ----------------------------------------------------------------------
+# Service-hardening regressions (PR 9 bugfix sweep)
+# ----------------------------------------------------------------------
+
+
+class TestServiceHardening:
+    def test_client_disconnect_mid_request_finalises_the_record(
+        self, tmp_path
+    ):
+        # Regression: a client hanging up after `accepted` used to raise
+        # ConnectionResetError out of the progress send, abandoning the
+        # executor future and leaving the record stuck at "running".
+        with running_service(tmp_path, store=tmp_path / "cache") as svc:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(str(svc.socket_path))
+            try:
+                sock.sendall(
+                    json.dumps({"op": "submit", "request": GRID}).encode()
+                    + b"\n"
+                )
+                stream = sock.makefile("r", encoding="utf-8")
+                accepted = json.loads(stream.readline())
+                assert accepted["event"] == "accepted"
+            finally:
+                sock.close()  # hang up mid-request
+            deadline = time.monotonic() + 30
+            while True:
+                states = {
+                    record["id"]: record
+                    for record in service_status(svc.address)["requests"]
+                }
+                record = states[accepted["id"]]
+                if record["status"] != "running" and record["status"] != "queued":
+                    break
+                assert time.monotonic() < deadline, "record stuck at running"
+                time.sleep(0.05)
+            assert record["status"] == "done"
+            assert record["seconds"] is not None
+            # The request's work survived the disconnect: a follow-up
+            # submit is served from the shared store.
+            after = submit_request(svc.address, GRID)
+            assert after["event"] == "done"
+            assert after["cache_hits"] == after["cells"]
+
+    def test_defaults_trace_file_fans_out_per_request(self, tmp_path):
+        # Regression: with no --trace-dir but a defaults trace file,
+        # concurrent requests all appended to the SAME journal from
+        # different threads, interleaving their events.  Each request
+        # now journals to a request-id-suffixed sibling.
+        base = tmp_path / "journal.jsonl"
+        with running_service(
+            tmp_path,
+            store=tmp_path / "cache",
+            defaults=RunContext(trace=base),
+        ) as svc:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                done = list(
+                    pool.map(
+                        lambda _: submit_request(svc.address, GRID), range(2)
+                    )
+                )
+        assert [event["event"] for event in done] == ["done", "done"]
+        traces = sorted(event["trace"] for event in done)
+        assert len(set(traces)) == 2
+        assert not base.exists()  # nobody wrote the shared path
+        for trace in traces:
+            assert trace != str(base)
+            records = read_journal(trace)  # parses cleanly => no tearing
+            assert len({record["run_id"] for record in records}) == 1
+            assert records[0]["event"] == "run_start"
+            assert records[-1]["event"] == "run_finish"
+
+    def test_unix_connect_retries_do_not_leak_fds(self, tmp_path):
+        from repro.runtime.service.client import connect
+
+        missing = str(tmp_path / "nowhere.sock")
+        fd_dir = "/proc/self/fd"
+        if not os.path.isdir(fd_dir):  # pragma: no cover - non-linux
+            pytest.skip("needs /proc to count open fds")
+        with pytest.raises(ReproError):
+            connect(missing, timeout=0.3)  # warm any lazy imports
+        before = len(os.listdir(fd_dir))
+        with pytest.raises(ReproError):
+            connect(missing, timeout=0.5)  # ~10 failed attempts
+        after = len(os.listdir(fd_dir))
+        assert after <= before + 1  # was: one leaked fd per attempt
+
+    def test_parse_address_wraps_bad_ports_as_validation_errors(self):
+        with pytest.raises(ValidationError, match="port"):
+            parse_address("localhost:notaport")
+        with pytest.raises(ValidationError, match="port"):
+            parse_address("notaport")

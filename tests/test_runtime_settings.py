@@ -52,6 +52,8 @@ class TestKnobRegistry:
             "REPRO_MAX_RETRIES",
             "REPRO_ON_ERROR",
             "REPRO_SERVICE",
+            "REPRO_SOLVE_BATCH_MAX",
+            "REPRO_SOLVE_BATCH_WINDOW",
             "REPRO_SPOOL_DIR",
             "REPRO_TRACE_FILE",
             "REPRO_WORKERS",
