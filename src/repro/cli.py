@@ -488,6 +488,24 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_TRACE_FILE or off)",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("auto", "numpy", "native"),
+        help="interval solver kernel: the numpy reference, the "
+        "JIT-compiled native kernel, or auto (native when numba is "
+        "available, loud fallback otherwise); results are identical "
+        "either way (default: $REPRO_KERNEL or numpy)",
+    )
+    parser.add_argument(
+        "--solve-table",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve integer-count interval solves with n <= N from a "
+        "precomputed table persisted beside the result store; 0 "
+        "disables (default: $REPRO_SOLVE_TABLE or 2048)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
@@ -504,6 +522,8 @@ def _context_from(args: argparse.Namespace, progress: bool = True) -> RunContext
         max_retries=args.max_retries,
         on_error=args.on_error,
         trace=args.trace,
+        kernel=args.kernel,
+        solve_table=args.solve_table,
     )
 
 
@@ -836,6 +856,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"  {group[:16]}…  {entry['entries']:>5} entries  "
             f"{entry['bytes']:>12,} bytes"
         )
+    from .intervals.table import sidecar_summary
+    from .runtime.settings import resolve_solve_table
+
+    sidecars = sidecar_summary(cache_dir)
+    print(f"solve tables     : {sidecars['entries']} "
+          f"({sidecars['bytes']:,} bytes, {sidecars['rows']} rows)")
+    print(f"  sidecar path   : {sidecars['path']}")
+    print(f"  n cap (env)    : {resolve_solve_table(None)}")
     return 0
 
 

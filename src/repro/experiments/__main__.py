@@ -115,6 +115,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_TRACE_FILE or off)",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=("auto", "numpy", "native"),
+        help="interval solver kernel (numpy reference, JIT-compiled "
+        "native, or auto with loud fallback); never changes results "
+        "(default: $REPRO_KERNEL or numpy)",
+    )
+    parser.add_argument(
+        "--solve-table",
+        type=int,
+        default=None,
+        metavar="N",
+        help="precompute/memoise interval tables for integer-count "
+        "solves with n <= N; 0 disables "
+        "(default: $REPRO_SOLVE_TABLE or 2048)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/timing lines to stderr",
@@ -145,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
             max_retries=args.max_retries,
             on_error=args.on_error,
             trace=args.trace,
+            kernel=args.kernel,
+            solve_table=args.solve_table,
         )
     )
     requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

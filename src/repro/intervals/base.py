@@ -31,8 +31,10 @@ __all__ = [
     "Interval",
     "IntervalMethod",
     "active_solve_pool",
+    "active_solve_table",
     "critical_value",
     "use_solve_pool",
+    "use_solve_table",
 ]
 
 #: The ambient solve pool, if any.  A pool is an object with a
@@ -67,6 +69,42 @@ def use_solve_pool(pool: Any) -> Iterator[Any]:
         yield pool
     finally:
         _SOLVE_POOL.reset(token)
+
+
+#: The ambient small-n solve table, if any.  A table is an object with
+#: a ``serve(method, evidences, alpha, build=...) -> BatchIntervals |
+#: None`` method that short-circuits solves over integer-count
+#: evidences by slicing a precomputed (method, alpha, n) interval table
+#: (see :mod:`repro.intervals.table`).  Like the solve pool, it lives
+#: in a context variable so concurrent requests route independently —
+#: and like the pool, it changes wall-clock, never numbers.
+_SOLVE_TABLE: contextvars.ContextVar[Any] = contextvars.ContextVar(
+    "repro-solve-table", default=None
+)
+
+
+def active_solve_table() -> Any | None:
+    """The solve table :meth:`IntervalMethod.solve_batch` consults,
+    or ``None`` when every solve computes."""
+    return _SOLVE_TABLE.get()
+
+
+@contextmanager
+def use_solve_table(table: Any) -> Iterator[Any]:
+    """Install *table* as the ambient solve table for the context.
+
+    Everything under the ``with`` block that solves through
+    :meth:`IntervalMethod.solve_batch` consults *table* first; solves
+    the table cannot serve (non-integer counts, ``n`` above its cap, an
+    unencodable method) proceed exactly as before.  ``None`` is a
+    no-op install.  Tables are memoisation — served rows are
+    bit-identical to freshly solved ones.
+    """
+    token = _SOLVE_TABLE.set(table)
+    try:
+        yield table
+    finally:
+        _SOLVE_TABLE.reset(token)
 
 
 def critical_value(alpha: float) -> float:
@@ -181,15 +219,28 @@ class IntervalMethod(ABC):
     ) -> "BatchIntervals":
         """The canonical batch-solve entry point for evaluation loops.
 
-        Identical to :meth:`compute_batch` when no solve pool is
-        installed; under :func:`use_solve_pool` the work is handed to
+        Identical to :meth:`compute_batch` when no solve pool or table
+        is installed; under :func:`use_solve_pool` the work is handed to
         the ambient pool, which may pool it with other callers' pending
-        solves and flush them as one vectorised call.  Because every
-        built-in batch kernel is row-independent, the pooled slice this
-        returns is bit-identical to a direct :meth:`compute_batch` —
-        pooling changes wall-clock, never numbers.
+        solves and flush them as one vectorised call.  Under
+        :func:`use_solve_table` the ambient table is consulted first —
+        integer-count evidences below the table's ``n`` cap are served
+        from the precomputed (method, alpha, n) table without solving.
+        Because every built-in batch kernel is row-independent, a
+        pooled slice or a table slice is bit-identical to a direct
+        :meth:`compute_batch` — routing changes wall-clock, never
+        numbers.
         """
         pool = _SOLVE_POOL.get()
+        table = _SOLVE_TABLE.get()
+        if table is not None:
+            # With a pool installed, only already-built tables may
+            # short-circuit here (build=False): a cold build would
+            # serialise callers behind table construction, whereas the
+            # broker's flush builds once for every pooled caller.
+            served = table.serve(self, evidences, alpha, build=pool is None)
+            if served is not None:
+                return served
         if pool is None:
             return self.compute_batch(evidences, alpha)
         return pool.solve(self, evidences, alpha)

@@ -42,13 +42,13 @@ from ..exceptions import IntervalError, OptimizationError, ValidationError
 from .base import Interval, IntervalMethod
 from .batch import (
     _MASS_TOL,
-    _NEWTON_MAX_ITER,
     BatchIntervals,
     evidence_arrays,
     hpd_bounds_batch,
     posterior_shapes_batch,
 )
 from .et import et_bounds
+from .kernels import NEWTON_MAX_ITER as _NEWTON_MAX_ITER
 from .posterior import BetaPosterior, PosteriorShape
 from .priors import BetaPrior, JEFFREYS
 

@@ -36,6 +36,8 @@ import time
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ...exceptions import ValidationError
+from ...intervals.base import active_solve_table, use_solve_table
+from ...intervals.table import default_table
 from ..cells import runner_for, shard_runner_for
 from ..settings import resolve_backend
 from ..spec import CellShard, CellSpec
@@ -83,7 +85,26 @@ def run_task(task: Task, settings: "ExperimentSettings") -> tuple[Any, float]:
     The single entry point every backend dispatches through, so a task
     produces the same value no matter which process — scheduler, pool
     worker, or detached spool worker — runs it.
+
+    Spawned pool workers and detached spool workers carry no ambient
+    run context, so when no solve table is installed the
+    environment-resolved shared table (``REPRO_SOLVE_TABLE`` /
+    ``REPRO_CACHE_DIR``) is installed for the task — the worker-side
+    mirror of the executor's run-scoped install.  Tables are pure
+    memoisation, so this changes worker wall-clock, never results.
+    The solver kernel needs no counterpart here:
+    :func:`repro.intervals.kernels.active_kernel` already falls back to
+    the environment when no kernel is installed.
     """
+    if active_solve_table() is None:
+        table = default_table()
+        if table is not None:
+            with use_solve_table(table):
+                return _run_task_inner(task, settings)
+    return _run_task_inner(task, settings)
+
+
+def _run_task_inner(task: Task, settings: "ExperimentSettings") -> tuple[Any, float]:
     if isinstance(task, CellShard):
         return run_shard(task, settings)
     return run_cell(task, settings)

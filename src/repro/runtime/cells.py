@@ -49,6 +49,7 @@ from ..intervals.base import IntervalMethod
 from ..intervals.clopper_pearson import ClopperPearsonInterval
 from ..intervals.et import ETCredibleInterval
 from ..intervals.hpd import HPDCredibleInterval
+from ..intervals.payloads import build_method_from_payload, method_payload
 from ..intervals.priors import JEFFREYS, KERMAN, UNIFORM, BetaPrior
 from ..intervals.transforms import ArcsineInterval, LogitInterval
 from ..intervals.wald import WaldInterval
@@ -212,69 +213,10 @@ def build_method(
 # Picklable method payloads
 # ----------------------------------------------------------------------
 #
-# Spec strings cover the stock methods, but they are lossy: an
-# informative-prior aHPD, a non-default ET/HPD prior, or a non-default
-# solver has no faithful spec.  Payloads close that gap — a primitive
-# tuple carrying the *full* configuration, decodable in any worker and
-# hashed into the cache token — so such methods can take the executor
-# path instead of silently falling back to serial loops.
-
-#: Stateless method classes: the class name alone is the configuration.
-_PLAIN_METHODS: dict[str, type] = {
-    "wald": WaldInterval,
-    "wilson": WilsonInterval,
-    "ac": AgrestiCoullInterval,
-    "cp": ClopperPearsonInterval,
-    "arcsine": ArcsineInterval,
-    "logit": LogitInterval,
-}
-_PLAIN_METHOD_KINDS = {klass: kind for kind, klass in _PLAIN_METHODS.items()}
-
-
-def _prior_payload(prior: BetaPrior) -> tuple[float, float, str]:
-    return (float(prior.a), float(prior.b), str(prior.name))
-
-
-def method_payload(method: IntervalMethod) -> tuple | None:
-    """A primitive tuple fully describing *method*, or ``None``.
-
-    The payload captures everything the method reads — class, priors,
-    solver — for the library's method classes (exact types only: a
-    subclass may carry state the payload cannot see and is therefore
-    not encodable).  ``None`` means the method cannot take the executor
-    path; callers must then fall back *loudly* (``warnings.warn``), per
-    the no-silent-fallback contract.
-    """
-    kind = _PLAIN_METHOD_KINDS.get(type(method))
-    if kind is not None:
-        return (kind,)
-    if type(method) is ETCredibleInterval:
-        return ("et", _prior_payload(method.prior))
-    if type(method) is HPDCredibleInterval:
-        return ("hpd", _prior_payload(method.prior), method.solver)
-    if type(method) is AdaptiveHPD:
-        return (
-            "ahpd",
-            tuple(_prior_payload(prior) for prior in method.priors),
-            method.solver,
-        )
-    return None
-
-
-def build_method_from_payload(payload: tuple) -> IntervalMethod:
-    """Reconstruct the method a :func:`method_payload` tuple describes."""
-    kind = payload[0]
-    plain = _PLAIN_METHODS.get(kind)
-    if plain is not None:
-        return plain()
-    if kind == "et":
-        return ETCredibleInterval(prior=BetaPrior(*payload[1]))
-    if kind == "hpd":
-        return HPDCredibleInterval(prior=BetaPrior(*payload[1]), solver=payload[2])
-    if kind == "ahpd":
-        priors = tuple(BetaPrior(*entry) for entry in payload[1])
-        return AdaptiveHPD(priors=priors, solver=payload[2])
-    raise ValidationError(f"unknown method payload kind {kind!r}")
+# The payload machinery itself lives in the intervals layer
+# (:mod:`repro.intervals.payloads`) because the solve broker and the
+# small-n solve table key methods by payload too; the names stay
+# re-exported here, unchanged, for every existing runtime import site.
 
 
 def cell_method(cell: CellSpec, settings: "ExperimentSettings") -> IntervalMethod:

@@ -81,7 +81,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Union
 
 from ..exceptions import ValidationError
-from ..intervals.base import use_solve_pool
+from ..intervals.base import use_solve_pool, use_solve_table
+from ..intervals.kernels import auto_fallback_info, use_kernel
+from ..intervals.table import SolveTable, shared_table
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -228,6 +230,22 @@ class ParallelExecutor:
         coalesce this run's interval solves with other concurrent runs'.
         ``None`` (the default) solves directly.  Pure scheduling: pooled
         solves are bit-identical to direct ones.
+    kernel:
+        Interval solver kernel for this run's in-process solves:
+        ``"numpy"`` (the reference implementation), ``"native"`` (the
+        JIT-compiled kernel; raises when the optional ``numba``
+        dependency is unavailable), or ``"auto"`` (native when
+        available, otherwise a *loud* fallback to numpy — one
+        ``RuntimeWarning`` plus a ``kernel_fallback`` journal event).
+        ``None`` reads ``REPRO_KERNEL`` (default ``"numpy"``).  Kernels
+        agree bit-for-bit or to 1e-12 and never enter cache identity.
+    solve_table:
+        Small-n solve-table cap: integer-count solves with ``n`` at or
+        below this are served from a precomputed, memory-mapped
+        (method, alpha, n) interval table rooted in the result store
+        (see :mod:`repro.intervals.table`).  ``0`` disables; ``None``
+        reads ``REPRO_SOLVE_TABLE`` (default 2048).  Tables are pure
+        memoisation — served rows are bit-identical to solved ones.
     """
 
     def __init__(
@@ -243,6 +261,8 @@ class ParallelExecutor:
         retry_policy: RetryPolicy | None = None,
         trace: Union[str, Path, None] = None,
         solve_pool: Any = None,
+        kernel: str | None = None,
+        solve_table: int | None = None,
     ):
         self._bind(
             RunContext(
@@ -257,6 +277,8 @@ class ParallelExecutor:
                 retry_policy=retry_policy,
                 trace=trace,
                 solve_pool=solve_pool,
+                kernel=kernel,
+                solve_table=solve_table,
             )
         )
 
@@ -292,6 +314,8 @@ class ParallelExecutor:
         )
         self.trace = context.trace
         self.solve_pool = context.solve_pool
+        self.kernel = context.kernel
+        self.solve_table = context.solve_table
 
     def _backend_for(self, pending: int) -> ExecutionBackend:
         """The backend this run dispatches through.
@@ -421,12 +445,32 @@ class ParallelExecutor:
         # and the calibration pilot.  Out-of-process units solve
         # directly in their workers, which is bit-identical anyway.
         pool_stack = ExitStack()
-        if self.solve_pool is not None:
-            channel = pool_stack.enter_context(
-                self.solve_pool.channel(telemetry)
-            )
-            pool_stack.enter_context(use_solve_pool(channel))
+        table = None
+        table_before: dict | None = None
         try:
+            if self.solve_pool is not None:
+                channel = pool_stack.enter_context(
+                    self.solve_pool.channel(telemetry)
+                )
+                pool_stack.enter_context(use_solve_pool(channel))
+            # The run's solver kernel and solve table install alongside
+            # the pool: ambient for everything this scheduler thread
+            # executes in-process.  Out-of-process units resolve both
+            # from the environment in their workers (see
+            # backends.base.run_task / kernels.active_kernel) — always
+            # bit-identical, so placement still never changes numbers.
+            kernel_fallback = auto_fallback_info(self.kernel)
+            pool_stack.enter_context(use_kernel(self.kernel))
+            if self.solve_table and self.solve_table > 0:
+                root = self.store.root if self.store is not None else None
+                table = shared_table(root, self.solve_table)
+                table_before = table.stats()
+                pool_stack.enter_context(use_solve_table(table))
+            else:
+                # Explicitly disabled: install a cap-0 table so
+                # in-process run_task sees *an* ambient table and never
+                # falls back to the environment default.
+                pool_stack.enter_context(use_solve_table(SolveTable(cap=0)))
             telemetry.emit(
                 "run_start",
                 plan=plan.name or "plan",
@@ -434,6 +478,8 @@ class ParallelExecutor:
                 workers=self.workers,
                 schema=TRACE_SCHEMA_VERSION,
             )
+            if kernel_fallback is not None:
+                telemetry.emit("kernel_fallback", **kernel_fallback)
             default_chunk = self.chunk_size
             calibration = None
             pilot = None
@@ -512,6 +558,24 @@ class ParallelExecutor:
             status = "ok"
         finally:
             pool_stack.close()
+            if table is not None and table_before is not None:
+                # The table is shared process-wide; journal this run's
+                # *delta* so concurrent runs' summaries stay additive.
+                after = table.stats()
+                telemetry.emit(
+                    "solve_table",
+                    cap=table.cap,
+                    hits=after["hits"] - table_before["hits"],
+                    misses=after["misses"] - table_before["misses"],
+                    ineligible=after["ineligible"] - table_before["ineligible"],
+                    builds=after["builds"] - table_before["builds"],
+                    build_seconds=round(
+                        after["build_seconds"] - table_before["build_seconds"], 6
+                    ),
+                    rows_served=after["rows_served"]
+                    - table_before["rows_served"],
+                    entries=after["entries"],
+                )
             telemetry.emit(
                 "run_finish",
                 status=status,
@@ -632,6 +696,8 @@ _overrides: dict[str, Any] = {
     "max_retries": None,
     "on_error": None,
     "trace": None,
+    "kernel": None,
+    "solve_table": None,
 }
 
 
@@ -645,6 +711,8 @@ def configure(
     max_retries=_UNSET,
     on_error=_UNSET,
     trace=_UNSET,
+    kernel=_UNSET,
+    solve_table=_UNSET,
     context: RunContext | None = None,
 ) -> None:
     """Set process-wide defaults for :func:`execute`.
@@ -670,7 +738,7 @@ def configure(
             value is not _UNSET
             for value in (
                 workers, cache_dir, progress, chunk_size, chunk_seconds,
-                backend, max_retries, on_error, trace,
+                backend, max_retries, on_error, trace, kernel, solve_table,
             )
         ):
             raise ValidationError(
@@ -687,6 +755,8 @@ def configure(
             max_retries=None,
             on_error=context.on_error,
             trace=context.trace,
+            kernel=context.kernel,
+            solve_table=context.solve_table,
         )
         _overrides["retry_policy"] = context.retry_policy
         return
@@ -709,6 +779,10 @@ def configure(
         _overrides["on_error"] = on_error
     if trace is not _UNSET:
         _overrides["trace"] = trace
+    if kernel is not _UNSET:
+        _overrides["kernel"] = kernel
+    if solve_table is not _UNSET:
+        _overrides["solve_table"] = solve_table
 
 
 def reset_defaults() -> None:
@@ -741,6 +815,8 @@ def default_context() -> RunContext:
         on_error=_overrides["on_error"],
         retry_policy=_overrides.get("retry_policy"),
         trace=_overrides["trace"],
+        kernel=_overrides["kernel"],
+        solve_table=_overrides["solve_table"],
     )
 
 

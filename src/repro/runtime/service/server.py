@@ -42,6 +42,8 @@ from ..settings import (
     resolve_solve_batch_max,
     resolve_solve_batch_window,
 )
+from ...intervals.kernels import kernel_status
+from ...intervals.table import peek_tables
 from ..solvebatch import SolveBroker
 from ..store import ResultStore
 from .requests import STUDY_COLUMNS, StudyRequest, render_study_table, study_rows
@@ -54,7 +56,7 @@ __all__ = ["AuditService", "CONTEXT_OVERRIDE_KEYS"]
 #: by the service (one journal per request under ``--trace-dir``).
 CONTEXT_OVERRIDE_KEYS = frozenset(
     {"workers", "backend", "chunk_size", "chunk_seconds",
-     "max_retries", "on_error"}
+     "max_retries", "on_error", "kernel", "solve_table"}
 )
 
 #: Queue sentinel: the request's executor thread is done.
@@ -332,6 +334,8 @@ class AuditService:
                 if self.solve_broker is None
                 else self.solve_broker.describe()
             ),
+            "solve_table": peek_tables(),
+            "kernel": kernel_status(),
         }
 
     @staticmethod

@@ -44,12 +44,14 @@ __all__ = [
     "resolve_chaos_seed",
     "resolve_chunk_seconds",
     "resolve_chunk_size",
+    "resolve_kernel",
     "resolve_max_retries",
     "resolve_on_error",
     "resolve_progress",
     "resolve_service_address",
     "resolve_solve_batch_max",
     "resolve_solve_batch_window",
+    "resolve_solve_table",
     "resolve_spool_dir",
     "resolve_store",
     "resolve_trace_file",
@@ -157,6 +159,18 @@ KNOBS: dict[str, tuple[Callable[[str], Any], str]] = {
         _parse_int("REPRO_SOLVE_BATCH_MAX"),
         "max coalesced callers per cross-request solve batch flush "
         "(int >= 1; default 64)",
+    ),
+    "REPRO_KERNEL": (
+        _parse_text("REPRO_KERNEL"),
+        "interval solver kernel: numpy | native | auto "
+        "(default numpy; auto degrades loudly to numpy without numba; "
+        "never part of cache identity)",
+    ),
+    "REPRO_SOLVE_TABLE": (
+        _parse_int("REPRO_SOLVE_TABLE"),
+        "small-n solve-table cap: precompute/memoise interval tables "
+        "for integer-count evidences with n <= cap "
+        "(int >= 0; 0 disables; default 2048)",
     ),
 }
 
@@ -371,6 +385,47 @@ def resolve_solve_batch_max(max_batch: int | None) -> int:
     return max_batch
 
 
+def resolve_kernel(kernel: str | None) -> str:
+    """Explicit choice, or the ``REPRO_KERNEL`` default (``"numpy"``).
+
+    Returns a validated kernel *name* (``numpy`` | ``native`` |
+    ``auto``) — instances are resolved later, at solve time, by
+    :func:`repro.intervals.kernels.get_kernel`, so contexts stay
+    picklable/JSON-describable and ``auto`` can degrade per process.
+    The default is the NumPy oracle, not ``auto``: installing numba
+    must never silently change which kernel a run uses.
+    """
+    if kernel is None:
+        kernel = env_knob("REPRO_KERNEL")
+        if kernel is None:
+            return "numpy"
+    kernel = str(kernel).strip().lower()
+    if kernel not in ("auto", "numpy", "native"):
+        raise ValidationError(
+            f"kernel must be one of auto, numpy, native; got {kernel!r}"
+        )
+    return kernel
+
+
+def resolve_solve_table(cap: int | None) -> int:
+    """Explicit cap, or the ``REPRO_SOLVE_TABLE`` default (2048).
+
+    The largest evidence count ``n`` the small-n
+    :class:`~repro.intervals.table.SolveTable` precomputes full
+    ``(method, alpha, n)`` interval tables for; ``0`` disables the
+    table entirely.  Table serving is pure memoisation — served rows
+    are bit-identical to freshly solved ones.
+    """
+    if cap is None:
+        cap = env_knob("REPRO_SOLVE_TABLE")
+        if cap is None:
+            return 2048
+    cap = int(cap)
+    if cap < 0:
+        raise ValidationError(f"solve_table cap must be >= 0, got {cap}")
+    return cap
+
+
 def resolve_chaos_seed(seed: int | None) -> int:
     """Explicit seed, or the ``REPRO_CHAOS_SEED`` default (0)."""
     if seed is None:
@@ -451,6 +506,13 @@ class RunContext:
       shared infrastructure rather than per-run configuration, so it
       has no environment fallback and is threaded in explicitly (the
       audit service passes its process-wide broker here)
+    * ``kernel`` — solver-kernel choice ``"numpy"`` | ``"native"`` |
+      ``"auto"`` (``REPRO_KERNEL``; default ``"numpy"``); resolved to
+      an implementation at run time and **never** part of cache
+      identity — results are pinned kernel-independent
+    * ``solve_table`` — small-n solve-table cap (``REPRO_SOLVE_TABLE``;
+      default 2048, ``0`` disables); pure memoisation, also outside
+      cache identity
 
     Use :meth:`replace` to derive a variant (new context, same
     immutability); use :meth:`describe` for a JSON-ready summary.
@@ -466,6 +528,8 @@ class RunContext:
     retry_policy: Any = None
     trace: Any = None
     solve_pool: Any = None
+    kernel: Any = None
+    solve_table: Any = None
     max_retries: InitVar[Any] = None
 
     def __post_init__(self, max_retries: Any) -> None:
@@ -517,6 +581,8 @@ class RunContext:
         set_field("store", resolve_store(self.store))
         set_field("progress", resolve_progress(self.progress))
         set_field("trace", resolve_trace_file(self.trace))
+        set_field("kernel", resolve_kernel(self.kernel))
+        set_field("solve_table", resolve_solve_table(self.solve_table))
         if self.solve_pool is not None and not callable(
             getattr(self.solve_pool, "channel", None)
         ):
@@ -563,4 +629,6 @@ class RunContext:
             else getattr(
                 self.solve_pool, "name", type(self.solve_pool).__name__
             ),
+            "kernel": self.kernel,
+            "solve_table": self.solve_table,
         }

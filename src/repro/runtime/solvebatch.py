@@ -23,6 +23,14 @@ Methods the payload cannot encode fall back to identity keying and
 simply never cross-coalesce (still correct, just unbatched across
 requests).
 
+When a small-n solve table (:mod:`repro.intervals.table`) is installed,
+each entry captures its caller's ambient table at enqueue time; the
+flush serves table-eligible entries by lookup — building the table
+once, on the leader's thread, for every pooled caller to share — and
+pools only the remainder.  Warm-table solves never reach the broker at
+all: ``solve_batch`` consults the table (without building) before
+enqueueing.
+
 The broker is also fork-aware: a fork-start process-pool worker clones
 the submitting thread, context (and any installed channel) included,
 but the clone's leader threads and pending callers don't exist on the
@@ -71,8 +79,9 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..intervals.base import active_solve_table
 from ..intervals.batch import compute_batch_pooled
-from .cells import method_payload
+from ..intervals.payloads import method_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..estimators.base import Evidence
@@ -86,10 +95,10 @@ __all__ = ["BrokerChannel", "SolveBroker"]
 class _Entry:
     """One caller's pending segment within a solve group."""
 
-    __slots__ = ("channel", "evidences", "ready", "result", "error", "meta")
+    __slots__ = ("channel", "evidences", "ready", "result", "error", "meta", "table")
 
     def __init__(
-        self, channel: "BrokerChannel", evidences: tuple
+        self, channel: "BrokerChannel", evidences: tuple, table: Any = None
     ) -> None:
         self.channel = channel
         self.evidences = evidences
@@ -97,6 +106,10 @@ class _Entry:
         self.result: "BatchIntervals | None" = None
         self.error: BaseException | None = None
         self.meta: dict[str, Any] | None = None
+        # The caller's ambient solve table, captured at enqueue time so
+        # the flush (which runs on the leader's thread, under the
+        # leader's context) serves each entry against *its* table.
+        self.table = table
 
 
 class _Group:
@@ -208,18 +221,26 @@ class SolveBroker:
         alpha: float,
     ) -> "BatchIntervals":
         evidences = tuple(evidences)
+        table = active_solve_table()
         if (
             self._closed
             or self.window <= 0.0
             or not evidences
             or os.getpid() != self._pid
         ):
+            # Pass-through solves still get table service (with build:
+            # nobody is pooled behind this caller), matching what
+            # solve_batch would have done with no pool installed.
+            if table is not None:
+                served = table.serve(method, evidences, alpha, build=True)
+                if served is not None:
+                    return served
             return method.compute_batch(evidences, alpha)
         payload = method_payload(method)
         # Unencodable methods key by identity: same-instance solves can
         # still coalesce, distinct instances never falsely merge.
         key = (payload or ("instance", id(method)), float(alpha))
-        entry = _Entry(channel, evidences)
+        entry = _Entry(channel, evidences, table)
         with self._cond:
             if self._closed:
                 return method.compute_batch(evidences, alpha)
@@ -291,21 +312,48 @@ class SolveBroker:
             "callers": len(entries),
             "rows": rows,
         }
+        # Solve tables first: entries whose captured table can serve the
+        # whole segment (building the table here, once, on the leader's
+        # thread) skip the pooled solve entirely; the rest pool.  A
+        # table serve is bit-identical to the pooled slice, so the mix
+        # is invisible to callers.
+        served: dict[int, "BatchIntervals"] = {}
+        for index, entry in enumerate(entries):
+            if entry.table is None:
+                continue
+            try:
+                batch = entry.table.serve(
+                    group.method, entry.evidences, group.alpha, build=True
+                )
+            except Exception:  # table trouble must never poison a flush
+                batch = None
+            if batch is not None:
+                served[index] = batch
+        meta["table_hits"] = len(served)
+        pending = [
+            entry for index, entry in enumerate(entries) if index not in served
+        ]
         try:
             try:
-                slices = compute_batch_pooled(
-                    group.method,
-                    [entry.evidences for entry in entries],
-                    group.alpha,
-                )
-                for entry, batch in zip(entries, slices):
-                    entry.result = batch
+                if pending:
+                    slices = compute_batch_pooled(
+                        group.method,
+                        [entry.evidences for entry in pending],
+                        group.alpha,
+                    )
+                    for entry, batch in zip(pending, slices):
+                        entry.result = batch
+                for index, batch in served.items():
+                    entries[index].result = batch
+                for entry in entries:
                     entry.meta = dict(meta, rows_own=len(entry.evidences))
             except Exception:
                 # Pooled solve failed — isolate: each caller gets its own
                 # compute (bit-identical anyway) and only genuinely bad
                 # segments raise, in their own caller's thread.
                 for entry in entries:
+                    if entry.result is not None:
+                        continue
                     try:
                         entry.result = group.method.compute_batch(
                             entry.evidences, group.alpha

@@ -89,6 +89,8 @@ EVENT_TYPES = frozenset(
         "dead_letter",  # a spool task was buried in dead/
         "chaos_inject",  # the chaos backend faulted a unit
         "solve_batch_flush",  # cross-request interval-solve batch flushed
+        "solve_table",  # run's small-n solve-table usage (hits/builds)
+        "kernel_fallback",  # requested solver kernel degraded (auto→numpy)
         "run_finish",  # run over; status ok/aborted, wall seconds
     }
 )
@@ -322,6 +324,14 @@ class MetricsAggregate:
         self.solve_coalesced_flushes = 0
         self.solve_rows = 0
         self.solve_max_callers = 0
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_ineligible = 0
+        self.table_builds = 0
+        self.table_build_seconds = 0.0
+        self.table_rows_served = 0
+        self.table_cap: int | None = None
+        self.kernel_fallbacks: list[dict] = []
         self.execute_seconds = 0.0
         self.queue_wait_seconds = 0.0
         self.wall_seconds = 0.0
@@ -370,6 +380,19 @@ class MetricsAggregate:
             self.solve_max_callers = max(self.solve_max_callers, callers)
             if callers > 1:
                 self.solve_coalesced_flushes += 1
+        elif event.event == "solve_table":
+            # One per run, carrying the run's *delta* against the
+            # process-wide shared table, so multi-run aggregates sum.
+            self.table_hits += int(fields.get("hits", 0))
+            self.table_misses += int(fields.get("misses", 0))
+            self.table_ineligible += int(fields.get("ineligible", 0))
+            self.table_builds += int(fields.get("builds", 0))
+            self.table_build_seconds += float(fields.get("build_seconds", 0.0))
+            self.table_rows_served += int(fields.get("rows_served", 0))
+            if fields.get("cap") is not None:
+                self.table_cap = int(fields["cap"])
+        elif event.event == "kernel_fallback":
+            self.kernel_fallbacks.append(dict(fields))
         elif event.event == "cell_finished":
             if not fields.get("cached", False):
                 self.cache_misses += 1
@@ -461,6 +484,18 @@ class MetricsAggregate:
                 "coalesced_flushes": self.solve_coalesced_flushes,
                 "rows": self.solve_rows,
                 "max_callers": self.solve_max_callers,
+            },
+            "solve_table": {
+                "cap": self.table_cap,
+                "hits": self.table_hits,
+                "misses": self.table_misses,
+                "ineligible": self.table_ineligible,
+                "builds": self.table_builds,
+                "build_seconds": round(self.table_build_seconds, 6),
+                "rows_served": self.table_rows_served,
+            },
+            "kernel": {
+                "fallbacks": list(self.kernel_fallbacks),
             },
             "by_kind": {
                 kind: {
@@ -637,6 +672,22 @@ def render_summary(summary: dict, fmt: str = "text") -> str:
             f"  rows solved        : {batching['rows']}",
             f"  max callers/flush  : {batching['max_callers']}",
         ]
+    table = aggregate.get("solve_table", {})
+    if table.get("hits") or table.get("builds"):
+        lines += [
+            "",
+            "solve table",
+            f"  serves / misses    : {table['hits']} / {table['misses']}",
+            f"  rows served        : {table['rows_served']}",
+            f"  tables built       : {table['builds']}"
+            f"  ({table['build_seconds']:.3f}s)",
+        ]
+    kernel = aggregate.get("kernel", {})
+    for fallback in kernel.get("fallbacks", []):
+        lines.append(
+            f"kernel fallback: {fallback.get('requested')} -> "
+            f"{fallback.get('resolved')} ({fallback.get('reason')})"
+        )
     if aggregate["by_kind"]:
         lines += ["", "per cell kind (units, execute s, queue-wait s)"]
         for kind, totals in aggregate["by_kind"].items():

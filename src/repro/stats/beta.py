@@ -203,7 +203,9 @@ def beta_ppf_batch(q, a, b) -> np.ndarray:
     q_arr = np.asarray(q, dtype=float)
     if np.any((q_arr < 0.0) | (q_arr > 1.0)):
         raise ValidationError(f"quantile levels must be in [0, 1], got {q!r}")
-    return np.asarray(special.betaincinv(a, b, q_arr), dtype=float)
+    # Route through the raw primitive so validated and raw callers run
+    # the *same* arithmetic — the invariant the kernel registry pins.
+    return _beta_ppf_raw(q_arr, a, b)
 
 
 def beta_mean(a: float, b: float) -> float:

@@ -614,9 +614,11 @@ class TestSolveBroker:
 
 def store_values(root) -> dict:
     """Cache state as {relative path: serialised value payload}, with
-    the volatile wall-clock ``seconds`` field excluded."""
+    the volatile wall-clock ``seconds`` field excluded.  Only ``.pkl``
+    entries are cache state — solve-table ``.npy`` sidecars beside them
+    are rebuildable memoisation, not results."""
     values = {}
-    for path in sorted(root.rglob("*")):
+    for path in sorted(root.rglob("*.pkl")):
         if not path.is_file():
             continue
         with path.open("rb") as handle:

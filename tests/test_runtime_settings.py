@@ -49,11 +49,13 @@ class TestKnobRegistry:
             "REPRO_CHAOS_SEED",
             "REPRO_CHUNK_SECONDS",
             "REPRO_CHUNK_SIZE",
+            "REPRO_KERNEL",
             "REPRO_MAX_RETRIES",
             "REPRO_ON_ERROR",
             "REPRO_SERVICE",
             "REPRO_SOLVE_BATCH_MAX",
             "REPRO_SOLVE_BATCH_WINDOW",
+            "REPRO_SOLVE_TABLE",
             "REPRO_SPOOL_DIR",
             "REPRO_TRACE_FILE",
             "REPRO_WORKERS",
